@@ -1,0 +1,127 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own figures:
+
+1. Arbitrate tie-break — the paper's weaker-antenna calibration hack
+   (§4.3.1) vs. the literal Query 3 ties-keep-both semantics.
+2. Outlier rule — the paper's mean ± 1σ vs. a median/MAD robust rule.
+3. Smooth window expansion — the §5.2.1 expanded 30-minute window vs. a
+   window equal to the 5-minute granule.
+4. Virtualize vote threshold — 1-of-3 / 2-of-3 / 3-of-3 sensitivity.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from repro.core.granules import TemporalGranule
+from repro.experiments.office import threshold_sweep
+from repro.experiments.redwood import section52
+from repro.experiments.rfid import shelf_error
+from repro.metrics import epoch_yield
+from repro.pipelines.rfid_shelf import query1_counts
+from repro.pipelines.sensornet import build_outlier_processor
+from repro.scenarios.redwood import RedwoodScenario
+
+
+def test_ablation_arbitrate_tie_break(benchmark, shelf):
+    def run():
+        truth = shelf.truth_series()
+        return {
+            policy: shelf_error(
+                query1_counts(shelf, "smooth+arbitrate", tie_break=policy),
+                truth,
+            )
+            for policy in ("weakest", "all", "first")
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Ablation 1: Arbitrate tie-break policy")
+    for policy, error in errors.items():
+        print(f"  tie_break={policy:8s} err={error:.3f}")
+    print("  (paper §4.3.1: ties to the weaker antenna helped)")
+    # The paper's calibration should not hurt relative to keep-both.
+    assert errors["weakest"] <= errors["all"] + 0.01
+    for policy, error in errors.items():
+        benchmark.extra_info[policy] = error
+
+
+def test_ablation_outlier_rule(benchmark, intel_lab):
+    recorded = intel_lab.recorded_streams()
+
+    def tracking_error(robust, k):
+        processor = build_outlier_processor(
+            intel_lab, robust=robust, sigma_k=k
+        )
+        run = processor.run(
+            until=intel_lab.duration,
+            tick=intel_lab.sample_period,
+            sources=recorded,
+        )
+        after = [
+            t for t in run.output if t.timestamp > intel_lab.failure_onset
+        ]
+        reference = [
+            intel_lab.room_temperature(t.timestamp) for t in after
+        ]
+        return float(
+            np.mean([abs(t["temp"] - r) for t, r in zip(after, reference)])
+        )
+
+    def run():
+        return {
+            "mean_sigma_1": tracking_error(robust=False, k=1.0),
+            "median_mad_3": tracking_error(robust=True, k=3.0),
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Ablation 2: Merge outlier rule (fail-dirty trace)")
+    for rule, error in errors.items():
+        print(f"  {rule:14s} tracking error {error:.2f} C")
+    # Both rules must handle the single fail-dirty mote.
+    assert all(error < 1.0 for error in errors.values())
+    for rule, error in errors.items():
+        benchmark.extra_info[rule] = error
+
+
+def test_ablation_smooth_window_expansion(benchmark):
+    """§5.2.1: without window expansion (window == granule), Smooth cannot
+    recover bursty losses — the yield stays at the raw level."""
+
+    def run():
+        results = {}
+        for label, window in (("expanded_30min", "30 min"),
+                              ("granule_5min", "5 min")):
+            scenario = RedwoodScenario(
+                duration=1.5 * 86400.0, n_groups=8, seed=11
+            )
+            scenario.temporal_granule = TemporalGranule(
+                "5 min", smoothing_window=window
+            )
+            stats = section52(scenario)
+            results[label] = stats["smooth_yield"]
+        return results
+
+    yields = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Ablation 3: Smooth window expansion (redwood)")
+    for label, value in yields.items():
+        print(f"  {label:16s} smooth yield {value:.2f}")
+    print("  (paper 5.2.1: ESP had to expand the window to 30 min)")
+    assert yields["expanded_30min"] > yields["granule_5min"] + 0.15
+    for label, value in yields.items():
+        benchmark.extra_info[label] = value
+
+
+def test_ablation_vote_threshold(benchmark, office):
+    sweep = benchmark.pedantic(
+        lambda: threshold_sweep(office, thresholds=(1, 2, 3)),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Ablation 4: Virtualize vote threshold")
+    for threshold, accuracy in sorted(sweep.items()):
+        print(f"  {threshold}-of-3 vote: accuracy {accuracy:.3f}")
+    print("  (paper used 2-of-3)")
+    # 2-of-3 should be the best or tied-best of the three.
+    assert sweep[2] >= max(sweep.values()) - 0.02
+    for threshold, accuracy in sweep.items():
+        benchmark.extra_info[f"threshold_{threshold}"] = accuracy

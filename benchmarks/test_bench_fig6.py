@@ -1,0 +1,34 @@
+"""Figure 6 (paper §4.3.2): error vs. temporal granule size.
+
+The paper's finding is a U-shape over 0–30 s: "an effective temporal
+granule size is bounded at the low end by the reliability of the devices
+and at the high end by the rate of change of the data", with the minimum
+near the 5-second granule the deployment used.
+"""
+
+from benchmarks.conftest import print_header
+from repro.experiments.rfid import DEFAULT_GRANULE_SIZES, figure6
+
+
+def test_fig6_temporal_granule_sweep(benchmark, shelf):
+    sweep = benchmark.pedantic(
+        lambda: figure6(shelf), rounds=1, iterations=1
+    )
+    print_header("Figure 6: avg relative error vs temporal granule size")
+    best = min(sweep, key=sweep.get)
+    for size in DEFAULT_GRANULE_SIZES:
+        marker = "   <-- minimum" if size == best else ""
+        print(f"  granule {size:5.1f} s   err={sweep[size]:.3f}{marker}")
+    print("  (paper: U-shaped with minimum around 5 s)")
+    smallest, largest = min(sweep), max(sweep)
+    # U-shape: both extremes worse than the 5 s sweet spot.
+    assert sweep[smallest] > sweep[5.0] * 1.5
+    assert sweep[largest] > sweep[5.0] * 1.5
+    # The minimum lies in the paper's 2-10 s neighbourhood.
+    assert 2.0 <= best <= 10.0
+    # The single-poll granule cannot smooth: error several times the
+    # optimum (arbitration alone still helps a little, so it does not
+    # fully regress to raw).
+    assert sweep[0.2] > 3 * sweep[5.0]
+    for size, err in sweep.items():
+        benchmark.extra_info[f"granule_{size:g}s"] = err

@@ -1,0 +1,53 @@
+"""Figure 7 (paper §5.1): fail-dirty outlier detection.
+
+The paper's trace: one of three room motes fails dirty and climbs past
+100 °C; the naive average follows it upward while ESP (Point < 50 °C +
+Merge ±1σ) tracks the two functioning motes, beginning to eliminate the
+outlier shortly after it starts deviating — *before* the Point threshold
+engages.
+"""
+
+from benchmarks.conftest import print_header
+from repro.experiments.intel_lab import figure7
+
+DAY = 86400.0
+
+
+def test_fig7_outlier_detection(benchmark, intel_lab):
+    result = benchmark.pedantic(
+        lambda: figure7(intel_lab), rounds=1, iterations=1
+    )
+    print_header("Figure 7: fail-dirty outlier detection")
+    print(
+        f"  failure onset:              day {result['failure_onset'] / DAY:.2f}"
+    )
+    print(
+        "  ESP eliminates outlier at:  day "
+        f"{result['esp_elimination_time'] / DAY:.2f}"
+    )
+    print(
+        f"  outlier peak reading:       {result['outlier_peak']:.0f} C "
+        "(paper: >100 C, plot tops ~140 C)"
+    )
+    print(
+        "  tracking error after failure:  ESP "
+        f"{result['esp_tracking_error_after_failure']:.2f} C, naive average "
+        f"{result['naive_tracking_error_after_failure']:.2f} C"
+    )
+    # Shape assertions:
+    assert result["outlier_peak"] > 100.0
+    assert result["esp_tracking_error_after_failure"] < 1.0
+    assert result["naive_tracking_error_after_failure"] > 5.0
+    # Merge starts rejecting the outlier within 2 h of onset — long before
+    # the reading reaches the 50 C Point threshold (~9 h at this drift).
+    lag = result["esp_elimination_time"] - result["failure_onset"]
+    assert 0.0 <= lag < 2 * 3600.0
+    drift_to_50 = (50.0 - 25.0) / 0.0009
+    assert lag < drift_to_50
+    benchmark.extra_info["esp_tracking_error_c"] = result[
+        "esp_tracking_error_after_failure"
+    ]
+    benchmark.extra_info["naive_tracking_error_c"] = result[
+        "naive_tracking_error_after_failure"
+    ]
+    benchmark.extra_info["elimination_lag_s"] = lag

@@ -1,0 +1,53 @@
+"""Section 5.2 (redwood deployment): the epoch-yield table.
+
+The paper's numbers over its ~3.5-day trace:
+
+====================  ===========  ==========================
+stage                 epoch yield  readings within 1 °C of log
+====================  ===========  ==========================
+raw                   40 %         (reference)
+after Smooth          77 %         99 %
+after Smooth+Merge    92 %         94 %
+====================  ===========  ==========================
+"""
+
+from benchmarks.conftest import print_header
+from repro.experiments.redwood import section52
+
+
+def test_sec52_epoch_yield_table(benchmark, redwood):
+    result = benchmark.pedantic(
+        lambda: section52(redwood), rounds=1, iterations=1
+    )
+    print_header("Section 5.2: redwood epoch yield / accuracy")
+    print(f"  {'stage':16s} {'yield':>7s} {'paper':>7s} "
+          f"{'within 1C':>10s} {'paper':>7s}")
+    print(
+        f"  {'raw':16s} {result['raw_yield']:7.2f} {0.40:7.2f} "
+        f"{'--':>10s} {'--':>7s}"
+    )
+    print(
+        f"  {'smooth':16s} {result['smooth_yield']:7.2f} {0.77:7.2f} "
+        f"{result['smooth_within_1c']:10.2f} {0.99:7.2f}"
+    )
+    print(
+        f"  {'smooth+merge':16s} {result['merge_yield']:7.2f} {0.92:7.2f} "
+        f"{result['merge_within_1c']:10.2f} {0.94:7.2f}"
+    )
+    # Shape assertions:
+    assert 0.30 < result["raw_yield"] < 0.50
+    assert result["raw_yield"] < result["smooth_yield"] < result["merge_yield"]
+    assert result["smooth_yield"] > 0.65
+    assert result["merge_yield"] > 0.85
+    # Accuracy dips slightly from Smooth to Merge, staying high.
+    assert result["merge_within_1c"] <= result["smooth_within_1c"]
+    assert result["smooth_within_1c"] > 0.93
+    assert result["merge_within_1c"] > 0.88
+    for key in (
+        "raw_yield",
+        "smooth_yield",
+        "smooth_within_1c",
+        "merge_yield",
+        "merge_within_1c",
+    ):
+        benchmark.extra_info[key] = result[key]

@@ -1,0 +1,69 @@
+"""Environmental monitoring — the paper's Section 5 deployments.
+
+Two analyses over wireless sensor networks:
+
+1. **Fail-dirty outlier detection** (Figure 7): three room motes, one of
+   which fails and drifts past 100 degC while still reporting. The ESP
+   pipeline (Point < 50 degC + Merge +/-1 sigma) tracks the functioning
+   motes.
+2. **Epoch-yield recovery** (Section 5.2): a redwood-trunk deployment
+   delivering only ~40 % of its epochs; Smooth and Merge lift the yield
+   to ~77 % and ~92 % at a small accuracy cost.
+
+Run:
+    python examples/redwood_monitoring.py
+"""
+
+from repro.experiments.intel_lab import figure7
+from repro.experiments.redwood import section52
+
+DAY = 86400.0
+
+
+def main() -> None:
+    print("== Fail-dirty outlier detection (Intel-lab trace, Figure 7) ==")
+    fig7 = figure7()
+    print(
+        f"  mote3 fails at day {fig7['failure_onset'] / DAY:.1f} and "
+        f"drifts to {fig7['outlier_peak']:.0f} degC"
+    )
+    print(
+        "  naive 3-mote average error after failure: "
+        f"{fig7['naive_tracking_error_after_failure']:.1f} degC"
+    )
+    print(
+        "  ESP (Point<50 + Merge +/-1 sigma) error:  "
+        f"{fig7['esp_tracking_error_after_failure']:.2f} degC"
+    )
+    lag_minutes = (
+        fig7["esp_elimination_time"] - fig7["failure_onset"]
+    ) / 60.0
+    print(
+        f"  ESP starts excluding the outlier {lag_minutes:.0f} minutes "
+        "after onset - long before the 50 degC Point cutoff engages\n"
+    )
+
+    print("== Redwood epoch-yield recovery (Section 5.2) ==")
+    stats = section52()
+    print(f"  {'stage':14s}{'epoch yield':>12s}{'within 1 degC':>15s}")
+    print(f"  {'raw':14s}{stats['raw_yield']:12.2f}{'-':>15s}")
+    print(
+        f"  {'smooth':14s}{stats['smooth_yield']:12.2f}"
+        f"{stats['smooth_within_1c']:15.2f}"
+    )
+    print(
+        f"  {'smooth+merge':14s}{stats['merge_yield']:12.2f}"
+        f"{stats['merge_within_1c']:15.2f}"
+    )
+    print(
+        "\n  (paper: 0.40 raw -> 0.77 smooth [0.99 within 1 degC] -> "
+        "0.92 merge [0.94])"
+    )
+    print(
+        "  Biologists get nearly complete data at a slight accuracy cost "
+        "(5.2.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

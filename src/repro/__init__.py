@@ -1,0 +1,82 @@
+"""ESP — Extensible receptor Stream Processing (reproduction).
+
+A from-scratch Python reproduction of "A Pipelined Framework for Online
+Cleaning of Sensor Data Streams" (Jeffery, Alonso, Franklin, Hong, Widom;
+ICDE 2006): the five-stage ESP cleaning pipeline (Point → Smooth → Merge
+→ Arbitrate → Virtualize), the CQL-subset query engine and windowed
+stream substrate it runs on, simulators for the three receptor
+technologies the paper deploys (RFID readers, wireless sensor motes, X10
+motion detectors), and the full experiment harness regenerating every
+table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        ESPPipeline, ESPProcessor, Stage, StageKind, TemporalGranule,
+    )
+    from repro.core.operators import presence_smoother, max_count_arbitrate
+    from repro.scenarios import ShelfScenario
+
+    scenario = ShelfScenario()
+    pipeline = ESPPipeline(
+        "rfid",
+        temporal_granule=scenario.temporal_granule,
+        smooth=presence_smoother(),
+        arbitrate=max_count_arbitrate(tie_break="weakest",
+                                      strength=scenario.strength),
+    )
+    processor = ESPProcessor(scenario.registry).add_pipeline(pipeline)
+    run = processor.run(until=scenario.duration, tick=scenario.poll_period)
+    # run.output is the cleaned stream an application would consume.
+
+See ``examples/`` for full walkthroughs and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro.core.granules import ProximityGroup, SpatialGranule, TemporalGranule
+from repro.core.pipeline import ESPPipeline, ESPProcessor, ESPRun
+from repro.core.stages import (
+    ArbitrateStage,
+    MergeStage,
+    PointStage,
+    SmoothStage,
+    Stage,
+    StageKind,
+    VirtualizeStage,
+)
+from repro.cql import compile_query, parse
+from repro.errors import ReproError
+from repro.receptors.registry import DeviceRegistry
+from repro.streams.fjord import Fjord
+from repro.streams.time import Duration, SimClock, parse_duration
+from repro.streams.tuples import StreamTuple
+from repro.streams.windows import WindowSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArbitrateStage",
+    "DeviceRegistry",
+    "Duration",
+    "ESPPipeline",
+    "ESPProcessor",
+    "ESPRun",
+    "Fjord",
+    "MergeStage",
+    "PointStage",
+    "ProximityGroup",
+    "ReproError",
+    "SimClock",
+    "SmoothStage",
+    "SpatialGranule",
+    "Stage",
+    "StageKind",
+    "StreamTuple",
+    "TemporalGranule",
+    "VirtualizeStage",
+    "WindowSpec",
+    "__version__",
+    "compile_query",
+    "parse",
+    "parse_duration",
+]

@@ -1,0 +1,265 @@
+"""Command-line interface: run the reproduction's experiments.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run all [--fast]     # everything + summary report
+    python -m repro run fig5             # one artifact
+    python -m repro paper                # show the paper's reference values
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable
+
+
+def _fig3(fast: bool) -> dict:
+    from repro.experiments.rfid import figure3
+    from repro.scenarios import ShelfScenario
+
+    result = figure3(ShelfScenario(duration=200.0 if fast else 700.0))
+    return {
+        "errors": result["errors"],
+        "raw_alert_rate_per_sec": result["raw_alert_rate_per_sec"],
+        "cleaned_alert_rate_per_sec": result["cleaned_alert_rate_per_sec"],
+    }
+
+
+def _fig5(fast: bool) -> dict:
+    from repro.experiments.rfid import figure5
+    from repro.scenarios import ShelfScenario
+
+    return figure5(ShelfScenario(duration=200.0 if fast else 700.0))
+
+
+def _fig6(fast: bool) -> dict:
+    from repro.experiments.rfid import figure6
+    from repro.scenarios import ShelfScenario
+
+    sizes = (0.5, 2.0, 5.0, 15.0, 30.0) if fast else None
+    scenario = ShelfScenario(duration=200.0 if fast else 700.0)
+    sweep = figure6(scenario, sizes) if sizes else figure6(scenario)
+    return {f"{size:g}s": error for size, error in sweep.items()}
+
+
+def _fig7(fast: bool) -> dict:
+    from repro.experiments.intel_lab import figure7
+    from repro.scenarios import IntelLabScenario
+
+    scenario = IntelLabScenario(duration=(1.0 if fast else 2.0) * 86400.0)
+    result = figure7(scenario)
+    return {
+        key: value
+        for key, value in result.items()
+        if key not in ("raw", "average", "esp")
+    }
+
+
+def _sec52(fast: bool) -> dict:
+    from repro.experiments.redwood import section52
+    from repro.scenarios import RedwoodScenario
+
+    scenario = (
+        RedwoodScenario(duration=86400.0, n_groups=8)
+        if fast
+        else RedwoodScenario()
+    )
+    return section52(scenario)
+
+
+def _fig9(fast: bool) -> dict:
+    from repro.experiments.office import figure9
+    from repro.scenarios import OfficeScenario
+
+    result = figure9(OfficeScenario(duration=300.0 if fast else 600.0))
+    return {"accuracy": result["accuracy"], "confusion": result["confusion"]}
+
+
+def _actuation(fast: bool) -> dict:
+    from repro.experiments.actuation import actuation_comparison
+
+    result = actuation_comparison(granules=150 if fast else 400)
+    return {"yield": result["yield"], "energy": result["energy"]}
+
+
+def _model_based(fast: bool) -> dict:
+    from repro.experiments.model_based import model_based_comparison
+
+    result = model_based_comparison(
+        duration=(1.0 if fast else 2.0) * 86400.0,
+        failure_onset=(0.3 if fast else 0.5) * 86400.0,
+    )
+    return {
+        key: value
+        for key, value in result.items()
+        if key not in ("raw", "cleaned")
+    }
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[bool], dict]]] = {
+    "fig3": ("Figure 3 — RFID shelf cleaning progression (4)", _fig3),
+    "fig5": ("Figure 5 — pipeline configuration ablation (4.2.1)", _fig5),
+    "fig6": ("Figure 6 — temporal granule sweep (4.3.2)", _fig6),
+    "fig7": ("Figure 7 — fail-dirty outlier detection (5.1)", _fig7),
+    "sec52": ("Section 5.2 — redwood epoch yield table", _sec52),
+    "fig9": ("Figure 9 — digital-home person detector (6)", _fig9),
+    "actuation": ("Extension — receptor actuation (5.3.1)", _actuation),
+    "model": ("Extension — BBQ-style model cleaning (6.3.1)", _model_based),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, _fn) in EXPERIMENTS.items():
+        print(f"  {name:{width}s}  {description}")
+    return 0
+
+
+def _cmd_paper(_args: argparse.Namespace) -> int:
+    from repro.experiments.runner import PAPER_VALUES
+
+    print(json.dumps(PAPER_VALUES, indent=2, default=str))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        from repro.experiments.runner import format_report, run_all
+
+        print(format_report(run_all(fast=args.fast)))
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"try: {', '.join(['all', *EXPERIMENTS])}",
+            file=sys.stderr,
+        )
+        return 2
+    _description, fn = EXPERIMENTS[args.experiment]
+    result = fn(args.fast)
+    print(json.dumps(result, indent=2, default=_jsonable))
+    if args.dump:
+        written = _dump_series(args.experiment, args.fast, args.dump)
+        for path in written:
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _dump_series(experiment: str, fast: bool, directory: str) -> list:
+    """Write the figure's plottable series as CSV files.
+
+    Covers the trace-style artifacts (fig3, fig6, fig7, fig9); scalar
+    tables are already fully contained in the JSON output.
+    """
+    import csv
+    from pathlib import Path
+
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def dump(name: str, header: list, rows) -> None:
+        path = base / f"{experiment}_{name}.csv"
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+        written.append(path)
+
+    if experiment == "fig3":
+        from repro.experiments.rfid import figure3
+        from repro.scenarios import ShelfScenario
+
+        result = figure3(ShelfScenario(duration=200.0 if fast else 700.0))
+        ticks = result["ticks"]
+        for trace_name, series in result["traces"].items():
+            rows = zip(ticks, series["shelf0"], series["shelf1"])
+            dump(trace_name, ["time_s", "shelf0", "shelf1"], rows)
+    elif experiment == "fig6":
+        sweep = _fig6(fast)
+        dump(
+            "sweep",
+            ["granule_s", "avg_relative_error"],
+            [(size.rstrip("s"), error) for size, error in sweep.items()],
+        )
+    elif experiment == "fig7":
+        from repro.experiments.intel_lab import figure7
+        from repro.scenarios import IntelLabScenario
+
+        scenario = IntelLabScenario(
+            duration=(1.0 if fast else 2.0) * 86400.0
+        )
+        result = figure7(scenario)
+        for mote_id, (times, temps) in result["raw"].items():
+            dump(mote_id, ["time_s", "temp_c"], zip(times, temps))
+        for name in ("average", "esp"):
+            times, temps = result[name]
+            dump(name, ["time_s", "temp_c"], zip(times, temps))
+    elif experiment == "fig9":
+        from repro.experiments.office import figure9
+        from repro.scenarios import OfficeScenario
+
+        result = figure9(OfficeScenario(duration=300.0 if fast else 600.0))
+        dump(
+            "occupancy",
+            ["time_s", "truth", "detected"],
+            zip(
+                result["ticks"],
+                result["truth"].astype(int),
+                result["detected"].astype(int),
+            ),
+        )
+        for mote_id, (times, values) in result["sound"].items():
+            dump(mote_id, ["time_s", "noise"], zip(times, values))
+    return written
+
+
+def _jsonable(value):
+    try:
+        import numpy as np
+
+        if isinstance(value, (np.floating, np.integer)):
+            return value.item()
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return str(value)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the ESP reproduction's experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    commands.add_parser("paper", help="print the paper's reference values")
+    run = commands.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment", help="experiment name, or 'all'")
+    run.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-scale run for a quick look",
+    )
+    run.add_argument(
+        "--dump",
+        metavar="DIR",
+        help="also write the figure's plottable series as CSVs into DIR",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "paper": _cmd_paper, "run": _cmd_run}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

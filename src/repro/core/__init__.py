@@ -1,0 +1,40 @@
+"""ESP core — the paper's primary contribution.
+
+- :mod:`repro.core.granules` — temporal and spatial granules, proximity
+  groups (§3.1).
+- :mod:`repro.core.stages` — the five programmable stage types: Point,
+  Smooth, Merge, Arbitrate, Virtualize (§3.2).
+- :mod:`repro.core.pipeline` — :class:`~repro.core.pipeline.ESPPipeline`
+  (declarative pipeline assembly) and
+  :class:`~repro.core.pipeline.ESPProcessor` (Fjord-style execution,
+  §3.3).
+- :mod:`repro.core.operators` — the reusable "suite of ESP Operators" the
+  paper's conclusion anticipates (§7).
+"""
+
+from repro.core.granules import ProximityGroup, SpatialGranule, TemporalGranule
+from repro.core.pipeline import ESPPipeline, ESPProcessor
+from repro.core.stages import (
+    ArbitrateStage,
+    MergeStage,
+    PointStage,
+    SmoothStage,
+    Stage,
+    StageKind,
+    VirtualizeStage,
+)
+
+__all__ = [
+    "ArbitrateStage",
+    "ESPPipeline",
+    "ESPProcessor",
+    "MergeStage",
+    "PointStage",
+    "ProximityGroup",
+    "SmoothStage",
+    "SpatialGranule",
+    "Stage",
+    "StageKind",
+    "TemporalGranule",
+    "VirtualizeStage",
+]

@@ -1,0 +1,162 @@
+"""Temporal and spatial granules (paper §3.1).
+
+Granules are the paper's fundamental abstraction: "the lowest-level,
+atomic unit of both time and space in which an application is
+interested", and simultaneously a declaration that data *within* a
+granule is highly correlated — which is what licenses ESP to aggregate,
+interpolate and reject outliers inside one.
+
+- A :class:`TemporalGranule` drives windowed processing in Smooth (and
+  the window expansion of §5.2.1 when the device sample rate is too
+  coarse to smooth effectively at the granule size).
+- A :class:`SpatialGranule` names an application-level spatial unit (a
+  shelf, a height band on a redwood trunk, an office); receptors
+  monitoring it are organized into :class:`ProximityGroup` s of devices
+  of the same type, which drive Merge and Arbitrate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.streams.time import Duration, parse_duration
+
+
+class TemporalGranule:
+    """The atomic unit of time an application operates on.
+
+    Args:
+        size: Granule width — anything :func:`repro.streams.time.parse_duration`
+            accepts (``'5 sec'``, ``Duration(5)``, ``5.0``).
+        smoothing_window: Optional explicit window size for Smooth. By
+            default the window equals the granule; the redwood deployment
+            (§5.2.1) expands it (30-minute window over a 5-minute
+            granule) because the motes sample exactly once per granule.
+
+    Example:
+        >>> g = TemporalGranule("5 sec")
+        >>> g.window_seconds
+        5.0
+        >>> TemporalGranule("5 min", smoothing_window="30 min").window_seconds
+        1800.0
+    """
+
+    def __init__(
+        self,
+        size: "Duration | str | float",
+        smoothing_window: "Duration | str | float | None" = None,
+    ):
+        self.size = parse_duration(size)
+        if self.size.seconds <= 0:
+            raise PipelineError("temporal granule must have positive size")
+        if smoothing_window is None:
+            self.window = self.size
+        else:
+            self.window = parse_duration(smoothing_window)
+            if self.window < self.size:
+                raise PipelineError(
+                    "smoothing window cannot be smaller than the granule "
+                    f"({self.window!r} < {self.size!r})"
+                )
+
+    @property
+    def seconds(self) -> float:
+        """Granule width in seconds."""
+        return self.size.seconds
+
+    @property
+    def window_seconds(self) -> float:
+        """Smoothing window width in seconds (>= granule width)."""
+        return self.window.seconds
+
+    @property
+    def is_expanded(self) -> bool:
+        """Whether the smoothing window was expanded past the granule."""
+        return self.window.seconds > self.size.seconds
+
+    def __eq__(self, other):
+        if not isinstance(other, TemporalGranule):
+            return NotImplemented
+        return (self.size, self.window) == (other.size, other.window)
+
+    def __hash__(self):
+        return hash((self.size, self.window))
+
+    def __repr__(self):
+        expanded = (
+            f", window={self.window.seconds:g}s" if self.is_expanded else ""
+        )
+        return f"TemporalGranule({self.size.seconds:g}s{expanded})"
+
+
+class SpatialGranule:
+    """The atomic unit of space an application operates on.
+
+    Args:
+        name: Application-level name (``"shelf0"``, ``"office_521"``).
+        description: Optional human-readable description.
+
+    Spatial granules are identified by name; two granules with the same
+    name compare equal.
+    """
+
+    __slots__ = ("name", "description")
+
+    def __init__(self, name: str, description: str = ""):
+        if not name:
+            raise PipelineError("spatial granule needs a non-empty name")
+        self.name = name
+        self.description = description
+
+    def __eq__(self, other):
+        if not isinstance(other, SpatialGranule):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self):
+        return hash(("SpatialGranule", self.name))
+
+    def __repr__(self):
+        return f"SpatialGranule({self.name!r})"
+
+
+class ProximityGroup:
+    """A set of same-type receptors monitoring one spatial granule (§3.1.2).
+
+    Args:
+        name: Group name (``"shelf0_readers"``).
+        granule: The spatial granule the group monitors.
+        receptor_kind: Device technology in this group (``"rfid"``,
+            ``"mote"``, ``"x10"``) — groups are homogeneous by definition.
+
+    Attributes:
+        members: Receptor ids assigned to this group (managed by
+            :class:`repro.receptors.registry.DeviceRegistry`).
+    """
+
+    __slots__ = ("name", "granule", "receptor_kind", "members")
+
+    def __init__(self, name: str, granule: SpatialGranule, receptor_kind: str):
+        if not name:
+            raise PipelineError("proximity group needs a non-empty name")
+        self.name = name
+        self.granule = granule
+        self.receptor_kind = receptor_kind
+        self.members: list[str] = []
+
+    def __eq__(self, other):
+        if not isinstance(other, ProximityGroup):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.granule == other.granule
+            and self.receptor_kind == other.receptor_kind
+        )
+
+    def __hash__(self):
+        return hash(("ProximityGroup", self.name))
+
+    def __repr__(self):
+        return (
+            f"ProximityGroup({self.name!r}, granule={self.granule.name!r}, "
+            f"kind={self.receptor_kind}, members={len(self.members)})"
+        )

@@ -1,0 +1,58 @@
+"""The ESP Operator toolkit.
+
+The paper's conclusion (§7) anticipates "a suite of ESP Operators,
+implementing different ESP stages or entire pipelines, that can be used
+to configure and deploy cleaning pipelines". This subpackage is that
+suite: each module provides ready-made :class:`~repro.core.stages.Stage`
+builders for one stage kind, implemented over the stream substrate (and
+in several cases equivalent to the paper's printed CQL — the test suite
+checks those equivalences).
+
+- :mod:`repro.core.operators.point_ops` — tuple-level filters and
+  conversions.
+- :mod:`repro.core.operators.smooth_ops` — temporal-granule aggregation.
+- :mod:`repro.core.operators.merge_ops` — spatial-granule aggregation and
+  outlier rejection.
+- :mod:`repro.core.operators.arbitrate_ops` — conflict resolution between
+  spatial granules.
+- :mod:`repro.core.operators.virtualize_ops` — cross-receptor,
+  application-level cleaning.
+"""
+
+from repro.core.operators.adaptive_ops import adaptive_smoother
+from repro.core.operators.arbitrate_ops import max_count_arbitrate
+from repro.core.operators.merge_ops import (
+    k_of_n_vote,
+    mad_outlier_average,
+    sigma_outlier_average,
+    spatial_average,
+)
+from repro.core.operators.point_ops import (
+    convert_field,
+    ghost_filter,
+    range_filter,
+    whitelist,
+)
+from repro.core.operators.smooth_ops import (
+    event_smoother,
+    presence_smoother,
+    sliding_average,
+)
+from repro.core.operators.virtualize_ops import voting_detector
+
+__all__ = [
+    "adaptive_smoother",
+    "convert_field",
+    "event_smoother",
+    "ghost_filter",
+    "k_of_n_vote",
+    "mad_outlier_average",
+    "max_count_arbitrate",
+    "presence_smoother",
+    "range_filter",
+    "sigma_outlier_average",
+    "sliding_average",
+    "spatial_average",
+    "voting_detector",
+    "whitelist",
+]

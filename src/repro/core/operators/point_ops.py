@@ -1,0 +1,116 @@
+"""Point-stage operators: tuple-level corrections, transformations, filters.
+
+The Point stage "operates over a single value in a receptor stream"
+(§3.2) — every operator here is stateless and per-tuple. The paper's
+examples covered: range filtering faulty values (Query 4), whitelisting
+expected RFID tags against a static relation (§6.1), and the checksum
+filtering RFID readers perform out of the box (§4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.stages import Stage, StageContext, StageKind
+from repro.errors import PipelineError
+from repro.streams.operators import FilterOp, MapOp, Operator
+from repro.streams.tuples import StreamTuple
+
+
+def range_filter(
+    field: str,
+    low: float | None = None,
+    high: float | None = None,
+    name: str = "",
+) -> Stage:
+    """Keep tuples whose ``field`` lies inside ``[low, high]`` bounds.
+
+    Either bound may be ``None`` (unbounded on that side); tuples missing
+    the field are dropped. The paper's Query 4 is
+    ``range_filter("temp", high=50)`` (exclusive upper bound there; we use
+    a strict comparison against ``high`` to match it).
+
+    Example:
+        >>> stage = range_filter("temp", high=50)
+        >>> stage.kind.value
+        'point'
+    """
+    if low is None and high is None:
+        raise PipelineError("range_filter needs at least one bound")
+
+    def predicate(item: StreamTuple) -> bool:
+        value = item.get(field)
+        if value is None:
+            return False
+        if low is not None and value <= low:
+            return False
+        if high is not None and value >= high:
+            return False
+        return True
+
+    def factory(_ctx: StageContext) -> Operator:
+        return FilterOp(predicate)
+
+    return Stage(StageKind.POINT, factory, name=name or f"range_filter:{field}")
+
+
+def whitelist(
+    field: str, allowed: Iterable[Any], name: str = ""
+) -> Stage:
+    """Keep tuples whose ``field`` appears in a static allowed set.
+
+    Implements the paper's Point stage "filter ... through a join with a
+    static relation containing expected tag IDs" (§6.1) — a semi-join
+    against an in-memory relation.
+    """
+    allowed_set = frozenset(allowed)
+
+    def factory(_ctx: StageContext) -> Operator:
+        return FilterOp(lambda t: t.get(field) in allowed_set)
+
+    return Stage(StageKind.POINT, factory, name=name or f"whitelist:{field}")
+
+
+def ghost_filter(field: str = "tag_id", prefix: str = "ghost_", name: str = "") -> Stage:
+    """Drop readings whose id carries the simulator's ghost marker.
+
+    Models the checksum-based filtering "the RFID reader already provides
+    ... out of the box" (§4): our RFID simulator marks failed-checksum
+    reads with a ``ghost_`` id prefix, and this stage removes them.
+    """
+
+    def factory(_ctx: StageContext) -> Operator:
+        return FilterOp(
+            lambda t: not str(t.get(field, "")).startswith(prefix)
+        )
+
+    return Stage(StageKind.POINT, factory, name=name or "ghost_filter")
+
+
+def convert_field(
+    field: str,
+    fn: Callable[[Any], Any],
+    output: str | None = None,
+    name: str = "",
+) -> Stage:
+    """Convert one field per tuple (unit conversion, scaling, decoding).
+
+    Args:
+        field: Input field.
+        fn: Conversion callable.
+        output: Output field; defaults to overwriting ``field``.
+
+    Tuples missing the field pass through unchanged (conversion is not a
+    filter).
+    """
+    target = output or field
+
+    def convert(item: StreamTuple) -> StreamTuple:
+        if field not in item:
+            return item
+        return item.derive(values={target: fn(item[field])})
+
+    def factory(_ctx: StageContext) -> Operator:
+        return MapOp(convert)
+
+    return Stage(StageKind.POINT, factory, name=name or f"convert:{field}")

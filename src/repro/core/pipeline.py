@@ -1,0 +1,433 @@
+"""ESP pipeline assembly and execution (paper §3.3).
+
+An :class:`ESPPipeline` declares the stage cascade for one receptor kind
+(Point → Smooth → Merge → Arbitrate by default; an explicit ``sequence``
+overrides the order, which the paper's own Figure 5 ablation needs). An
+:class:`ESPProcessor` owns a :class:`~repro.receptors.registry.DeviceRegistry`,
+wires every registered device's stream through the matching pipeline in a
+Fjord, applies the deployment-wide Virtualize stage, and runs the whole
+dataflow on a simulation clock.
+
+The processor performs the plumbing the paper attributes to ESP itself:
+
+- it "initiates data flow from the appropriate receptors" and applies
+  stages in a Fjord-style manner (§3.3);
+- it annotates every reading with its spatial granule, "corresponding to
+  each proximity group" (§4, footnote 2);
+- it instantiates stream-scoped stages once per receptor, group-scoped
+  stages once per proximity group, kind-scoped stages once per receptor
+  technology, and Virtualize once.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.granules import TemporalGranule
+from repro.core.stages import Stage, StageContext, StageKind
+from repro.errors import PipelineError
+from repro.receptors.base import Receptor
+from repro.receptors.registry import DeviceRegistry
+from repro.streams.fjord import Fjord
+from repro.streams.operators import MapOp, UnionOp
+from repro.streams.tuples import StreamTuple
+
+#: Scope hierarchy, narrowest to widest.
+_SCOPE_RANK = {"stream": 0, "group": 1, "kind": 2, "deployment": 3}
+
+
+class ESPPipeline:
+    """The stage cascade cleaning one receptor kind's streams.
+
+    Args:
+        receptor_kind: Technology this pipeline cleans (``"rfid"``,
+            ``"mote"``, ``"x10"``).
+        temporal_granule: The application's temporal granule, made
+            available to stage factories via :class:`StageContext`.
+        point, smooth, merge, arbitrate: Stage definitions (or ``None`` to
+            skip — "not all stages need be implemented", §3.3). Each may
+            also be a list of stages, applied in order ("multiple
+            operations may be implemented for one stage").
+        sequence: Explicit stage order overriding the canonical cascade.
+            Used by ablations such as the paper's Arbitrate-before-Smooth
+            configuration (Figure 5). Mutually exclusive with the
+            per-stage arguments.
+    """
+
+    def __init__(
+        self,
+        receptor_kind: str,
+        temporal_granule: TemporalGranule | None = None,
+        point: "Stage | Sequence[Stage] | None" = None,
+        smooth: "Stage | Sequence[Stage] | None" = None,
+        merge: "Stage | Sequence[Stage] | None" = None,
+        arbitrate: "Stage | Sequence[Stage] | None" = None,
+        sequence: Sequence[Stage] | None = None,
+    ):
+        self.receptor_kind = receptor_kind
+        self.temporal_granule = temporal_granule
+        if sequence is not None:
+            if any(s is not None for s in (point, smooth, merge, arbitrate)):
+                raise PipelineError(
+                    "pass either per-stage arguments or an explicit "
+                    "sequence, not both"
+                )
+            self.sequence = list(sequence)
+        else:
+            self.sequence = []
+            for stage_arg, kind in (
+                (point, StageKind.POINT),
+                (smooth, StageKind.SMOOTH),
+                (merge, StageKind.MERGE),
+                (arbitrate, StageKind.ARBITRATE),
+            ):
+                for stage in _as_stage_list(stage_arg):
+                    if stage.kind is not kind:
+                        raise PipelineError(
+                            f"{kind.value} argument got a "
+                            f"{stage.kind.value} stage"
+                        )
+                    self.sequence.append(stage)
+        for stage in self.sequence:
+            if stage.kind is StageKind.VIRTUALIZE:
+                raise PipelineError(
+                    "Virtualize is deployment-wide; set it on the "
+                    "ESPProcessor, not a per-kind pipeline"
+                )
+
+    def __repr__(self):
+        stages = " -> ".join(s.name for s in self.sequence) or "<identity>"
+        return f"ESPPipeline({self.receptor_kind}: {stages})"
+
+
+def _as_stage_list(arg: "Stage | Sequence[Stage] | None") -> list[Stage]:
+    if arg is None:
+        return []
+    if isinstance(arg, Stage):
+        return [arg]
+    return list(arg)
+
+
+class ESPRun:
+    """The result of one :meth:`ESPProcessor.run`.
+
+    Attributes:
+        output: The deployment's single cleaned output stream, in
+            emission order.
+        taps: Intermediate streams captured at stage boundaries, keyed
+            ``"{receptor_kind}/{tap}"`` where ``tap`` is ``"raw"`` or a
+            stage kind value. Only the taps requested at run time are
+            present.
+    """
+
+    def __init__(self):
+        self.output: list[StreamTuple] = []
+        self.taps: dict[str, list[StreamTuple]] = {}
+
+    def tap(self, receptor_kind: str, tap_name: str) -> list[StreamTuple]:
+        """A captured intermediate stream (empty if not requested)."""
+        return self.taps.get(f"{receptor_kind}/{tap_name}", [])
+
+    def __repr__(self):
+        return (
+            f"ESPRun(output={len(self.output)} tuples, "
+            f"taps={sorted(self.taps)})"
+        )
+
+
+class ESPProcessor:
+    """Wires receptor streams through ESP pipelines and runs them.
+
+    Args:
+        registry: Deployment metadata (devices, groups, granules).
+
+    Example (single-kind deployment)::
+
+        processor = ESPProcessor(registry)
+        processor.add_pipeline(ESPPipeline("rfid", granule,
+                                           smooth=smooth, arbitrate=arb))
+        run = processor.run(until=700.0, tick=0.2, taps=("raw", "smooth"))
+    """
+
+    def __init__(self, registry: DeviceRegistry):
+        self.registry = registry
+        self._pipelines: dict[str, ESPPipeline] = {}
+        self._virtualize: list[Stage] = []
+        self._kind_stream_names: dict[str, str] = {}
+
+    def add_pipeline(self, pipeline: ESPPipeline) -> "ESPProcessor":
+        """Register the pipeline for one receptor kind (chainable)."""
+        if pipeline.receptor_kind in self._pipelines:
+            raise PipelineError(
+                f"a pipeline for {pipeline.receptor_kind!r} already exists"
+            )
+        self._pipelines[pipeline.receptor_kind] = pipeline
+        return self
+
+    def set_virtualize(
+        self,
+        stage: "Stage | Sequence[Stage]",
+        stream_names: Mapping[str, str] | None = None,
+    ) -> "ESPProcessor":
+        """Set the deployment-wide Virtualize stage(s).
+
+        Args:
+            stage: Stage (or list) of kind ``virtualize``.
+            stream_names: Optional rename of each receptor kind's cleaned
+                output stream before it reaches Virtualize — e.g.
+                ``{"mote": "sensors_input", "rfid": "rfid_input"}`` so the
+                paper's Query 6 finds the stream names it references.
+        """
+        stages = _as_stage_list(stage)
+        for entry in stages:
+            if entry.kind is not StageKind.VIRTUALIZE:
+                raise PipelineError(
+                    f"set_virtualize got a {entry.kind.value} stage"
+                )
+        self._virtualize = stages
+        self._kind_stream_names = dict(stream_names or {})
+        return self
+
+    # -- wiring -----------------------------------------------------------------
+
+    def run(
+        self,
+        until: float,
+        tick: float | None = None,
+        start: float = 0.0,
+        taps: Sequence[str] = (),
+        sources: Mapping[str, Sequence[StreamTuple]] | None = None,
+    ) -> ESPRun:
+        """Execute the deployment from ``start`` through ``until``.
+
+        Args:
+            until: End of simulation time (inclusive).
+            tick: Punctuation period driving window emission; defaults to
+                the smallest device sample period.
+            start: Simulation start time.
+            taps: Intermediate streams to capture: ``"raw"`` and/or stage
+                kind values (``"point"``, ``"smooth"``, ...).
+            sources: Optional pre-recorded readings per receptor id,
+                replayed instead of polling the devices. Comparing
+                pipeline *configurations* (the paper's Figure 5) requires
+                every configuration to see the identical raw data, which
+                live stochastic devices cannot provide.
+
+        Returns:
+            An :class:`ESPRun` with the cleaned output and any taps.
+        """
+        devices = self.registry.devices
+        if not devices:
+            raise PipelineError("no devices registered")
+        if tick is None:
+            tick = min(device.sample_period for device in devices)
+        if tick <= 0:
+            raise PipelineError(f"tick must be positive, got {tick}")
+        fjord = Fjord()
+        result = ESPRun()
+        tap_set = set(taps)
+        kind_outputs: list[str] = []
+        for receptor_kind in sorted(
+            {device.kind.value for device in devices}
+        ):
+            kind_output = self._wire_kind(
+                fjord,
+                receptor_kind,
+                [d for d in devices if d.kind.value == receptor_kind],
+                until,
+                start,
+                tap_set,
+                result,
+                sources,
+            )
+            kind_outputs.append(kind_output)
+        final = self._wire_virtualize(fjord, kind_outputs)
+        sink = fjord.add_sink("__output__", inputs=[final])
+        count = int(round((until - start) / tick))
+        fjord.run(start + i * tick for i in range(count + 1))
+        result.output = sink.results
+        return result
+
+    def _wire_kind(
+        self,
+        fjord: Fjord,
+        receptor_kind: str,
+        devices: list[Receptor],
+        until: float,
+        start: float,
+        taps: set[str],
+        result: ESPRun,
+        sources: Mapping[str, Sequence[StreamTuple]] | None = None,
+    ) -> str:
+        """Wire one receptor kind's devices through its pipeline.
+
+        Returns the name of the node carrying the kind's cleaned stream.
+        """
+        pipeline = self._pipelines.get(
+            receptor_kind, ESPPipeline(receptor_kind)
+        )
+        granule = pipeline.temporal_granule
+        # Sources + spatial-granule annotation; streams keyed by a label
+        # that survives union steps.
+        streams: dict[str, str] = {}
+        for device in devices:
+            source_name = f"src:{device.receptor_id}"
+            if sources is not None and device.receptor_id in sources:
+                feed = list(sources[device.receptor_id])
+            else:
+                feed = device.stream(until, start=start)
+            fjord.add_source(source_name, feed)
+            annotate = self._annotator(device)
+            node = f"annot:{device.receptor_id}"
+            fjord.add_operator(node, MapOp(annotate), inputs=[source_name])
+            streams[device.receptor_id] = node
+        level = "stream"
+        if "raw" in taps:
+            self._tap(fjord, result, receptor_kind, "raw", streams.values())
+        for position, stage in enumerate(pipeline.sequence):
+            streams, level = self._apply_stage(
+                fjord,
+                receptor_kind,
+                pipeline,
+                stage,
+                position,
+                streams,
+                level,
+            )
+            if stage.kind.value in taps:
+                self._tap(
+                    fjord, result, receptor_kind, stage.kind.value,
+                    streams.values(),
+                )
+        # Collapse whatever level we ended at into one kind-level stream.
+        kind_stream = self._kind_stream_names.get(receptor_kind, receptor_kind)
+        union_node = f"kindout:{receptor_kind}"
+        fjord.add_operator(
+            union_node,
+            UnionOp(output_stream=kind_stream),
+            inputs=list(streams.values()),
+        )
+        return union_node
+
+    def _annotator(self, device: Receptor):
+        group = self.registry.group_of(device.receptor_id)
+        granule_name = group.granule.name
+        group_name = group.name
+
+        def annotate(item: StreamTuple) -> StreamTuple:
+            return item.derive(
+                values={
+                    "spatial_granule": granule_name,
+                    "proximity_group": group_name,
+                }
+            )
+
+        return annotate
+
+    def _apply_stage(
+        self,
+        fjord: Fjord,
+        receptor_kind: str,
+        pipeline: ESPPipeline,
+        stage: Stage,
+        position: int,
+        streams: dict[str, str],
+        level: str,
+    ) -> tuple[dict[str, str], str]:
+        """Apply one stage, widening the scope level if it requires it."""
+        target = stage.kind.scope
+        if target == "deployment":
+            raise PipelineError("Virtualize cannot appear in a kind pipeline")
+        if _SCOPE_RANK[target] > _SCOPE_RANK[level]:
+            streams, level = self._widen(
+                fjord, receptor_kind, position, streams, level, target
+            )
+        out: dict[str, str] = {}
+        for label, node in streams.items():
+            context = StageContext(
+                stage.kind,
+                temporal_granule=pipeline.temporal_granule,
+                stream_name=label if level == "stream" else None,
+                group=(
+                    self._group_by_name(label) if level == "group" else None
+                ),
+                receptor_kind=receptor_kind,
+            )
+            op = stage.make(context)
+            node_name = f"{receptor_kind}:{position}:{stage.kind.value}:{label}"
+            fjord.add_operator(node_name, op, inputs=[node])
+            # Re-stamp the stream name so downstream CompiledQuery routing
+            # and Virtualize renames stay predictable.
+            rename = f"{node_name}:rename"
+            fjord.add_operator(
+                rename,
+                MapOp(lambda t, _label=label: t.derive(stream=_label)),
+                inputs=[node_name],
+            )
+            out[label] = rename
+        return out, level
+
+    def _group_by_name(self, name: str):
+        for group in self.registry.groups:
+            if group.name == name:
+                return group
+        return None
+
+    def _widen(
+        self,
+        fjord: Fjord,
+        receptor_kind: str,
+        position: int,
+        streams: dict[str, str],
+        level: str,
+        target: str,
+    ) -> tuple[dict[str, str], str]:
+        """Union current streams up to ``target`` scope partitions."""
+        if target == "group":
+            if level != "stream":
+                return streams, level  # already at or above group scope
+            partitions: dict[str, list[str]] = {}
+            for device_id, node in streams.items():
+                group = self.registry.group_of(device_id)
+                partitions.setdefault(group.name, []).append(node)
+            out: dict[str, str] = {}
+            for group_name, nodes in sorted(partitions.items()):
+                union_node = f"{receptor_kind}:{position}:union:{group_name}"
+                fjord.add_operator(
+                    union_node,
+                    UnionOp(output_stream=group_name),
+                    inputs=nodes,
+                )
+                out[group_name] = union_node
+            return out, "group"
+        # target == "kind": merge everything into one partition.
+        union_node = f"{receptor_kind}:{position}:union:kind"
+        fjord.add_operator(
+            union_node,
+            UnionOp(output_stream=receptor_kind),
+            inputs=list(streams.values()),
+        )
+        return {receptor_kind: union_node}, "kind"
+
+    def _tap(self, fjord, result, receptor_kind, tap_name, nodes) -> None:
+        key = f"{receptor_kind}/{tap_name}"
+        sink = fjord.add_sink(f"tap:{key}", inputs=list(nodes))
+        result.taps[key] = sink.results
+
+    def _wire_virtualize(self, fjord: Fjord, kind_outputs: list[str]) -> str:
+        if not self._virtualize:
+            if len(kind_outputs) == 1:
+                return kind_outputs[0]
+            fjord.add_operator(
+                "__merge_kinds__", UnionOp(), inputs=kind_outputs
+            )
+            return "__merge_kinds__"
+        current = kind_outputs
+        node_name = ""
+        for position, stage in enumerate(self._virtualize):
+            context = StageContext(StageKind.VIRTUALIZE)
+            op = stage.make(context)
+            node_name = f"virtualize:{position}"
+            fjord.add_operator(node_name, op, inputs=current)
+            current = [node_name]
+        return node_name

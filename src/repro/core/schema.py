@@ -1,0 +1,65 @@
+"""Reading-schema conventions shared across the library.
+
+ESP does not enforce rigid schemas — receptor tuples are open field
+mappings — but the stages, simulators and deployments agree on a small
+vocabulary of field names. Centralizing it here keeps pipelines, tests
+and user code from drifting apart, and gives :func:`validate_reading` a
+single definition of "well-formed reading" per receptor kind.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.streams.tuples import StreamTuple
+
+#: Field carrying the application-level spatial unit. The ESP processor
+#: adds it to every reading automatically (paper §4, footnote 2).
+SPATIAL_GRANULE = "spatial_granule"
+#: Field carrying the proximity-group name, also added by the processor.
+PROXIMITY_GROUP = "proximity_group"
+
+#: RFID reading fields.
+TAG_ID = "tag_id"
+READER_ID = "reader_id"
+SHELF = "shelf"
+
+#: Sensor-mote reading fields.
+MOTE_ID = "mote_id"
+TEMPERATURE = "temp"
+SOUND = "noise"
+EPOCH = "epoch"
+
+#: X10 reading fields.
+SENSOR_ID = "sensor_id"
+VALUE = "value"
+X10_ON = "ON"
+
+#: Required fields per receptor kind, as emitted by the simulators.
+REQUIRED_FIELDS = {
+    "rfid": (TAG_ID, READER_ID),
+    "mote": (MOTE_ID,),
+    "x10": (SENSOR_ID, VALUE),
+}
+
+
+def validate_reading(item: StreamTuple, kind: str) -> None:
+    """Check that a reading carries its kind's required fields.
+
+    Raises:
+        SchemaError: If ``kind`` is unknown or a required field is
+            missing. Used by tests and by user code integrating real
+            device drivers in place of the simulators.
+    """
+    if kind not in REQUIRED_FIELDS:
+        raise SchemaError(
+            f"unknown receptor kind {kind!r}; expected one of "
+            f"{sorted(REQUIRED_FIELDS)}"
+        )
+    missing = [
+        field for field in REQUIRED_FIELDS[kind] if field not in item
+    ]
+    if missing:
+        raise SchemaError(
+            f"{kind} reading is missing required fields {missing}; "
+            f"present: {sorted(item.keys())}"
+        )

@@ -1,0 +1,456 @@
+"""Abstract syntax tree for the CQL subset.
+
+Nodes are plain data holders; behaviour (evaluation, planning) lives in
+:mod:`repro.cql.planner`. Every node implements structural equality and a
+``repr`` that round-trips enough detail to debug planner issues.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.streams.windows import WindowSpec
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct child expressions (for tree walks)."""
+        return ()
+
+    def walk(self):
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Literal(Expr):
+    """A number or string constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("Literal", self.value))
+
+    def __repr__(self):
+        return f"Literal({self.value!r})"
+
+
+class ColumnRef(Expr):
+    """A possibly-qualified column reference, e.g. ``ai1.tag_id``."""
+
+    __slots__ = ("qualifier", "name")
+
+    def __init__(self, name: str, qualifier: str | None = None):
+        self.name = name
+        self.qualifier = qualifier
+
+    @property
+    def qualified(self) -> str:
+        """The dotted display form."""
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ColumnRef)
+            and self.name == other.name
+            and self.qualifier == other.qualifier
+        )
+
+    def __hash__(self):
+        return hash(("ColumnRef", self.qualifier, self.name))
+
+    def __repr__(self):
+        return f"ColumnRef({self.qualified})"
+
+
+class Star(Expr):
+    """The ``*`` select item (or ``count(*)`` argument)."""
+
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, Star)
+
+    def __hash__(self):
+        return hash("Star")
+
+    def __repr__(self):
+        return "Star()"
+
+
+class BinaryOp(Expr):
+    """A binary operation: arithmetic, comparison, AND/OR."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, BinaryOp)
+            and (self.op, self.left, self.right)
+            == (other.op, other.left, other.right)
+        )
+
+    def __hash__(self):
+        return hash(("BinaryOp", self.op, self.left, self.right))
+
+    def __repr__(self):
+        return f"BinaryOp({self.left!r} {self.op} {self.right!r})"
+
+
+class UnaryOp(Expr):
+    """A unary operation: ``NOT expr`` or ``-expr``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        self.op = op
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, UnaryOp)
+            and (self.op, self.operand) == (other.op, other.operand)
+        )
+
+    def __hash__(self):
+        return hash(("UnaryOp", self.op, self.operand))
+
+    def __repr__(self):
+        return f"UnaryOp({self.op} {self.operand!r})"
+
+
+class FuncCall(Expr):
+    """A function call — scalar UDF or aggregate, e.g. ``count(distinct x)``."""
+
+    __slots__ = ("name", "args", "distinct")
+
+    def __init__(self, name: str, args: Sequence[Expr], distinct: bool = False):
+        self.name = name.lower()
+        self.args = tuple(args)
+        self.distinct = distinct
+
+    def children(self):
+        return self.args
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, FuncCall)
+            and (self.name, self.args, self.distinct)
+            == (other.name, other.args, other.distinct)
+        )
+
+    def __hash__(self):
+        return hash(("FuncCall", self.name, self.args, self.distinct))
+
+    def __repr__(self):
+        distinct = "distinct " if self.distinct else ""
+        args = ", ".join(repr(a) for a in self.args)
+        return f"FuncCall({self.name}({distinct}{args}))"
+
+
+class CaseExpr(Expr):
+    """A searched CASE expression: ``CASE WHEN c THEN v ... ELSE d END``."""
+
+    __slots__ = ("whens", "default")
+
+    def __init__(
+        self,
+        whens: Sequence[tuple[Expr, Expr]],
+        default: "Expr | None" = None,
+    ):
+        self.whens = tuple((cond, result) for cond, result in whens)
+        self.default = default
+
+    def children(self):
+        parts: list[Expr] = []
+        for cond, result in self.whens:
+            parts.extend((cond, result))
+        if self.default is not None:
+            parts.append(self.default)
+        return tuple(parts)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CaseExpr)
+            and self.whens == other.whens
+            and self.default == other.default
+        )
+
+    def __hash__(self):
+        return hash(("CaseExpr", self.whens, self.default))
+
+    def __repr__(self):
+        branches = " ".join(
+            f"WHEN {cond!r} THEN {result!r}" for cond, result in self.whens
+        )
+        default = f" ELSE {self.default!r}" if self.default else ""
+        return f"CaseExpr({branches}{default})"
+
+
+class QuantifiedComparison(Expr):
+    """``expr op ALL (subquery)`` / ``expr op ANY (subquery)`` (Query 3)."""
+
+    __slots__ = ("op", "left", "quantifier", "subquery")
+
+    def __init__(self, op: str, left: Expr, quantifier: str, subquery: "Select"):
+        self.op = op
+        self.left = left
+        self.quantifier = quantifier.upper()
+        self.subquery = subquery
+
+    def children(self):
+        return (self.left,)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, QuantifiedComparison)
+            and (self.op, self.left, self.quantifier, self.subquery)
+            == (other.op, other.left, other.quantifier, other.subquery)
+        )
+
+    def __hash__(self):
+        return hash(
+            ("Quantified", self.op, self.left, self.quantifier, id(self.subquery))
+        )
+
+    def __repr__(self):
+        return (
+            f"QuantifiedComparison({self.left!r} {self.op} "
+            f"{self.quantifier}({self.subquery!r}))"
+        )
+
+
+class SelectItem:
+    """One entry in a SELECT list: an expression with an optional alias."""
+
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr: Expr, alias: str | None = None):
+        self.expr = expr
+        self.alias = alias
+
+    def output_name(self, position: int) -> str:
+        """The field name this item produces in result tuples.
+
+        Explicit aliases win; bare column refs keep their name; aggregate
+        calls use a canonical spelling (e.g. ``count(distinct tag_id)`` →
+        ``count_distinct_tag_id``); anything else gets ``col<position>``.
+        """
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        if isinstance(self.expr, FuncCall):
+            parts = [self.expr.name]
+            if self.expr.distinct:
+                parts.append("distinct")
+            for arg in self.expr.args:
+                if isinstance(arg, ColumnRef):
+                    parts.append(arg.name)
+                elif isinstance(arg, Star):
+                    parts.append("star")
+            return "_".join(parts)
+        return f"col{position}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SelectItem)
+            and (self.expr, self.alias) == (other.expr, other.alias)
+        )
+
+    def __hash__(self):
+        return hash(("SelectItem", self.expr, self.alias))
+
+    def __repr__(self):
+        alias = f" AS {self.alias}" if self.alias else ""
+        return f"SelectItem({self.expr!r}{alias})"
+
+
+class StreamRef:
+    """A FROM-clause stream reference with optional alias and window."""
+
+    __slots__ = ("name", "alias", "window")
+
+    def __init__(
+        self,
+        name: str,
+        alias: str | None = None,
+        window: WindowSpec | None = None,
+    ):
+        self.name = name
+        self.alias = alias
+        self.window = window
+
+    @property
+    def binding(self) -> str:
+        """The name this source is referenced by in expressions."""
+        return self.alias or self.name
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, StreamRef)
+            and (self.name, self.alias, self.window)
+            == (other.name, other.alias, other.window)
+        )
+
+    def __hash__(self):
+        return hash(("StreamRef", self.name, self.alias, self.window))
+
+    def __repr__(self):
+        alias = f" AS {self.alias}" if self.alias else ""
+        window = f" {self.window!r}" if self.window else ""
+        return f"StreamRef({self.name}{alias}{window})"
+
+
+class SubquerySource:
+    """A FROM-clause derived table: ``(SELECT ...) AS alias``."""
+
+    __slots__ = ("select", "alias")
+
+    def __init__(self, select: "Select", alias: str | None):
+        self.select = select
+        self.alias = alias
+
+    @property
+    def binding(self) -> str | None:
+        return self.alias
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SubquerySource)
+            and (self.select, self.alias) == (other.select, other.alias)
+        )
+
+    def __hash__(self):
+        return hash(("SubquerySource", id(self.select), self.alias))
+
+    def __repr__(self):
+        return f"SubquerySource(({self.select!r}) AS {self.alias})"
+
+
+class Select:
+    """A (possibly windowed, possibly unioned) SELECT statement.
+
+    Attributes:
+        items: The SELECT list; an empty list with ``star=True`` means
+            ``SELECT *``.
+        star: Whether the select list is ``*``.
+        sources: FROM-clause entries (:class:`StreamRef` /
+            :class:`SubquerySource`).
+        where: Optional WHERE expression.
+        group_by: Tuple of grouping :class:`ColumnRef` nodes.
+        having: Optional HAVING expression (may contain aggregates and
+            :class:`QuantifiedComparison`).
+        union_with: Next SELECT in a UNION chain, or ``None``.
+        union_all: Whether the union keeps duplicates. Stream union is
+            always bag semantics here; the flag records the source text.
+        stream_op: CQL relation-to-stream operator applied to the result:
+            ``"ISTREAM"`` (rows inserted since the previous instant),
+            ``"DSTREAM"`` (rows deleted since the previous instant),
+            ``"RSTREAM"`` (the full relation each instant — the default
+            behaviour), or ``None``.
+    """
+
+    __slots__ = (
+        "items",
+        "star",
+        "sources",
+        "where",
+        "group_by",
+        "having",
+        "union_with",
+        "union_all",
+        "stream_op",
+    )
+
+    def __init__(
+        self,
+        items: Sequence[SelectItem],
+        sources: Sequence["StreamRef | SubquerySource"],
+        star: bool = False,
+        where: Expr | None = None,
+        group_by: Sequence[ColumnRef] = (),
+        having: Expr | None = None,
+        union_with: "Select | None" = None,
+        union_all: bool = False,
+        stream_op: str | None = None,
+    ):
+        self.items = list(items)
+        self.star = star
+        self.sources = list(sources)
+        self.where = where
+        self.group_by = tuple(group_by)
+        self.having = having
+        self.union_with = union_with
+        self.union_all = union_all
+        self.stream_op = stream_op
+
+    def __eq__(self, other):
+        if not isinstance(other, Select):
+            return NotImplemented
+        return (
+            self.items == other.items
+            and self.star == other.star
+            and self.sources == other.sources
+            and self.where == other.where
+            and self.group_by == other.group_by
+            and self.having == other.having
+            and self.union_with == other.union_with
+        )
+
+    def __repr__(self):
+        bits = [f"items={self.items!r}", f"sources={self.sources!r}"]
+        if self.star:
+            bits.append("star=True")
+        if self.where is not None:
+            bits.append(f"where={self.where!r}")
+        if self.group_by:
+            bits.append(f"group_by={self.group_by!r}")
+        if self.having is not None:
+            bits.append(f"having={self.having!r}")
+        if self.union_with is not None:
+            bits.append("union=...")
+        return f"Select({', '.join(bits)})"
+
+
+def find_aggregates(expr: Expr | None, aggregate_names: frozenset[str]) -> list[FuncCall]:
+    """Return every aggregate call in ``expr``, in walk order.
+
+    Nested aggregate calls are not supported (they are not valid SQL); the
+    walk therefore does not descend into an aggregate's arguments.
+    """
+    if expr is None:
+        return []
+    found: list[FuncCall] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, FuncCall) and node.name in aggregate_names:
+            found.append(node)
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return found

@@ -1,0 +1,90 @@
+"""Scalar function registry for CQL expressions (UDFs, paper §3.3).
+
+Scalar functions are ordinary Python callables over already-evaluated
+argument values. SQL NULL (Python ``None``) propagates through every
+builtin except ``coalesce`` and ``ifnull``, mirroring SQL semantics.
+
+User-defined functions are registered with :func:`register_function`;
+aggregates live in :mod:`repro.streams.aggregates` instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import PlanError
+
+
+def _null_safe(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap ``fn`` so that any ``None`` argument yields ``None``."""
+
+    def wrapper(*args: Any) -> Any:
+        if any(a is None for a in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+def _coalesce(*args: Any) -> Any:
+    """First non-None argument, else None."""
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _sign(x: float) -> int:
+    return (x > 0) - (x < 0)
+
+
+_REGISTRY: dict[str, Callable[..., Any]] = {
+    "abs": _null_safe(abs),
+    "sqrt": _null_safe(math.sqrt),
+    "floor": _null_safe(math.floor),
+    "ceil": _null_safe(math.ceil),
+    "round": _null_safe(round),
+    "ln": _null_safe(math.log),
+    "exp": _null_safe(math.exp),
+    "power": _null_safe(pow),
+    "mod": _null_safe(lambda a, b: a % b),
+    "sign": _null_safe(_sign),
+    "least": _null_safe(min),
+    "greatest": _null_safe(max),
+    "coalesce": _coalesce,
+    "ifnull": lambda value, default: default if value is None else value,
+    "nullif": _null_safe(lambda a, b: None if a == b else a),
+    "lower": _null_safe(lambda s: str(s).lower()),
+    "upper": _null_safe(lambda s: str(s).upper()),
+    "length": _null_safe(lambda s: len(str(s))),
+    "concat": lambda *parts: "".join(str(p) for p in parts if p is not None),
+}
+
+
+def register_function(name: str, fn: Callable[..., Any]) -> None:
+    """Register a scalar UDF under ``name`` (case-insensitive).
+
+    The function receives evaluated argument values and must return a
+    value; it is responsible for its own NULL handling.
+    """
+    _REGISTRY[name.lower()] = fn
+
+
+def get_function(name: str) -> Callable[..., Any]:
+    """Look up a scalar function by name.
+
+    Raises:
+        PlanError: If no function is registered under ``name``.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise PlanError(
+            f"unknown scalar function {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def is_function(name: str) -> bool:
+    """True if a scalar function is registered under ``name``."""
+    return name.lower() in _REGISTRY

@@ -1,0 +1,132 @@
+"""Tokenizer for the CQL subset.
+
+Splits query text into a flat token list consumed by the recursive-descent
+parser. Tokens carry their source position so syntax errors can point at
+the offending character.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import CQLSyntaxError
+
+#: Keywords recognized case-insensitively. Everything else alphabetic is an
+#: identifier. ``RANGE``/``BY``/``ROWS`` are contextual (only meaningful in
+#: window brackets) but tokenized as keywords for simplicity.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "ALL",
+        "ANY",
+        "SOME",
+        "DISTINCT",
+        "UNION",
+        "RANGE",
+        "ROWS",
+        "BETWEEN",
+        "IN",
+        "IS",
+        "NULL",
+        "LIKE",
+        "ISTREAM",
+        "DSTREAM",
+        "RSTREAM",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d+|\d+|\.\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|%|\(|\)|\[|\]|,|\.|;)
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: One of ``"keyword"``, ``"name"``, ``"number"``, ``"string"``,
+            ``"op"``, ``"end"``.
+        value: The token text. Keywords are upper-cased; string literals
+            are unquoted and unescaped; numbers stay textual (the parser
+            converts them).
+        position: Character offset of the token in the query text.
+    """
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def is_keyword(self, *names: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.kind == "keyword" and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        """True if this token is one of the given operator spellings."""
+        return self.kind == "op" and self.value in ops
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, @{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize CQL text.
+
+    Returns the token list with a trailing ``end`` sentinel.
+
+    Raises:
+        CQLSyntaxError: On any character that starts no valid token.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise CQLSyntaxError(
+                f"unexpected character {text[position]!r}", position=position
+            )
+        if match.lastgroup == "ws" or match.lastgroup == "comment":
+            position = match.end()
+            continue
+        value = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token("number", value, position))
+        elif match.lastgroup == "string":
+            unquoted = value[1:-1].replace("\\'", "'").replace("\\\\", "\\")
+            tokens.append(Token("string", unquoted, position))
+        elif match.lastgroup == "name":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, position))
+            else:
+                tokens.append(Token("name", value, position))
+        else:
+            tokens.append(Token("op", value, position))
+        position = match.end()
+    tokens.append(Token("end", "", length))
+    return tokens

@@ -1,0 +1,419 @@
+"""Recursive-descent parser for the CQL subset.
+
+Produces the AST defined in :mod:`repro.cql.ast`. The grammar covers every
+query printed in the paper (Queries 1–6) plus the natural generalizations
+(UNION chains, row windows, NOT/parenthesized boolean logic).
+
+Deliberate leniencies, documented because the paper's query listings
+contain typos we want to accept verbatim:
+
+- trailing commas in FROM-clause source lists (paper Query 6);
+- a missing comma between a windowed stream reference and a following
+  parenthesized subquery source (paper Query 5);
+- qualifiers that match no FROM binding fall back to unqualified column
+  resolution at plan time (paper Query 6 writes ``sensors.noise`` for a
+  stream bound as ``sensors_input``).
+"""
+
+from __future__ import annotations
+
+from repro.cql import ast
+from repro.cql.lexer import Token, tokenize
+from repro.errors import CQLSyntaxError
+from repro.streams.windows import WindowSpec
+
+#: Comparison operator spellings normalized to canonical forms.
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    """Token-cursor parser; one instance per parse call."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- cursor helpers --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            self.fail(f"expected {' or '.join(names)}")
+        return self.advance()
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            self.fail(f"expected {op!r}")
+        return self.advance()
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def fail(self, message: str) -> None:
+        token = self.current
+        context = self.text[max(0, token.position - 20) : token.position + 20]
+        raise CQLSyntaxError(
+            f"{message} at position {token.position} "
+            f"(near {context!r}, got {token.kind} {token.value!r})",
+            position=token.position,
+        )
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_query(self) -> ast.Select:
+        select = self.parse_select()
+        head = select
+        tail = select
+        while self.current.is_keyword("UNION"):
+            self.advance()
+            union_all = self.accept_keyword("ALL")
+            nxt = self.parse_select()
+            tail.union_with = nxt
+            tail.union_all = union_all
+            tail = nxt
+        self.accept_op(";")
+        if self.current.kind != "end":
+            self.fail("unexpected trailing input")
+        return head
+
+    def parse_select(self) -> ast.Select:
+        # Prefix relation-to-stream form: ISTREAM (SELECT ...).
+        if self.current.is_keyword("ISTREAM", "DSTREAM", "RSTREAM"):
+            stream_op = self.advance().value
+            self.expect_op("(")
+            select = self.parse_select()
+            self.expect_op(")")
+            select.stream_op = stream_op
+            return select
+        self.expect_keyword("SELECT")
+        stream_op = None
+        if self.current.is_keyword("ISTREAM", "DSTREAM", "RSTREAM"):
+            stream_op = self.advance().value
+        star = False
+        items: list[ast.SelectItem] = []
+        if self.current.is_op("*"):
+            self.advance()
+            star = True
+        else:
+            items.append(self.parse_select_item())
+            while self.accept_op(","):
+                items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        sources = self.parse_sources()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by: list[ast.ColumnRef] = []
+        if self.current.is_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by.append(self.parse_column_ref())
+            while self.accept_op(","):
+                group_by.append(self.parse_column_ref())
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expr()
+        return ast.Select(
+            items,
+            sources,
+            star=star,
+            where=where,
+            group_by=group_by,
+            having=having,
+            stream_op=stream_op,
+        )
+
+    def parse_select_item(self) -> ast.SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.parse_identifier("alias")
+        elif self.current.kind == "name":
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    def parse_identifier(self, what: str) -> str:
+        if self.current.kind == "name":
+            return self.advance().value
+        # Allow non-reserved-feeling keywords as identifiers after AS
+        # (the paper aliases a column as "avg" via "as avg" — but avg is a
+        # plain name for us; keywords like ALL are not valid identifiers).
+        self.fail(f"expected {what}")
+        raise AssertionError("unreachable")
+
+    def parse_sources(self) -> list["ast.StreamRef | ast.SubquerySource"]:
+        sources = [self.parse_source()]
+        while True:
+            if self.accept_op(","):
+                # Tolerate a trailing comma (paper Query 6) — if the next
+                # token starts a clause keyword or the end, stop.
+                if self.current.is_keyword("WHERE", "GROUP", "HAVING", "UNION") or (
+                    self.current.kind == "end"
+                ):
+                    break
+                sources.append(self.parse_source())
+                continue
+            # Tolerate a missing comma before a parenthesized subquery
+            # source (paper Query 5).
+            if self.current.is_op("("):
+                sources.append(self.parse_source())
+                continue
+            break
+        return sources
+
+    def parse_source(self) -> "ast.StreamRef | ast.SubquerySource":
+        if self.current.is_op("("):
+            self.advance()
+            select = self.parse_select()
+            self.expect_op(")")
+            alias = None
+            if self.accept_keyword("AS"):
+                alias = self.parse_identifier("subquery alias")
+            elif self.current.kind == "name":
+                alias = self.advance().value
+            return ast.SubquerySource(select, alias)
+        if self.current.kind != "name":
+            self.fail("expected stream name or subquery")
+        name = self.advance().value
+        alias = None
+        if self.current.kind == "name":
+            alias = self.advance().value
+        window = self.parse_window()
+        return ast.StreamRef(name, alias=alias, window=window)
+
+    def parse_window(self) -> WindowSpec | None:
+        if not self.current.is_op("["):
+            return None
+        self.advance()
+        if self.accept_keyword("RANGE"):
+            self.expect_keyword("BY")
+            if self.current.kind == "string":
+                size = self.advance().value
+            elif self.current.kind == "number":
+                size = self.advance().value
+            else:
+                self.fail("expected window size")
+                raise AssertionError("unreachable")
+            self.expect_op("]")
+            return WindowSpec.range_by(size)
+        if self.accept_keyword("ROWS"):
+            if self.current.kind != "number":
+                self.fail("expected row count")
+            count = int(self.advance().value)
+            self.expect_op("]")
+            return WindowSpec.rows(count)
+        self.fail("expected Range By or Rows in window")
+        raise AssertionError("unreachable")
+
+    def parse_column_ref(self) -> ast.ColumnRef:
+        if self.current.kind != "name":
+            self.fail("expected column name")
+        first = self.advance().value
+        if self.accept_op("."):
+            if self.current.kind != "name":
+                self.fail("expected column name after '.'")
+            second = self.advance().value
+            return ast.ColumnRef(second, qualifier=first)
+        return ast.ColumnRef(first)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.current.is_keyword("OR"):
+            self.advance()
+            left = ast.BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.current.is_keyword("AND"):
+            self.advance()
+            left = ast.BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        # Postfix NOT, as in "a NOT IN (...)" / "a NOT BETWEEN x AND y" /
+        # "a NOT LIKE 'p'". (A *prefix* NOT is handled by parse_not.)
+        negate = False
+        if self.current.is_keyword("NOT") and self.tokens[
+            self.index + 1
+        ].is_keyword("BETWEEN", "IN", "LIKE"):
+            self.advance()
+            negate = True
+        if self.current.is_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            test = ast.BinaryOp(
+                "AND",
+                ast.BinaryOp(">=", left, low),
+                ast.BinaryOp("<=", left, high),
+            )
+            return ast.UnaryOp("NOT", test) if negate else test
+        if self.current.is_keyword("IN"):
+            self.advance()
+            self.expect_op("(")
+            if self.current.is_keyword("SELECT"):
+                self.fail("IN (subquery) is not in the supported subset")
+            choices = [self.parse_additive()]
+            while self.accept_op(","):
+                choices.append(self.parse_additive())
+            self.expect_op(")")
+            test: ast.Expr = ast.BinaryOp("=", left, choices[0])
+            for choice in choices[1:]:
+                test = ast.BinaryOp(
+                    "OR", test, ast.BinaryOp("=", left, choice)
+                )
+            return ast.UnaryOp("NOT", test) if negate else test
+        if self.current.is_keyword("LIKE"):
+            self.advance()
+            if self.current.kind != "string":
+                self.fail("LIKE expects a string pattern")
+            pattern = self.advance().value
+            test = ast.BinaryOp("LIKE", left, ast.Literal(pattern))
+            return ast.UnaryOp("NOT", test) if negate else test
+        if self.current.kind == "op" and self.current.value in _COMPARISONS:
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            if self.current.is_keyword("ALL", "ANY", "SOME"):
+                quantifier = self.advance().value
+                if quantifier == "SOME":
+                    quantifier = "ANY"
+                self.expect_op("(")
+                subquery = self.parse_select()
+                self.expect_op(")")
+                return ast.QuantifiedComparison(op, left, quantifier, subquery)
+            right = self.parse_additive()
+            return ast.BinaryOp(op, left, right)
+        if self.accept_keyword("IS"):
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            test = ast.BinaryOp("IS NULL", left, ast.Literal(None))
+            return ast.UnaryOp("NOT", test) if negated else test
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.current.is_op("+", "-"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.current.is_op("*", "/", "%"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.current.is_op("-"):
+            self.advance()
+            return ast.UnaryOp("-", self.parse_unary())
+        if self.current.is_op("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_case(self) -> ast.Expr:
+        """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.parse_expr()))
+        if not whens:
+            self.fail("CASE needs at least one WHEN branch")
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expr()
+        self.expect_keyword("END")
+        return ast.CaseExpr(whens, default)
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.is_keyword("CASE"):
+            self.advance()
+            return self.parse_case()
+        if token.kind == "number":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if token.kind == "name":
+            name = self.advance().value
+            if self.current.is_op("("):
+                return self.parse_func_call(name)
+            if self.accept_op("."):
+                if self.current.kind != "name":
+                    self.fail("expected column name after '.'")
+                column = self.advance().value
+                return ast.ColumnRef(column, qualifier=name)
+            return ast.ColumnRef(name)
+        self.fail("expected expression")
+        raise AssertionError("unreachable")
+
+    def parse_func_call(self, name: str) -> ast.FuncCall:
+        self.expect_op("(")
+        distinct = self.accept_keyword("DISTINCT")
+        args: list[ast.Expr] = []
+        if self.current.is_op("*"):
+            self.advance()
+            args.append(ast.Star())
+        elif not self.current.is_op(")"):
+            args.append(self.parse_expr())
+            while self.accept_op(","):
+                args.append(self.parse_expr())
+        self.expect_op(")")
+        return ast.FuncCall(name, args, distinct=distinct)
+
+
+def parse(text: str) -> ast.Select:
+    """Parse CQL text into a :class:`repro.cql.ast.Select` AST.
+
+    Raises:
+        CQLSyntaxError: On lexical or grammatical errors, with the source
+            position of the problem.
+    """
+    return _Parser(text).parse_query()

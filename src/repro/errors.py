@@ -1,0 +1,53 @@
+"""Exception hierarchy shared across the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A tuple or stream did not match the schema an operator expected."""
+
+
+class WindowError(ReproError):
+    """Invalid window specification or window-state misuse."""
+
+
+class AggregateError(ReproError):
+    """Invalid aggregate usage (unknown name, empty-state result, ...)."""
+
+
+class OperatorError(ReproError):
+    """A stream operator was configured or driven incorrectly."""
+
+
+class PlanError(ReproError):
+    """A query plan could not be constructed or executed."""
+
+
+class CQLSyntaxError(ReproError):
+    """The CQL text could not be tokenized or parsed.
+
+    Attributes:
+        position: Character offset into the query text where the problem
+            was detected, or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class ReceptorError(ReproError):
+    """A receptor simulator was configured or driven incorrectly."""
+
+
+class PipelineError(ReproError):
+    """An ESP pipeline was assembled or executed incorrectly."""

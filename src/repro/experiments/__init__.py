@@ -1,0 +1,18 @@
+"""Experiment drivers regenerating every table and figure in the paper.
+
+Each function returns plain data (dicts of numpy arrays / floats) that
+the benchmark harness prints and EXPERIMENTS.md records:
+
+- :mod:`repro.experiments.rfid` — Figures 3, 5, 6 (§4).
+- :mod:`repro.experiments.intel_lab` — Figure 7 (§5.1).
+- :mod:`repro.experiments.redwood` — the §5.2 epoch-yield numbers.
+- :mod:`repro.experiments.office` — Figure 9 and the 92 % accuracy (§6).
+- :mod:`repro.experiments.runner` — one-shot runner over all of them.
+"""
+
+from repro.experiments.intel_lab import figure7
+from repro.experiments.office import figure9
+from repro.experiments.redwood import section52
+from repro.experiments.rfid import figure3, figure5, figure6
+
+__all__ = ["figure3", "figure5", "figure6", "figure7", "figure9", "section52"]

@@ -1,0 +1,134 @@
+"""Model-driven cleaning experiment (paper §6.3.1 / BBQ, future work).
+
+The Merge ±1σ rule that cleans the Intel-lab fail-dirty mote (Figure 7)
+needs spatial redundancy: at least two healthy motes in the proximity
+group. A **single isolated mote** that fails dirty is beyond it — and
+beyond Smooth too ("it cannot correct for extended errors within one
+sensor", §5.1). The paper points at the fix: a BBQ-like model exploiting
+*cross-sensor* correlations, e.g. battery voltage vs. temperature.
+
+This experiment deploys exactly that: one lone
+:class:`~repro.receptors.motes.MultiSensorMote` whose temperature
+transducer fails dirty while its voltage sensor keeps tracking the real
+(temperature-correlated) battery behaviour. The
+:class:`~repro.core.operators.virtualize_ops.CorrelationModelCleaner`
+learns the voltage→temperature model online and rejects the drifting
+readings with no neighbours at all.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.operators.virtualize_ops import CorrelationModelCleaner
+from repro.receptors.motes import FailDirtyModel, MultiSensorMote
+
+DAY = 86400.0
+
+
+def _room_temperature(now: float) -> float:
+    return 22.0 + 3.0 * math.sin(2.0 * math.pi * (now / DAY - 0.25))
+
+
+def _battery_voltage(now: float) -> float:
+    # Mica-class boards: voltage readings co-vary with board temperature
+    # (the BBQ correlation); plus a slow discharge over the trace.
+    return 2.80 + 0.012 * (_room_temperature(now) - 22.0) - 1e-7 * now
+
+
+def build_lone_mote(
+    duration: float = 2 * DAY,
+    sample_period: float = 60.0,
+    failure_onset: float = 0.5 * DAY,
+    drift_rate: float = 0.0009,
+    seed: int = 20060712,
+) -> MultiSensorMote:
+    """The isolated two-sensor mote with a fail-dirty thermistor."""
+    return MultiSensorMote(
+        "lone_mote",
+        fields={"temp": _room_temperature, "voltage": _battery_voltage},
+        noise_std={"temp": 0.35, "voltage": 0.004},
+        sample_period=sample_period,
+        fail_dirty=FailDirtyModel(
+            onset=failure_onset, drift_rate=drift_rate, noise_std=0.35
+        ),
+        fail_quantity="temp",
+        rng=np.random.default_rng(seed),
+    )
+
+
+def model_based_comparison(
+    duration: float = 2 * DAY,
+    sample_period: float = 60.0,
+    failure_onset: float = 0.5 * DAY,
+    seed: int = 20060712,
+) -> dict:
+    """Raw vs. model-cleaned output of the lone fail-dirty mote.
+
+    Returns:
+        Dict with the raw and cleaned (time, temp) series, per-series
+        tracking errors against the true room temperature after failure,
+        the rejection count, and when the model first rejects.
+    """
+    mote = build_lone_mote(
+        duration=duration,
+        sample_period=sample_period,
+        failure_onset=failure_onset,
+        seed=seed,
+    )
+    cleaner = CorrelationModelCleaner(
+        predictor="voltage", target="temp", k=4.0, alpha=0.02, warmup=60
+    )
+    raw_times, raw_temps = [], []
+    clean_times, clean_temps = [], []
+    first_post_onset_rejection = None
+    pre_onset_rejections = 0
+    pre_onset_readings = 0
+    steps = int(round(duration / sample_period))
+    for index in range(steps + 1):
+        now = index * sample_period
+        for reading in mote.poll(now):
+            raw_times.append(now)
+            raw_temps.append(reading["temp"])
+            if now < failure_onset:
+                pre_onset_readings += 1
+            kept = cleaner.on_tuple(reading)
+            if kept:
+                clean_times.append(now)
+                clean_temps.append(kept[0]["temp"])
+            elif now < failure_onset:
+                pre_onset_rejections += 1
+            elif first_post_onset_rejection is None:
+                first_post_onset_rejection = now
+    raw_times = np.array(raw_times)
+    raw_temps = np.array(raw_temps)
+    clean_times = np.array(clean_times)
+    clean_temps = np.array(clean_temps)
+
+    def tracking_error(times, temps):
+        mask = times >= failure_onset
+        if not np.any(mask):
+            return 0.0
+        truth = np.array([_room_temperature(t) for t in times[mask]])
+        return float(np.mean(np.abs(temps[mask] - truth)))
+
+    return {
+        "raw": (raw_times, raw_temps),
+        "cleaned": (clean_times, clean_temps),
+        "raw_error_after_failure": tracking_error(raw_times, raw_temps),
+        "cleaned_error_after_failure": tracking_error(
+            clean_times, clean_temps
+        ),
+        "rejected": int(len(raw_times) - len(clean_times)),
+        "first_post_onset_rejection": first_post_onset_rejection,
+        "pre_onset_false_rejection_rate": (
+            pre_onset_rejections / max(1, pre_onset_readings)
+        ),
+        "failure_onset": failure_onset,
+        "cleaned_coverage_after_failure": float(
+            np.sum(clean_times >= failure_onset)
+            / max(1, np.sum(raw_times >= failure_onset))
+        ),
+    }

@@ -1,0 +1,129 @@
+"""One-shot runner over every reproduced table and figure.
+
+Used by ``examples/`` and by EXPERIMENTS.md regeneration. Each entry in
+:data:`PAPER_VALUES` records what the paper reports so that the printed
+report shows paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable
+
+from repro.experiments.intel_lab import figure7
+from repro.experiments.office import figure9
+from repro.experiments.redwood import section52
+from repro.experiments.rfid import figure3, figure5, figure6
+
+#: What the paper reports, for side-by-side comparison.
+PAPER_VALUES = {
+    "fig3_raw_error": 0.41,
+    "fig3_raw_alert_rate_per_sec": 2.3,
+    "fig3_smooth_error": 0.24,
+    "fig3_arbitrate_error": 0.04,
+    "fig5_order": (
+        "smooth+arbitrate",
+        "arbitrate+smooth",
+        "smooth",
+        "arbitrate",
+        "raw",
+    ),
+    "fig6_best_granule_sec": 5.0,
+    "sec52_raw_yield": 0.40,
+    "sec52_smooth_yield": 0.77,
+    "sec52_smooth_within_1c": 0.99,
+    "sec52_merge_yield": 0.92,
+    "sec52_merge_within_1c": 0.94,
+    "fig9_accuracy": 0.92,
+}
+
+
+def run_all(fast: bool = False) -> dict:
+    """Run every experiment; returns a dict of all results.
+
+    Args:
+        fast: Shrink the shelf scenario (shorter run, fewer granule
+            sizes) for quick smoke runs; full scale matches the paper.
+    """
+    from repro.scenarios import ShelfScenario
+
+    shelf = ShelfScenario(duration=200.0 if fast else 700.0)
+    sizes = (0.5, 2.0, 5.0, 15.0, 30.0) if fast else None
+    results: dict = {}
+    results["figure3"] = figure3(shelf)
+    results["figure5"] = figure5(shelf)
+    results["figure6"] = (
+        figure6(shelf, sizes) if sizes else figure6(shelf)
+    )
+    results["figure7"] = figure7()
+    results["section52"] = section52()
+    results["figure9"] = figure9()
+    return results
+
+
+def format_report(results: dict) -> str:
+    """Render a paper-vs-measured report for the given results."""
+    out = io.StringIO()
+    say: Callable[[str], None] = lambda line: print(line, file=out)
+    fig3 = results["figure3"]
+    say("== Figure 3 / Section 4: RFID shelf cleaning ==")
+    say(
+        f"  raw:               err={fig3['errors']['raw']:.3f}"
+        f"   (paper {PAPER_VALUES['fig3_raw_error']:.2f})"
+    )
+    say(
+        f"  raw alerts/sec:    {fig3['raw_alert_rate_per_sec']:.2f}"
+        f"    (paper {PAPER_VALUES['fig3_raw_alert_rate_per_sec']:.1f};"
+        " truth: none)"
+    )
+    say(
+        f"  smooth:            err={fig3['errors']['smooth']:.3f}"
+        f"   (paper {PAPER_VALUES['fig3_smooth_error']:.2f})"
+    )
+    say(
+        f"  smooth+arbitrate:  err={fig3['errors']['smooth_arbitrate']:.3f}"
+        f"   (paper {PAPER_VALUES['fig3_arbitrate_error']:.2f})"
+    )
+    say("== Figure 5: pipeline configurations ==")
+    for config, err in sorted(results["figure5"].items(), key=lambda kv: kv[1]):
+        say(f"  {config:18s} err={err:.3f}")
+    say("== Figure 6: temporal granule sweep ==")
+    best = min(results["figure6"], key=results["figure6"].get)
+    for size, err in sorted(results["figure6"].items()):
+        marker = "  <-- best" if size == best else ""
+        say(f"  granule {size:5.1f}s err={err:.3f}{marker}")
+    say(f"  (paper's best: ~{PAPER_VALUES['fig6_best_granule_sec']:.0f}s)")
+    fig7 = results["figure7"]
+    say("== Figure 7: fail-dirty outlier detection ==")
+    say(f"  failure onset:               t={fig7['failure_onset']:.0f}s")
+    say(f"  ESP eliminates outlier at:   t={fig7['esp_elimination_time']:.0f}s")
+    say(
+        "  tracking error after failure: "
+        f"ESP {fig7['esp_tracking_error_after_failure']:.2f}C vs naive "
+        f"average {fig7['naive_tracking_error_after_failure']:.2f}C"
+    )
+    sec52 = results["section52"]
+    say("== Section 5.2: redwood epoch yield ==")
+    say(
+        f"  raw yield:    {sec52['raw_yield']:.2f}"
+        f"  (paper {PAPER_VALUES['sec52_raw_yield']:.2f})"
+    )
+    say(
+        f"  smooth yield: {sec52['smooth_yield']:.2f}"
+        f"  (paper {PAPER_VALUES['sec52_smooth_yield']:.2f}),"
+        f" within 1C: {sec52['smooth_within_1c']:.2f}"
+        f" (paper {PAPER_VALUES['sec52_smooth_within_1c']:.2f})"
+    )
+    say(
+        f"  merge yield:  {sec52['merge_yield']:.2f}"
+        f"  (paper {PAPER_VALUES['sec52_merge_yield']:.2f}),"
+        f" within 1C: {sec52['merge_within_1c']:.2f}"
+        f" (paper {PAPER_VALUES['sec52_merge_within_1c']:.2f})"
+    )
+    fig9 = results["figure9"]
+    say("== Figure 9 / Section 6.2: person detector ==")
+    say(
+        f"  detection accuracy: {fig9['accuracy']:.2f}"
+        f"  (paper {PAPER_VALUES['fig9_accuracy']:.2f})"
+    )
+    return out.getvalue()

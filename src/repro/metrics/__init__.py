@@ -1,0 +1,25 @@
+"""Evaluation metrics used in the paper's three deployments.
+
+- :mod:`repro.metrics.error` — average relative error (paper Eq. 1),
+  %-within-tolerance, restock-alert rate.
+- :mod:`repro.metrics.epoch_yield` — epoch yield (§5.2).
+- :mod:`repro.metrics.detection` — detection accuracy (§6.2).
+"""
+
+from repro.metrics.detection import detection_accuracy, detection_confusion
+from repro.metrics.epoch_yield import epoch_yield, yield_by_entity
+from repro.metrics.error import (
+    alert_rate,
+    average_relative_error,
+    percent_within,
+)
+
+__all__ = [
+    "alert_rate",
+    "average_relative_error",
+    "detection_accuracy",
+    "detection_confusion",
+    "epoch_yield",
+    "percent_within",
+    "yield_by_entity",
+]

@@ -1,0 +1,59 @@
+"""Detection metrics for the digital-home deployment (paper §6.2).
+
+The paper's headline number — "ESP is able to correctly indicate that a
+person is in the room 92% of the time" — is the per-time-step agreement
+between the detector's output and the occupancy ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _as_bool_arrays(
+    detected: Sequence[bool], truth: Sequence[bool]
+) -> tuple[np.ndarray, np.ndarray]:
+    detected_arr = np.asarray(detected, dtype=bool)
+    truth_arr = np.asarray(truth, dtype=bool)
+    if detected_arr.shape != truth_arr.shape:
+        raise ReproError(
+            f"shape mismatch: detected {detected_arr.shape} vs truth "
+            f"{truth_arr.shape}"
+        )
+    if detected_arr.size == 0:
+        raise ReproError("cannot compute detection metrics over zero steps")
+    return detected_arr, truth_arr
+
+
+def detection_accuracy(
+    detected: Sequence[bool], truth: Sequence[bool]
+) -> float:
+    """Fraction of time steps where detection matches ground truth.
+
+    Example:
+        >>> detection_accuracy([True, False, True], [True, True, True])
+        0.6666666666666666
+    """
+    detected_arr, truth_arr = _as_bool_arrays(detected, truth)
+    return float(np.mean(detected_arr == truth_arr))
+
+
+def detection_confusion(
+    detected: Sequence[bool], truth: Sequence[bool]
+) -> dict[str, int]:
+    """Confusion counts: true/false positives and negatives.
+
+    Useful when tuning the Virtualize vote threshold — a 1-of-3 vote
+    trades false positives for misses relative to 2-of-3.
+    """
+    detected_arr, truth_arr = _as_bool_arrays(detected, truth)
+    return {
+        "true_positive": int(np.sum(detected_arr & truth_arr)),
+        "false_positive": int(np.sum(detected_arr & ~truth_arr)),
+        "false_negative": int(np.sum(~detected_arr & truth_arr)),
+        "true_negative": int(np.sum(~detected_arr & ~truth_arr)),
+    }

@@ -1,0 +1,58 @@
+"""Epoch yield (paper §5.2).
+
+"Epoch yield describes the number of the readings reported to the
+application as a fraction of the total number of readings the application
+requested." For the redwood deployment the application requests one
+reading per (entity, epoch) — entity being a mote before Merge and a
+spatial granule after it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def epoch_yield(reported_mask: Sequence[bool]) -> float:
+    """Fraction of requested readings that were reported.
+
+    Args:
+        reported_mask: One boolean per requested (entity, epoch) slot.
+
+    Example:
+        >>> epoch_yield([True, False, True, True])
+        0.75
+    """
+    mask = np.asarray(reported_mask, dtype=bool)
+    if mask.size == 0:
+        raise ReproError("cannot compute epoch yield over zero slots")
+    return float(np.mean(mask))
+
+
+def yield_by_entity(
+    slots: Mapping[str, Sequence[bool]],
+) -> dict[str, float]:
+    """Per-entity epoch yield, e.g. per mote or per proximity group.
+
+    Args:
+        slots: Entity name → boolean reported mask over epochs.
+    """
+    if not slots:
+        raise ReproError("no entities given")
+    return {name: epoch_yield(mask) for name, mask in slots.items()}
+
+
+def coverage_mask(
+    reported_epochs: Iterable[int], n_epochs: int
+) -> np.ndarray:
+    """Boolean mask of which of ``n_epochs`` slots received a report."""
+    if n_epochs <= 0:
+        raise ReproError(f"n_epochs must be positive, got {n_epochs}")
+    mask = np.zeros(n_epochs, dtype=bool)
+    for epoch in reported_epochs:
+        if 0 <= epoch < n_epochs:
+            mask[epoch] = True
+    return mask

@@ -1,0 +1,104 @@
+"""Error metrics for the RFID and environmental deployments.
+
+:func:`average_relative_error` is the paper's Equation 1::
+
+            N
+    (1/N) * Σ  |R_i - T_i| / T_i
+           i=0
+
+where ``R_i`` is the reported value and ``T_i`` the true value at time
+step ``i`` (the paper evaluates at the granularity of the reader, 5 Hz).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _as_arrays(
+    reported: Sequence[float], truth: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    reported_arr = np.asarray(reported, dtype=float)
+    truth_arr = np.asarray(truth, dtype=float)
+    if reported_arr.shape != truth_arr.shape:
+        raise ReproError(
+            f"shape mismatch: reported {reported_arr.shape} vs truth "
+            f"{truth_arr.shape}"
+        )
+    if reported_arr.size == 0:
+        raise ReproError("cannot compute a metric over zero time steps")
+    return reported_arr, truth_arr
+
+
+def average_relative_error(
+    reported: Sequence[float], truth: Sequence[float]
+) -> float:
+    """The paper's Equation 1 over aligned time series.
+
+    Raises:
+        ReproError: On shape mismatch, empty input, or a zero true value
+            (the metric is undefined there; the paper's shelf counts are
+            always >= 10).
+
+    Example:
+        >>> average_relative_error([8, 12], [10, 10])
+        0.2
+    """
+    reported_arr, truth_arr = _as_arrays(reported, truth)
+    if np.any(truth_arr == 0):
+        raise ReproError(
+            "average relative error undefined where the true value is 0"
+        )
+    return float(np.mean(np.abs(reported_arr - truth_arr) / truth_arr))
+
+
+def percent_within(
+    reported: Sequence[float],
+    reference: Sequence[float],
+    tolerance: float,
+) -> float:
+    """Fraction of readings within ``tolerance`` of the reference.
+
+    The paper's redwood accuracy criterion: "an error of less than 1°C is
+    acceptable for trend analysis", reported as the percent of readings
+    within 1 °C of the logged data (§5.2). Returned as a fraction in
+    [0, 1].
+    """
+    reported_arr, reference_arr = _as_arrays(reported, reference)
+    if tolerance < 0:
+        raise ReproError(f"tolerance must be >= 0, got {tolerance}")
+    return float(
+        np.mean(np.abs(reported_arr - reference_arr) <= tolerance)
+    )
+
+
+def alert_rate(
+    reported: Sequence[float],
+    truth: Sequence[float],
+    threshold: float,
+    duration: float,
+) -> float:
+    """False restocking alerts per second (paper §1/§4).
+
+    An alert fires at a time step when the reported count drops below
+    ``threshold`` although the true count is at or above it. The paper:
+    with raw data, "the query ... would report that a shelf is in need of
+    restocking 2.3 times per second, on average" while "in reality, no
+    restock alerts should have been generated".
+
+    Args:
+        reported: Reported counts, one per time step (concatenate shelves
+            to get a deployment-wide rate, as the paper does).
+        truth: True counts, aligned with ``reported``.
+        threshold: Restock threshold (paper: 5 items).
+        duration: Experiment length in seconds.
+    """
+    if duration <= 0:
+        raise ReproError(f"duration must be positive, got {duration}")
+    reported_arr, truth_arr = _as_arrays(reported, truth)
+    false_alerts = np.sum((reported_arr < threshold) & (truth_arr >= threshold))
+    return float(false_alerts / duration)

@@ -1,0 +1,172 @@
+"""The RFID shelf-monitoring pipeline (paper §4).
+
+The deployed pipeline is Smooth (Query 2) followed by Arbitrate
+(Query 3); the reader's built-in checksum filter plays the Point role
+(modelled by :func:`repro.core.operators.point_ops.ghost_filter`) and
+Merge is unused because each proximity group holds a single reader.
+
+Every configuration of the paper's Figure 5 ablation is available
+through :data:`SHELF_CONFIGS` / :func:`build_shelf_processor`:
+``raw``, ``smooth``, ``arbitrate``, ``arbitrate+smooth`` and
+``smooth+arbitrate``.
+
+The application query (Query 1 — distinct items per shelf) is evaluated
+by :func:`count_series`, which works uniformly over raw annotated
+readings, smoothed presence rows and arbitrated attribution rows: at
+each reader-granularity time step it counts the distinct tags present
+per spatial granule.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.granules import TemporalGranule
+from repro.core.operators.arbitrate_ops import max_count_arbitrate
+from repro.core.operators.point_ops import ghost_filter
+from repro.core.operators.smooth_ops import presence_smoother
+from repro.core.pipeline import ESPPipeline, ESPProcessor
+from repro.errors import PipelineError
+from repro.scenarios.shelf import ShelfScenario
+from repro.streams.tuples import StreamTuple
+
+#: The pipeline configurations of Figure 5, in the paper's display order.
+SHELF_CONFIGS = (
+    "smooth+arbitrate",
+    "arbitrate+smooth",
+    "arbitrate",
+    "smooth",
+    "raw",
+)
+
+#: Extension configuration: the self-sizing Smooth window of
+#: repro.core.operators.adaptive_ops in place of the fixed granule.
+ADAPTIVE_CONFIG = "adaptive+arbitrate"
+
+
+def build_shelf_processor(
+    scenario: ShelfScenario,
+    config: str = "smooth+arbitrate",
+    granule: "TemporalGranule | None" = None,
+    tie_break: str = "weakest",
+) -> ESPProcessor:
+    """Build the ESP processor for one Figure 5 configuration.
+
+    Args:
+        scenario: The shelf scenario providing devices and antenna
+            strengths.
+        config: One of :data:`SHELF_CONFIGS`.
+        granule: Temporal granule override (Figure 6 sweeps it);
+            defaults to the scenario's 5-second granule.
+        tie_break: Arbitrate tie policy; the paper's calibration uses
+            ``"weakest"`` (§4.3.1), the pure Query 3 semantics is
+            ``"all"``.
+
+    Raises:
+        PipelineError: On an unknown configuration name.
+    """
+    if config not in SHELF_CONFIGS and config != ADAPTIVE_CONFIG:
+        raise PipelineError(
+            f"unknown shelf config {config!r}; expected one of "
+            f"{SHELF_CONFIGS + (ADAPTIVE_CONFIG,)}"
+        )
+    granule = granule or scenario.temporal_granule
+    point = ghost_filter()
+    smooth = presence_smoother()
+    strength = None if tie_break != "weakest" else scenario.strength
+    arbitrate = max_count_arbitrate(tie_break=tie_break, strength=strength)
+    if config == "raw":
+        sequence = [point]
+    elif config == "smooth":
+        sequence = [point, smooth]
+    elif config == "arbitrate":
+        sequence = [point, arbitrate]
+    elif config == "smooth+arbitrate":
+        sequence = [point, smooth, arbitrate]
+    elif config == ADAPTIVE_CONFIG:
+        from repro.core.operators.adaptive_ops import adaptive_smoother
+
+        sequence = [point, adaptive_smoother(), arbitrate]
+    else:  # arbitrate+smooth — the out-of-order ablation
+        sequence = [point, arbitrate, smooth]
+    pipeline = ESPPipeline("rfid", temporal_granule=granule, sequence=sequence)
+    processor = ESPProcessor(scenario.registry)
+    processor.add_pipeline(pipeline)
+    return processor
+
+
+def count_series(
+    tuples: Sequence[StreamTuple],
+    ticks: np.ndarray,
+    granules: Sequence[str],
+    tick_period: float,
+    id_field: str = "tag_id",
+    granule_field: str = "spatial_granule",
+) -> dict[str, np.ndarray]:
+    """Evaluate Query 1 at every time step over a cleaned (or raw) stream.
+
+    Args:
+        tuples: Stream rows carrying ``id_field`` and ``granule_field``.
+        ticks: The evaluation instants (reader granularity).
+        granules: Spatial granule names to report.
+        tick_period: Spacing of ``ticks`` (used to bucket timestamps).
+        id_field: Distinct-count field (``tag_id``).
+        granule_field: Grouping field.
+
+    Returns:
+        Granule name → float array of distinct counts per tick.
+    """
+    n_ticks = len(ticks)
+    sets: dict[str, list[set]] = {
+        name: [set() for _ in range(n_ticks)] for name in granules
+    }
+    for row in tuples:
+        granule = row.get(granule_field)
+        if granule not in sets:
+            continue
+        index = int(round(row.timestamp / tick_period))
+        if 0 <= index < n_ticks:
+            sets[granule][index].add(row.get(id_field))
+    return {
+        name: np.array([len(bucket) for bucket in buckets], dtype=float)
+        for name, buckets in sets.items()
+    }
+
+
+def query1_counts(
+    scenario: ShelfScenario,
+    config: str = "smooth+arbitrate",
+    granule: "TemporalGranule | None" = None,
+    tie_break: str = "weakest",
+    sources: Mapping[str, Sequence[StreamTuple]] | None = None,
+) -> dict[str, np.ndarray]:
+    """Run one configuration end-to-end and evaluate Query 1.
+
+    Args:
+        scenario: The shelf scenario.
+        config: Pipeline configuration (see :data:`SHELF_CONFIGS`).
+        granule: Temporal granule override.
+        tie_break: Arbitrate tie policy.
+        sources: Pre-recorded raw streams; defaults to the scenario's
+            cached recording so that configurations are compared on
+            identical data.
+
+    Returns:
+        Granule name → per-tick reported counts (Figure 3's y-values).
+    """
+    processor = build_shelf_processor(
+        scenario, config, granule=granule, tie_break=tie_break
+    )
+    run = processor.run(
+        until=scenario.duration,
+        tick=scenario.poll_period,
+        sources=sources if sources is not None else scenario.recorded_streams(),
+    )
+    return count_series(
+        run.output,
+        scenario.ticks(),
+        [g.name for g in scenario.granules],
+        scenario.poll_period,
+    )

@@ -1,0 +1,111 @@
+"""Sensor-network cleaning pipelines (paper §5).
+
+Two pipelines over wireless sensor motes:
+
+- :func:`build_outlier_processor` — the Intel-lab fail-dirty cleaner
+  (§5.1): Point range filter at 50 °C (Query 4) + Merge ±1σ outlier
+  rejection within the room's proximity group (Query 5).
+- :func:`build_redwood_processor` — the redwood yield-recovery pipeline
+  (§5.2): per-mote Smooth (sliding average over the expanded 30-minute
+  window) + per-granule Merge (windowed spatial average), individually
+  toggleable so the experiment can report yield after each stage.
+"""
+
+from __future__ import annotations
+
+from repro.core.operators.merge_ops import sigma_outlier_average, spatial_average
+from repro.core.operators.point_ops import range_filter
+from repro.core.operators.smooth_ops import sliding_average
+from repro.core.pipeline import ESPPipeline, ESPProcessor
+from repro.scenarios.intel_lab import IntelLabScenario
+from repro.scenarios.redwood import RedwoodScenario
+
+
+def build_outlier_processor(
+    scenario: IntelLabScenario,
+    use_point: bool = True,
+    use_merge: bool = True,
+    sigma_k: float = 1.0,
+    robust: bool = False,
+) -> ESPProcessor:
+    """The Point + Merge outlier-detection pipeline of §5.1.
+
+    Args:
+        scenario: The Intel-lab scenario.
+        use_point: Include the Query 4 range filter (temp < 50 °C).
+        use_merge: Include the Query 5 ±kσ outlier-rejecting average.
+            Smooth is deliberately absent: "it cannot correct for
+            extended errors within one sensor" (§5.1); Arbitrate is
+            unnecessary with a single spatial granule.
+        sigma_k: Rejection radius in deviation units.
+        robust: Use the median/MAD ablation variant instead of mean/σ.
+    """
+    sequence = []
+    if use_point:
+        sequence.append(range_filter("temp", high=50.0))
+    if use_merge:
+        if robust:
+            from repro.core.operators.merge_ops import mad_outlier_average
+
+            sequence.append(
+                mad_outlier_average(
+                    window=scenario.temporal_granule.window_seconds,
+                    k=sigma_k,
+                )
+            )
+        else:
+            sequence.append(
+                sigma_outlier_average(
+                    window=scenario.temporal_granule.window_seconds,
+                    k=sigma_k,
+                )
+            )
+    pipeline = ESPPipeline(
+        "mote",
+        temporal_granule=scenario.temporal_granule,
+        sequence=sequence,
+    )
+    processor = ESPProcessor(scenario.registry)
+    processor.add_pipeline(pipeline)
+    return processor
+
+
+def build_redwood_processor(
+    scenario: RedwoodScenario,
+    use_smooth: bool = True,
+    use_merge: bool = True,
+) -> ESPProcessor:
+    """The Smooth + Merge yield-recovery pipeline of §5.2.
+
+    Args:
+        scenario: The redwood scenario.
+        use_smooth: Per-mote sliding average over the expanded 30-minute
+            window (§5.2.1).
+        use_merge: Per-granule windowed average over the proximity
+            group's (smoothed) streams (§5.2.2). The merge window equals
+            the 5-minute granule, so each epoch's output draws on that
+            epoch's smoothed values.
+    """
+    sequence = []
+    if use_smooth:
+        sequence.append(
+            sliding_average(
+                window=scenario.temporal_granule.window_seconds,
+                value_field="temp",
+            )
+        )
+    if use_merge:
+        sequence.append(
+            spatial_average(
+                window=scenario.temporal_granule.seconds,
+                value_field="temp",
+            )
+        )
+    pipeline = ESPPipeline(
+        "mote",
+        temporal_granule=scenario.temporal_granule,
+        sequence=sequence,
+    )
+    processor = ESPProcessor(scenario.registry)
+    processor.add_pipeline(pipeline)
+    return processor

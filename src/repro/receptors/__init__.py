@@ -1,0 +1,38 @@
+"""Simulated physical receptor devices.
+
+The paper's deployments use three receptor technologies, all of which we
+simulate with stochastic models calibrated to the error characteristics
+the paper (and the RFID/sensor-network literature it cites) reports:
+
+- :mod:`repro.receptors.rfid` — RFID readers with distance-dependent
+  detection probability, inter-antenna gain asymmetry and ghost reads;
+- :mod:`repro.receptors.motes` — wireless sensor motes with additive
+  measurement noise and *fail-dirty* drift, delivered over a lossy
+  multi-hop network (:mod:`repro.receptors.network`);
+- :mod:`repro.receptors.x10` — X10 motion detectors with missed and
+  spurious ``ON`` events.
+
+:mod:`repro.receptors.registry` holds the deployment metadata mapping
+devices into proximity groups and spatial granules.
+"""
+
+from repro.receptors.base import Receptor, ReceptorKind
+from repro.receptors.motes import FailDirtyModel, Mote
+from repro.receptors.network import GilbertElliottChannel, PerfectChannel
+from repro.receptors.registry import DeviceRegistry
+from repro.receptors.rfid import DetectionField, RFIDReader, TagPlacement
+from repro.receptors.x10 import X10MotionDetector
+
+__all__ = [
+    "DetectionField",
+    "DeviceRegistry",
+    "FailDirtyModel",
+    "GilbertElliottChannel",
+    "Mote",
+    "PerfectChannel",
+    "Receptor",
+    "ReceptorKind",
+    "RFIDReader",
+    "TagPlacement",
+    "X10MotionDetector",
+]

@@ -1,0 +1,121 @@
+"""Receptor actuation: closing the loop from ESP back to the devices.
+
+The paper's §5.3.1: "Ideally, ESP should be able to actuate the sensors
+to increase the number of readings within a temporal granule such that
+it can effectively smooth with a window the same size as the temporal
+granule." In the redwood deployment ESP could not do this (the data was
+pre-collected at fixed 5-minute epochs) and had to fall back to window
+expansion.
+
+This module provides the actuation primitives:
+
+- :class:`ActuatableMote` — a mote whose sample period ESP can command
+  at runtime, within hardware bounds;
+- :class:`YieldActuationController` — an AIMD controller that watches
+  each granule's delivery outcome and speeds a mote up after misses
+  (multiplicative) while relaxing it back toward the energy-efficient
+  base rate after sustained success (additive), bounding the energy cost
+  of chasing bursty outages.
+
+The closed-loop experiment lives in :mod:`repro.experiments.actuation`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReceptorError
+from repro.receptors.motes import Mote
+
+
+class ActuatableMote(Mote):
+    """A mote accepting runtime sample-rate commands.
+
+    Args:
+        min_period: Fastest sampling the hardware supports, seconds.
+        max_period: Slowest (base) sampling period, seconds — also the
+            initial period.
+        **mote_kwargs: Everything :class:`~repro.receptors.motes.Mote`
+            accepts except ``sample_period`` (derived from
+            ``max_period``).
+
+    The ``sample_period`` attribute reflects the *current* commanded
+    period; :meth:`next_sample_after` tells a closed-loop driver when
+    this mote fires next.
+    """
+
+    def __init__(
+        self,
+        receptor_id: str,
+        min_period: float,
+        max_period: float,
+        **mote_kwargs,
+    ):
+        if not 0 < min_period <= max_period:
+            raise ReceptorError(
+                f"need 0 < min_period <= max_period, got "
+                f"{min_period}..{max_period}"
+            )
+        super().__init__(
+            receptor_id, sample_period=max_period, **mote_kwargs
+        )
+        self.min_period = float(min_period)
+        self.max_period = float(max_period)
+        self._next_sample = 0.0
+
+    def set_sample_period(self, seconds: float) -> float:
+        """Command a new sample period; returns the clamped value."""
+        clamped = min(self.max_period, max(self.min_period, float(seconds)))
+        self.sample_period = clamped
+        return clamped
+
+    def due(self, now: float) -> bool:
+        """Whether the mote samples at this instant."""
+        return now + 1e-9 >= self._next_sample
+
+    def sample_if_due(self, now: float):
+        """Poll the mote if its schedule says so; returns the readings."""
+        if not self.due(now):
+            return []
+        self._next_sample = now + self.sample_period
+        return self.poll(now)
+
+
+class YieldActuationController:
+    """AIMD sample-rate control from granule delivery outcomes.
+
+    After each temporal granule, ESP reports per mote whether at least
+    one reading arrived (:meth:`observe`). On a miss the controller
+    halves the mote's period (more chances next granule); after
+    ``patience`` consecutive hits it steps the period back up by
+    ``relax_step`` seconds, drifting toward the energy-efficient base
+    rate.
+
+    Args:
+        patience: Consecutive delivered granules required before
+            relaxing the rate.
+        relax_step: Seconds added to the period per relaxation.
+    """
+
+    def __init__(self, patience: int = 3, relax_step: float = 60.0):
+        if patience < 1:
+            raise ReceptorError(f"patience must be >= 1, got {patience}")
+        if relax_step <= 0:
+            raise ReceptorError(
+                f"relax_step must be positive, got {relax_step}"
+            )
+        self.patience = int(patience)
+        self.relax_step = float(relax_step)
+        self._streak: dict[str, int] = {}
+
+    def observe(self, mote: ActuatableMote, delivered: bool) -> float:
+        """Record one granule's outcome; returns the new sample period."""
+        mote_id = mote.receptor_id
+        if delivered:
+            streak = self._streak.get(mote_id, 0) + 1
+            if streak >= self.patience:
+                mote.set_sample_period(mote.sample_period + self.relax_step)
+                streak = 0
+            self._streak[mote_id] = streak
+        else:
+            self._streak[mote_id] = 0
+            mote.set_sample_period(mote.sample_period / 2.0)
+        return mote.sample_period

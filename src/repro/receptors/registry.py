@@ -1,0 +1,134 @@
+"""Deployment metadata: devices, proximity groups and spatial granules.
+
+The paper hides device-to-granule mapping details from applications
+(§3.1.2): "Spatial granules and physical devices can have one-to-many,
+many-to-one, or many-to-many relationships and may change dynamically.
+These details are hidden from the application through ESP." The
+:class:`DeviceRegistry` is where that mapping lives: the ESP processor
+consults it to annotate readings with their spatial granule and to group
+streams into proximity groups for Merge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.granules import ProximityGroup, SpatialGranule
+from repro.errors import ReceptorError
+from repro.receptors.base import Receptor
+
+
+class DeviceRegistry:
+    """Registry of receptors, proximity groups, and spatial granules.
+
+    Example:
+        >>> from repro.core.granules import SpatialGranule
+        >>> registry = DeviceRegistry()
+        >>> shelf0 = SpatialGranule("shelf0")
+        >>> _ = registry.add_group("shelf0_readers", shelf0, receptor_kind="rfid")
+    """
+
+    def __init__(self):
+        self._granules: dict[str, SpatialGranule] = {}
+        self._groups: dict[str, ProximityGroup] = {}
+        self._device_group: dict[str, str] = {}
+        self._devices: dict[str, Receptor] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_granule(self, granule: SpatialGranule) -> SpatialGranule:
+        """Register a spatial granule (idempotent by name)."""
+        existing = self._granules.get(granule.name)
+        if existing is not None:
+            return existing
+        self._granules[granule.name] = granule
+        return granule
+
+    def add_group(
+        self,
+        name: str,
+        granule: SpatialGranule,
+        receptor_kind: str,
+    ) -> ProximityGroup:
+        """Create and register a proximity group monitoring ``granule``."""
+        if name in self._groups:
+            raise ReceptorError(f"duplicate proximity group {name!r}")
+        self.add_granule(granule)
+        group = ProximityGroup(name, granule, receptor_kind)
+        self._groups[name] = group
+        return group
+
+    def assign(self, device: Receptor, group_name: str) -> None:
+        """Place a device into a proximity group.
+
+        Raises:
+            ReceptorError: On unknown groups, duplicate device ids, or a
+                device whose kind differs from the group's receptor kind
+                (proximity groups hold receptors "of the same type",
+                §3.1.2).
+        """
+        group = self._groups.get(group_name)
+        if group is None:
+            raise ReceptorError(f"unknown proximity group {group_name!r}")
+        if device.receptor_id in self._devices:
+            raise ReceptorError(f"duplicate device id {device.receptor_id!r}")
+        if group.receptor_kind != device.kind.value:
+            raise ReceptorError(
+                f"device {device.receptor_id!r} is a {device.kind.value}; "
+                f"group {group_name!r} holds {group.receptor_kind} receptors"
+            )
+        self._devices[device.receptor_id] = device
+        self._device_group[device.receptor_id] = group_name
+        group.members.append(device.receptor_id)
+
+    # -- lookup -----------------------------------------------------------------
+
+    @property
+    def devices(self) -> list[Receptor]:
+        """All registered devices."""
+        return list(self._devices.values())
+
+    @property
+    def groups(self) -> list[ProximityGroup]:
+        """All proximity groups."""
+        return list(self._groups.values())
+
+    @property
+    def granules(self) -> list[SpatialGranule]:
+        """All spatial granules."""
+        return list(self._granules.values())
+
+    def device(self, device_id: str) -> Receptor:
+        """Look up a device by id."""
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise ReceptorError(f"unknown device {device_id!r}") from None
+
+    def group_of(self, device_id: str) -> ProximityGroup:
+        """The proximity group containing ``device_id``."""
+        try:
+            return self._groups[self._device_group[device_id]]
+        except KeyError:
+            raise ReceptorError(
+                f"device {device_id!r} is not assigned to any group"
+            ) from None
+
+    def granule_of(self, device_id: str) -> SpatialGranule:
+        """The spatial granule monitored by ``device_id``'s group."""
+        return self.group_of(device_id).granule
+
+    def groups_for_granule(self, granule_name: str) -> list[ProximityGroup]:
+        """All proximity groups monitoring the named granule."""
+        return [
+            group
+            for group in self._groups.values()
+            if group.granule.name == granule_name
+        ]
+
+    def devices_in_group(self, group_name: str) -> Iterable[Receptor]:
+        """The devices assigned to ``group_name``."""
+        group = self._groups.get(group_name)
+        if group is None:
+            raise ReceptorError(f"unknown proximity group {group_name!r}")
+        return [self._devices[member] for member in group.members]

@@ -1,0 +1,27 @@
+"""Ground-truth world scenarios for the paper's three deployments.
+
+Each scenario builds a :class:`~repro.receptors.registry.DeviceRegistry`
+populated with simulated devices, exposes the ground truth the paper's
+metrics compare against, and caches one recording of every device's raw
+stream so that different pipeline configurations can be evaluated on the
+*identical* data (as the paper does when comparing stage orderings).
+
+- :mod:`repro.scenarios.shelf` — the RFID retail shelf experiment (§4).
+- :mod:`repro.scenarios.intel_lab` — the Intel-lab fail-dirty outlier
+  trace (§5.1, Figure 7).
+- :mod:`repro.scenarios.redwood` — the Sonoma redwood micro-climate
+  deployment (§5.2).
+- :mod:`repro.scenarios.office` — the digital-home person detector (§6).
+"""
+
+from repro.scenarios.intel_lab import IntelLabScenario
+from repro.scenarios.office import OfficeScenario
+from repro.scenarios.redwood import RedwoodScenario
+from repro.scenarios.shelf import ShelfScenario
+
+__all__ = [
+    "IntelLabScenario",
+    "OfficeScenario",
+    "RedwoodScenario",
+    "ShelfScenario",
+]

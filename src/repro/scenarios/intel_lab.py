@@ -1,0 +1,142 @@
+"""The Intel-lab fail-dirty outlier trace (paper §5.1, Figure 7).
+
+The paper analyzes three temperature motes in one room of the Intel
+Research Berkeley lab over a multi-day window in which one mote fails
+dirty: its readings climb steadily past 100 °C while the other two track
+the room's real temperature. We synthesize the same situation:
+
+- a diurnal room-temperature ground truth (gentle day/night cycle);
+- three motes with small sensor noise and slightly different calibration
+  offsets, all in one proximity group / one spatial granule (the room);
+- one mote with a :class:`~repro.receptors.motes.FailDirtyModel` whose
+  onset and drift reproduce Figure 7's shape (failure around half a day
+  in; ~140 °C by day two).
+
+The proprietary trace is not redistributable; this synthetic equivalent
+exercises the identical cleaning path (Point range filter at 50 °C +
+Merge ±1σ outlier rejection) because that path depends only on the
+divergence shape, not on the exact temperatures.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.granules import SpatialGranule, TemporalGranule
+from repro.receptors.base import require_rng
+from repro.receptors.motes import FailDirtyModel, Mote
+from repro.receptors.registry import DeviceRegistry
+from repro.streams.tuples import StreamTuple
+
+DAY = 86400.0
+
+
+class IntelLabScenario:
+    """Three room motes, one failing dirty.
+
+    Args:
+        duration: Trace length in seconds (default 2 days, as in Fig 7).
+        sample_period: Mote sampling period (60 s).
+        base_temp: Mean room temperature, °C.
+        diurnal_amp: Day/night swing amplitude, °C.
+        noise_std: Sensor noise σ, °C.
+        failure_onset: When the dirty mote fails (default half a day).
+        drift_rate: Post-failure drift, °C/s (default reaches ~140 °C by
+            day 2, matching Figure 7's vertical scale).
+        seed: Experiment seed.
+
+    Attributes:
+        registry: One ``room`` granule / proximity group with 3 motes;
+            ``mote3`` is the fail-dirty one.
+        temporal_granule: The 5-minute Merge window of Query 5.
+    """
+
+    def __init__(
+        self,
+        duration: float = 2 * DAY,
+        sample_period: float = 60.0,
+        base_temp: float = 22.0,
+        diurnal_amp: float = 3.0,
+        noise_std: float = 0.35,
+        failure_onset: float = 0.5 * DAY,
+        drift_rate: float = 0.0009,
+        seed: int = 20060512,
+    ):
+        self.duration = float(duration)
+        self.sample_period = float(sample_period)
+        self.base_temp = float(base_temp)
+        self.diurnal_amp = float(diurnal_amp)
+        self.noise_std = float(noise_std)
+        self.failure_onset = float(failure_onset)
+        self.drift_rate = float(drift_rate)
+        self.temporal_granule = TemporalGranule("5 min")
+        self._rng = require_rng(seed)
+        self._recorded: dict[str, list[StreamTuple]] | None = None
+        self.granule = SpatialGranule("room")
+        self.registry = self._build_registry()
+
+    # -- ground truth -----------------------------------------------------------
+
+    def room_temperature(self, now: float) -> float:
+        """True room temperature at ``now`` (diurnal cycle, °C)."""
+        phase = 2.0 * math.pi * (now / DAY - 0.25)  # warmest mid-afternoon
+        return self.base_temp + self.diurnal_amp * math.sin(phase)
+
+    def ticks(self) -> np.ndarray:
+        """All sample instants of the trace."""
+        steps = int(round(self.duration / self.sample_period))
+        return np.arange(steps + 1) * self.sample_period
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_registry(self) -> DeviceRegistry:
+        registry = DeviceRegistry()
+        group = registry.add_group("room_motes", self.granule, receptor_kind="mote")
+        offsets = (-0.2, 0.15, 0.05)  # per-mote calibration offsets, °C
+        for index, offset in enumerate(offsets, start=1):
+            fail_dirty = None
+            if index == 3:
+                fail_dirty = FailDirtyModel(
+                    onset=self.failure_onset,
+                    drift_rate=self.drift_rate,
+                    noise_std=self.noise_std,
+                )
+            mote = Mote(
+                f"mote{index}",
+                field=self._field_with_offset(offset),
+                quantity="temp",
+                sample_period=self.sample_period,
+                noise_std=self.noise_std,
+                fail_dirty=fail_dirty,
+                rng=np.random.default_rng(self._rng.integers(2**63)),
+            )
+            registry.assign(mote, group.name)
+        return registry
+
+    def _field_with_offset(self, offset: float):
+        def field(now: float) -> float:
+            return self.room_temperature(now) + offset
+
+        return field
+
+    # -- recorded raw data ----------------------------------------------------------
+
+    def recorded_streams(self) -> dict[str, list[StreamTuple]]:
+        """One fixed recording of the three motes' streams (cached)."""
+        if self._recorded is None:
+            self._recorded = {
+                device.receptor_id: list(device.stream(self.duration))
+                for device in self.registry.devices
+            }
+        return self._recorded
+
+    def raw_by_mote(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Per-mote (times, temps) arrays of the recorded trace."""
+        series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for mote_id, readings in self.recorded_streams().items():
+            times = np.array([r.timestamp for r in readings])
+            temps = np.array([r["temp"] for r in readings])
+            series[mote_id] = (times, temps)
+        return series

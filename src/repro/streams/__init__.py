@@ -1,0 +1,66 @@
+"""Stream-processing substrate for the ESP reproduction.
+
+This subpackage implements the infrastructure the paper inherits from the
+HiFi / TelegraphCQ ecosystem:
+
+- :mod:`repro.streams.tuples` — the timestamped tuple data model.
+- :mod:`repro.streams.time` — simulation clock, durations and epochs.
+- :mod:`repro.streams.windows` — CQL-style ``Range By`` / ``Rows`` / ``NOW``
+  sliding-window machinery.
+- :mod:`repro.streams.aggregates` — incremental aggregate functions
+  (``count``, ``count distinct``, ``avg``, ``stdev``, ...) and a registry
+  for user-defined aggregates.
+- :mod:`repro.streams.operators` — relational operators over streams
+  (filter, map, windowed group-by, join, union, static-relation join).
+- :mod:`repro.streams.fjord` — a Fjord-style pipelined executor that pushes
+  tuples and time punctuations through an operator DAG.
+"""
+
+from repro.streams.aggregates import (
+    Aggregate,
+    AggregateSpec,
+    get_aggregate,
+    register_aggregate,
+)
+from repro.streams.fjord import Fjord
+from repro.streams.operators import (
+    FilterOp,
+    MapOp,
+    Operator,
+    StaticJoinOp,
+    UnionOp,
+    WindowedGroupByOp,
+)
+from repro.streams.incremental import IncrementalWindowedGroupByOp
+from repro.streams.reorder import ReorderBuffer, reorder_arrivals
+from repro.streams.time import Duration, SimClock, parse_duration
+from repro.streams.traceio import read_jsonl, write_jsonl
+from repro.streams.tuples import StreamTuple
+from repro.streams.windows import NowWindow, RowWindow, SlidingWindow, WindowSpec
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "Duration",
+    "FilterOp",
+    "Fjord",
+    "IncrementalWindowedGroupByOp",
+    "MapOp",
+    "NowWindow",
+    "Operator",
+    "ReorderBuffer",
+    "RowWindow",
+    "SimClock",
+    "SlidingWindow",
+    "StaticJoinOp",
+    "StreamTuple",
+    "UnionOp",
+    "WindowSpec",
+    "WindowedGroupByOp",
+    "get_aggregate",
+    "parse_duration",
+    "read_jsonl",
+    "register_aggregate",
+    "reorder_arrivals",
+    "write_jsonl",
+]

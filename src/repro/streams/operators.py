@@ -1,0 +1,386 @@
+"""Relational operators over streams.
+
+Operators follow a push-based, punctuated protocol. The executor
+(:mod:`repro.streams.fjord`) delivers two kinds of events to an operator:
+
+- :meth:`Operator.on_tuple` — a data tuple arrived on an input port;
+- :meth:`Operator.on_time` — a *time punctuation*: every tuple with
+  timestamp ``<= now`` has been delivered; windowed operators slide and
+  emit their results for time ``now``.
+
+Both methods return the (possibly empty) list of output tuples to push
+downstream. Stateless operators (filter, map) emit from ``on_tuple``;
+windowed operators buffer in ``on_tuple`` and emit from ``on_time``.
+
+This split mirrors the Fjord execution model the paper cites [22]: data is
+pushed through the pipeline as it arrives, while window semantics are
+driven by punctuations rather than by a global per-window barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import OperatorError
+from repro.streams.aggregates import AggregateSpec
+from repro.streams.tuples import StreamTuple
+from repro.streams.windows import BaseWindow, WindowSpec
+
+#: Extracts a grouping key component or aggregate argument from a tuple.
+Extractor = Callable[[StreamTuple], Any]
+
+
+class Operator:
+    """Base class for stream operators (see module docstring)."""
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        """Handle one input tuple on ``port``; return output tuples."""
+        raise NotImplementedError
+
+    def on_time(self, now: float) -> list[StreamTuple]:
+        """Handle a time punctuation; return output tuples for ``now``."""
+        return []
+
+
+class FilterOp(Operator):
+    """Keep tuples satisfying a predicate (the WHERE clause / Point filters).
+
+    Args:
+        predicate: Callable returning truthy to keep the tuple.
+
+    Example:
+        >>> op = FilterOp(lambda t: t["temp"] < 50)
+        >>> op.on_tuple(StreamTuple(0, {"temp": 80}))
+        []
+    """
+
+    def __init__(self, predicate: Callable[[StreamTuple], bool]):
+        self._predicate = predicate
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        return [item] if self._predicate(item) else []
+
+
+class MapOp(Operator):
+    """Transform each tuple (projection, field conversion, annotation).
+
+    Args:
+        fn: Callable mapping a tuple to a tuple, a list of tuples, or
+            ``None`` to drop it.
+    """
+
+    def __init__(self, fn: Callable[[StreamTuple], "StreamTuple | list[StreamTuple] | None"]):
+        self._fn = fn
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        out = self._fn(item)
+        if out is None:
+            return []
+        if isinstance(out, StreamTuple):
+            return [out]
+        return list(out)
+
+
+class UnionOp(Operator):
+    """Merge any number of input streams into one (bag union).
+
+    Optionally re-labels the output stream name so downstream operators see
+    a single logical stream, as the ESP processor does when feeding the
+    union of per-reader Smooth outputs into Arbitrate.
+    """
+
+    def __init__(self, output_stream: str | None = None):
+        self._output_stream = output_stream
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        if self._output_stream is None:
+            return [item]
+        return [item.derive(stream=self._output_stream)]
+
+
+class StaticJoinOp(Operator):
+    """Join the stream against a static relation (e.g. an inventory list).
+
+    This implements the paper's "static table joins (e.g., for inventory
+    lookups)" extensibility point (§4.3.1) and the digital-home Point stage
+    that keeps only expected tag IDs (§6.1).
+
+    Args:
+        table: The static relation, as a sequence of field mappings.
+        on: Predicate over ``(stream_tuple, table_row)`` deciding a match.
+        how: ``"inner"`` emits one enriched tuple per matching row (table
+            fields merged in, stream fields win on collision); ``"semi"``
+            emits the stream tuple unchanged if any row matches; ``"anti"``
+            emits it if no row matches.
+    """
+
+    def __init__(
+        self,
+        table: Sequence[Mapping[str, Any]],
+        on: Callable[[StreamTuple, Mapping[str, Any]], bool],
+        how: str = "inner",
+    ):
+        if how not in ("inner", "semi", "anti"):
+            raise OperatorError(f"unknown join mode {how!r}")
+        self._table = [dict(row) for row in table]
+        self._on = on
+        self._how = how
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        matches = [row for row in self._table if self._on(item, row)]
+        if self._how == "semi":
+            return [item] if matches else []
+        if self._how == "anti":
+            return [] if matches else [item]
+        return [
+            item.derive(values={**row, **item.as_dict()}) for row in matches
+        ]
+
+
+class GroupKey:
+    """A named component of a grouping key.
+
+    Args:
+        name: Output field name for this key component.
+        extractor: Callable producing the component from a tuple; defaults
+            to reading the field called ``name``.
+    """
+
+    __slots__ = ("name", "extractor")
+
+    def __init__(self, name: str, extractor: Extractor | None = None):
+        self.name = name
+        self.extractor = extractor or (lambda t, _n=name: t[_n])
+
+    def __repr__(self) -> str:
+        return f"GroupKey({self.name})"
+
+
+class WindowedGroupByOp(Operator):
+    """Windowed GROUP BY with aggregates and an optional HAVING filter.
+
+    This single operator covers the paper's Queries 1, 2, 3 and 5: it
+    maintains one window per group, slides all windows on each punctuation
+    and emits one result tuple per non-empty group.
+
+    Args:
+        window: Window specification applied per group.
+        keys: Grouping key components; empty for a global aggregate.
+        aggregates: Aggregate calls evaluated over each group's window.
+        having: Optional filter over emitted rows. It is called as
+            ``having(row, all_rows)`` where ``all_rows`` is every row
+            produced at this instant — giving it visibility across groups,
+            which is exactly what Query 3's ``>= ALL (...)`` correlated
+            subquery needs.
+        emit_every: Emit results only on punctuations that are multiples of
+            this period (seconds); ``None`` emits on every punctuation.
+            This models a window *slide* larger than the tick.
+        output_stream: Stream name for emitted tuples.
+
+    Emitted tuples carry the key component fields plus one field per
+    aggregate (named by ``AggregateSpec.output``), timestamped at the
+    punctuation time.
+    """
+
+    def __init__(
+        self,
+        window: WindowSpec,
+        keys: Sequence[GroupKey] = (),
+        aggregates: Sequence[AggregateSpec] = (),
+        having: Callable[[StreamTuple, list[StreamTuple]], bool] | None = None,
+        emit_every: float | None = None,
+        output_stream: str = "",
+    ):
+        if not aggregates and not keys:
+            raise OperatorError("group-by needs at least one key or aggregate")
+        if emit_every is not None and emit_every <= 0:
+            raise OperatorError(f"emit_every must be positive, got {emit_every}")
+        self._window_spec = window
+        self._keys = list(keys)
+        self._aggregates = list(aggregates)
+        self._having = having
+        self._emit_every = emit_every
+        self._output_stream = output_stream
+        self._windows: dict[tuple, BaseWindow] = {}
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        key = tuple(k.extractor(item) for k in self._keys)
+        window = self._windows.get(key)
+        if window is None:
+            window = self._window_spec.make_window()
+            self._windows[key] = window
+        window.insert(item)
+        return []
+
+    def on_time(self, now: float) -> list[StreamTuple]:
+        if self._emit_every is not None:
+            # Emit only on slide boundaries (within float tolerance).
+            phase = now / self._emit_every
+            if abs(phase - round(phase)) > 1e-6:
+                for window in self._windows.values():
+                    window.advance(now)
+                return []
+        rows: list[StreamTuple] = []
+        empty_keys = []
+        for key, window in self._windows.items():
+            window.advance(now)
+            contents = window.contents()
+            if not contents:
+                empty_keys.append(key)
+                continue
+            values: dict[str, Any] = {
+                k.name: component for k, component in zip(self._keys, key)
+            }
+            for spec in self._aggregates:
+                values[spec.output] = spec.evaluate(contents)
+            rows.append(StreamTuple(now, values, self._output_stream))
+        for key in empty_keys:
+            del self._windows[key]
+        if self._having is not None:
+            rows = [row for row in rows if self._having(row, rows)]
+        return rows
+
+
+class WindowJoinOp(Operator):
+    """Join two windowed streams, evaluated at each punctuation.
+
+    Implements CQL's relation-at-time-t join semantics: at each punctuation
+    the operator forms the cross product of the two windows' contents,
+    keeps pairs passing ``predicate`` and emits one combined tuple per pair
+    (right fields merged under left fields).
+
+    Args:
+        left: Window spec for input port 0.
+        right: Window spec for input port 1.
+        predicate: Callable over ``(left_tuple, right_tuple)``.
+        combine: Optional callable producing the output tuple from a
+            matching pair; the default merges field dicts (left wins).
+        output_stream: Stream name for emitted tuples.
+    """
+
+    def __init__(
+        self,
+        left: WindowSpec,
+        right: WindowSpec,
+        predicate: Callable[[StreamTuple, StreamTuple], bool],
+        combine: Callable[[StreamTuple, StreamTuple], StreamTuple] | None = None,
+        output_stream: str = "",
+    ):
+        self._left = left.make_window()
+        self._right = right.make_window()
+        self._predicate = predicate
+        self._combine = combine
+        self._output_stream = output_stream
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        if port == 0:
+            self._left.insert(item)
+        elif port == 1:
+            self._right.insert(item)
+        else:
+            raise OperatorError(f"join has two ports, got port {port}")
+        return []
+
+    def on_time(self, now: float) -> list[StreamTuple]:
+        self._left.advance(now)
+        self._right.advance(now)
+        out: list[StreamTuple] = []
+        for lhs in self._left:
+            for rhs in self._right:
+                if not self._predicate(lhs, rhs):
+                    continue
+                if self._combine is not None:
+                    out.append(self._combine(lhs, rhs))
+                else:
+                    merged = {**rhs.as_dict(), **lhs.as_dict()}
+                    out.append(StreamTuple(now, merged, self._output_stream))
+        return out
+
+
+class SinkOp(Operator):
+    """Terminal operator collecting every tuple it receives.
+
+    Attributes:
+        results: The collected tuples, in arrival order.
+    """
+
+    def __init__(self, callback: Callable[[StreamTuple], None] | None = None):
+        self.results: list[StreamTuple] = []
+        self._callback = callback
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        self.results.append(item)
+        if self._callback is not None:
+            self._callback(item)
+        return []
+
+
+class ChainOp(Operator):
+    """Run several operators as one sequential mini-pipeline.
+
+    Useful for packaging an ESP stage built from multiple primitive
+    operators as a single DAG node.
+
+    Args:
+        stages: Operators applied in order. Each stage's ``on_tuple``
+            outputs feed the next stage; at punctuations, each stage's
+            ``on_time`` outputs are delivered to the next stage *before*
+            that stage's own ``on_time`` fires, preserving same-instant
+            pipelining.
+    """
+
+    def __init__(self, stages: Sequence[Operator]):
+        if not stages:
+            raise OperatorError("ChainOp needs at least one stage")
+        self._stages = list(stages)
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        pending = [item]
+        for stage in self._stages:
+            next_pending: list[StreamTuple] = []
+            for tup in pending:
+                next_pending.extend(stage.on_tuple(tup, port))
+            pending = next_pending
+            port = 0  # only the first stage sees the original port
+            if not pending:
+                return []
+        return pending
+
+    def on_time(self, now: float) -> list[StreamTuple]:
+        carried: list[StreamTuple] = []
+        for stage in self._stages:
+            produced: list[StreamTuple] = []
+            for tup in carried:
+                produced.extend(stage.on_tuple(tup, 0))
+            produced.extend(stage.on_time(now))
+            carried = produced
+        return carried
+
+
+def run_operator(
+    op: Operator,
+    items: Iterable[StreamTuple],
+    ticks: Iterable[float],
+) -> list[StreamTuple]:
+    """Drive a single operator over pre-sorted tuples and punctuations.
+
+    A convenience used heavily by unit tests: tuples with timestamp
+    ``<= tick`` are delivered before that tick's punctuation.
+
+    Args:
+        op: The operator under test.
+        items: Tuples sorted by non-decreasing timestamp.
+        ticks: Punctuation times, ascending.
+
+    Returns:
+        All output tuples, in emission order.
+    """
+    out: list[StreamTuple] = []
+    pending = sorted(items, key=lambda t: t.timestamp)
+    index = 0
+    for tick in ticks:
+        while index < len(pending) and pending[index].timestamp <= tick + 1e-9:
+            out.extend(op.on_tuple(pending[index]))
+            index += 1
+        out.extend(op.on_time(tick))
+    return out

@@ -1,0 +1,133 @@
+"""Bounded out-of-order handling at the stream ingress.
+
+The stream engine's window operators require timestamp-ordered input
+(the usual punctuated-stream contract). Physical deployments violate it:
+multi-hop collection networks deliver readings seconds-to-minutes late
+and out of order. The standard fix — and what HiFi-class gateways do —
+is a bounded **reorder buffer** between the receptors and the first
+windowed operator: hold arrivals for a slack period, release them in
+timestamp order, and count (rather than crash on) hopelessly late data.
+
+:class:`ReorderBuffer` implements that gateway. Pair it with
+:class:`repro.receptors.network.DelayModel` to simulate delayed
+delivery, and size ``slack`` from the delay distribution: slack at least
+the maximum network delay guarantees zero drops (a property the test
+suite checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.errors import OperatorError
+from repro.streams.tuples import StreamTuple
+
+
+class ReorderBuffer:
+    """Release out-of-order arrivals in timestamp order, bounded by slack.
+
+    Args:
+        slack: How long (in seconds of *arrival* time) a tuple may be
+            held waiting for stragglers. A tuple is released once the
+            newest arrival's time exceeds its timestamp by ``slack``.
+
+    Attributes:
+        dropped: Tuples discarded because they arrived after their
+            release horizon had already passed (late beyond slack).
+        released: Count of tuples released in order.
+
+    Example:
+        >>> buffer = ReorderBuffer(slack=2.0)
+        >>> out = buffer.push(3.0, StreamTuple(1.0, {"v": 1}))
+        >>> [t.timestamp for t in out]
+        [1.0]
+    """
+
+    def __init__(self, slack: float):
+        if slack < 0:
+            raise OperatorError(f"slack must be >= 0, got {slack}")
+        self.slack = float(slack)
+        self.dropped = 0
+        self.released = 0
+        self._heap: list[tuple[float, int, StreamTuple]] = []
+        self._sequence = 0
+        self._frontier = float("-inf")  # highest released timestamp
+
+    def push(self, arrival_time: float, item: StreamTuple) -> list[StreamTuple]:
+        """Accept one arrival; return any tuples now releasable.
+
+        Arrival times must be non-decreasing (wall-clock order at the
+        gateway); the *tuples'* timestamps may be arbitrary.
+        """
+        if item.timestamp < self._frontier:
+            # Arrived after everything at-or-after it was released.
+            # Strict comparison: admitting "just barely late" tuples
+            # would emit them behind the frontier and break the sorted-
+            # output guarantee downstream windows rely on.
+            self.dropped += 1
+            return []
+        heapq.heappush(
+            self._heap, (item.timestamp, self._sequence, item)
+        )
+        self._sequence += 1
+        return self._release(arrival_time - self.slack)
+
+    def flush(self) -> list[StreamTuple]:
+        """Release everything still buffered (end of stream)."""
+        return self._release(float("inf"))
+
+    def _release(self, horizon: float) -> list[StreamTuple]:
+        out: list[StreamTuple] = []
+        while self._heap and self._heap[0][0] <= horizon + 1e-9:
+            timestamp, _seq, item = heapq.heappop(self._heap)
+            self._frontier = max(self._frontier, timestamp)
+            self.released += 1
+            out.append(item)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def reorder_arrivals(
+    arrivals: Iterable[tuple[float, StreamTuple]], slack: float
+) -> tuple[list[StreamTuple], int]:
+    """Reorder a whole arrival-ordered trace; returns (ordered, dropped).
+
+    Args:
+        arrivals: ``(arrival_time, tuple)`` pairs in arrival order.
+        slack: Reorder slack (see :class:`ReorderBuffer`).
+
+    Returns:
+        The timestamp-ordered tuples ready for the stream engine, and
+        the number of too-late tuples dropped.
+    """
+    buffer = ReorderBuffer(slack)
+    ordered: list[StreamTuple] = []
+    for arrival_time, item in arrivals:
+        ordered.extend(buffer.push(arrival_time, item))
+    ordered.extend(buffer.flush())
+    return ordered, buffer.dropped
+
+
+def delayed_arrivals(
+    readings: Iterable[StreamTuple],
+    delay_model,
+) -> Iterator[tuple[float, StreamTuple]]:
+    """Turn sense-time readings into network-delayed arrivals.
+
+    Args:
+        readings: Tuples in sense-time order.
+        delay_model: Object with ``sample() -> float`` delay seconds
+            (see :class:`repro.receptors.network.DelayModel`).
+
+    Yields:
+        ``(arrival_time, tuple)`` pairs sorted by arrival time.
+    """
+    stamped = [
+        (item.timestamp + float(delay_model.sample()), item)
+        for item in readings
+    ]
+    stamped.sort(key=lambda pair: pair[0])
+    yield from stamped

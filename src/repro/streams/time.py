@@ -1,0 +1,209 @@
+"""Simulation time: durations, the clock, and epoch arithmetic.
+
+All timestamps in the system are float seconds on a single simulation time
+axis starting at 0.0. CQL window clauses such as ``[Range By '5 sec']`` and
+ESP temporal granules are parsed into :class:`Duration` values by
+:func:`parse_duration`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterator
+
+from repro.errors import WindowError
+
+#: Multipliers from unit spellings to seconds. The paper's queries use
+#: ``sec`` and ``min``; the rest are accepted for convenience.
+_UNIT_SECONDS = {
+    "ms": 1e-3,
+    "msec": 1e-3,
+    "millisecond": 1e-3,
+    "milliseconds": 1e-3,
+    "s": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "m": 60.0,
+    "min": 60.0,
+    "mins": 60.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "h": 3600.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+    "d": 86400.0,
+    "day": 86400.0,
+    "days": 86400.0,
+}
+
+_DURATION_RE = re.compile(
+    r"^\s*(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>[a-zA-Z]+)\s*$"
+)
+
+
+class Duration:
+    """A length of time, stored in seconds.
+
+    ``Duration`` is a tiny value type: it supports comparison and arithmetic
+    with other durations and with raw numbers of seconds.
+
+    Example:
+        >>> Duration.parse("5 sec").seconds
+        5.0
+        >>> Duration.parse("NOW").is_now
+        True
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise WindowError(f"duration must be non-negative, got {seconds}")
+        self.seconds = float(seconds)
+
+    @classmethod
+    def parse(cls, text: "str | float | Duration") -> "Duration":
+        """Parse a duration from CQL-style text (see :func:`parse_duration`)."""
+        return parse_duration(text)
+
+    @property
+    def is_now(self) -> bool:
+        """True for the degenerate ``NOW`` window (zero width)."""
+        return self.seconds == 0.0
+
+    def __float__(self) -> float:
+        return self.seconds
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Duration):
+            return self.seconds == other.seconds
+        if isinstance(other, (int, float)):
+            return self.seconds == float(other)
+        return NotImplemented
+
+    def __lt__(self, other: "Duration | float") -> bool:
+        return self.seconds < float(other)
+
+    def __le__(self, other: "Duration | float") -> bool:
+        return self.seconds <= float(other)
+
+    def __gt__(self, other: "Duration | float") -> bool:
+        return self.seconds > float(other)
+
+    def __ge__(self, other: "Duration | float") -> bool:
+        return self.seconds >= float(other)
+
+    def __hash__(self) -> int:
+        return hash(self.seconds)
+
+    def __add__(self, other: "Duration | float") -> "Duration":
+        return Duration(self.seconds + float(other))
+
+    def __mul__(self, factor: float) -> "Duration":
+        return Duration(self.seconds * factor)
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        if self.is_now:
+            return "Duration(NOW)"
+        return f"Duration({self.seconds:g}s)"
+
+
+def parse_duration(text: "str | float | Duration") -> Duration:
+    """Parse a CQL-style duration string into a :class:`Duration`.
+
+    Accepts:
+
+    - the literal ``'NOW'`` (case-insensitive) — a zero-width window,
+    - ``'<number> <unit>'`` with units ms/sec/min/hour/day and common
+      variants (``'5 sec'``, ``'30 min'``, ``'0.5 sec'``),
+    - a bare number (seconds), either as a string or numeric, and
+    - an existing :class:`Duration`, returned unchanged.
+
+    Raises:
+        WindowError: If the text is not a recognizable duration.
+    """
+    if isinstance(text, Duration):
+        return text
+    if isinstance(text, (int, float)):
+        return Duration(float(text))
+    stripped = text.strip().strip("'\"")
+    if stripped.upper() == "NOW":
+        return Duration(0.0)
+    try:
+        return Duration(float(stripped))
+    except ValueError:
+        pass
+    match = _DURATION_RE.match(stripped)
+    if not match:
+        raise WindowError(f"cannot parse duration {text!r}")
+    unit = match.group("unit").lower()
+    if unit not in _UNIT_SECONDS:
+        raise WindowError(
+            f"unknown duration unit {unit!r} in {text!r}; "
+            f"expected one of {sorted(set(_UNIT_SECONDS))}"
+        )
+    return Duration(float(match.group("value")) * _UNIT_SECONDS[unit])
+
+
+class SimClock:
+    """A discrete simulation clock.
+
+    The clock starts at ``start`` and advances in fixed ``period`` steps.
+    Receptor simulators poll the world once per tick; the Fjord executor
+    uses tick boundaries as time punctuations.
+
+    Args:
+        period: Seconds between ticks (e.g. ``0.2`` for the paper's 5 Hz
+            RFID polling).
+        start: Time of the first tick.
+
+    Example:
+        >>> clock = SimClock(period=0.5)
+        >>> [round(t, 1) for t in clock.ticks(until=1.5)]
+        [0.0, 0.5, 1.0, 1.5]
+    """
+
+    def __init__(self, period: float, start: float = 0.0):
+        if period <= 0:
+            raise WindowError(f"clock period must be positive, got {period}")
+        self.period = float(period)
+        self.start = float(start)
+        self.now = float(start)
+
+    def advance(self) -> float:
+        """Advance one tick and return the new time."""
+        self.now += self.period
+        return self.now
+
+    def ticks(self, until: float) -> Iterator[float]:
+        """Yield tick times from ``start`` through ``until`` inclusive.
+
+        The iterator is resilient to float accumulation error: tick ``i``
+        is computed as ``start + i * period`` rather than by repeated
+        addition.
+        """
+        count = int(math.floor((until - self.start) / self.period + 1e-9))
+        for i in range(count + 1):
+            self.now = self.start + i * self.period
+            yield self.now
+
+    def tick_count(self, until: float) -> int:
+        """Number of ticks produced by :meth:`ticks` for this horizon."""
+        return int(math.floor((until - self.start) / self.period + 1e-9)) + 1
+
+
+def epoch_of(timestamp: float, epoch_length: float, start: float = 0.0) -> int:
+    """Return the index of the epoch containing ``timestamp``.
+
+    Epoch ``k`` covers ``[start + k*epoch_length, start + (k+1)*epoch_length)``.
+    A small tolerance keeps boundary timestamps in the epoch they were
+    generated for, despite float rounding.
+    """
+    if epoch_length <= 0:
+        raise WindowError(f"epoch length must be positive, got {epoch_length}")
+    return int(math.floor((timestamp - start) / epoch_length + 1e-9))

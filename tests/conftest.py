@@ -1,0 +1,40 @@
+"""Shared fixtures: small, fast scenario instances for integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    IntelLabScenario,
+    OfficeScenario,
+    RedwoodScenario,
+    ShelfScenario,
+)
+
+
+@pytest.fixture(scope="session")
+def small_shelf() -> ShelfScenario:
+    """A 120-second shelf scenario (3 relocation phases)."""
+    return ShelfScenario(duration=120.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_intel_lab() -> IntelLabScenario:
+    """Half a day of the Intel-lab trace, failure at 0.1 day."""
+    return IntelLabScenario(
+        duration=0.5 * 86400.0,
+        failure_onset=0.1 * 86400.0,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_redwood() -> RedwoodScenario:
+    """A 1-day, 4-group redwood scenario."""
+    return RedwoodScenario(duration=86400.0, n_groups=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_office() -> OfficeScenario:
+    """A 240-second office scenario (4 occupancy phases)."""
+    return OfficeScenario(duration=240.0, seed=7)

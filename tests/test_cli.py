@@ -1,0 +1,95 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_fast(self):
+        args = build_parser().parse_args(["run", "fig5", "--fast"])
+        assert args.command == "run"
+        assert args.experiment == "fig5"
+        assert args.fast
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_paper_values_are_json(self, capsys):
+        assert main(["paper"]) == 0
+        values = json.loads(capsys.readouterr().out)
+        assert values["fig3_raw_error"] == 0.41
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_run_fig5_fast(self, capsys):
+        assert main(["run", "fig5", "--fast"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert set(result) == {
+            "raw",
+            "smooth",
+            "arbitrate",
+            "arbitrate+smooth",
+            "smooth+arbitrate",
+        }
+        assert result["smooth+arbitrate"] < result["raw"]
+
+    def test_run_fig9_fast(self, capsys):
+        assert main(["run", "fig9", "--fast"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert 0.5 < result["accuracy"] <= 1.0
+
+    def test_run_actuation_fast(self, capsys):
+        assert main(["run", "actuation", "--fast"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["yield"]["actuated"] > result["yield"]["fixed"]
+
+
+class TestDump:
+    def test_fig6_dump_writes_sweep_csv(self, capsys, tmp_path):
+        assert main(
+            ["run", "fig6", "--fast", "--dump", str(tmp_path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "fig6_sweep.csv" in err
+        content = (tmp_path / "fig6_sweep.csv").read_text()
+        assert content.startswith("granule_s,avg_relative_error")
+        assert len(content.strip().splitlines()) > 3
+
+    def test_fig3_dump_writes_all_traces(self, capsys, tmp_path):
+        assert main(
+            ["run", "fig3", "--fast", "--dump", str(tmp_path)]
+        ) == 0
+        names = {path.name for path in tmp_path.iterdir()}
+        assert {
+            "fig3_reality.csv",
+            "fig3_raw.csv",
+            "fig3_smooth.csv",
+            "fig3_smooth_arbitrate.csv",
+        } <= names
+        header = (tmp_path / "fig3_reality.csv").read_text().splitlines()[0]
+        assert header == "time_s,shelf0,shelf1"
+
+    def test_fig9_dump_writes_occupancy(self, capsys, tmp_path):
+        assert main(
+            ["run", "fig9", "--fast", "--dump", str(tmp_path)]
+        ) == 0
+        occupancy = (tmp_path / "fig9_occupancy.csv").read_text()
+        assert occupancy.startswith("time_s,truth,detected")

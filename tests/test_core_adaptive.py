@@ -1,0 +1,149 @@
+"""Unit tests for the adaptive (self-sizing window) smoother."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators.adaptive_ops import AdaptiveSmoother, adaptive_smoother
+from repro.core.stages import StageContext, StageKind
+from repro.errors import OperatorError
+from repro.streams.tuples import StreamTuple
+
+
+def read(ts, tag="a", granule="g"):
+    return StreamTuple(ts, {"tag_id": tag, "spatial_granule": granule})
+
+
+def drive(op, polls):
+    """Drive one poll per entry; entry = number of reads that poll."""
+    out = []
+    for index, reads in enumerate(polls):
+        now = float(index)
+        for _ in range(reads):
+            op.on_tuple(read(now))
+        out.append(op.on_time(now))
+    return out
+
+
+class TestPresenceSemantics:
+    def test_reliable_tag_reported_every_poll(self):
+        op = AdaptiveSmoother()
+        out = drive(op, [1] * 20)
+        assert all(len(step) == 1 for step in out)
+        assert out[-1][0]["tag_id"] == "a"
+        assert out[-1][0]["spatial_granule"] == "g"
+
+    def test_flaky_tag_interpolated_through_gaps(self):
+        # p ~ 0.33: a 2-poll gap must not drop the tag once the window
+        # has grown to cover it.
+        pattern = [1, 0, 0] * 12
+        op = AdaptiveSmoother(delta=0.05)
+        out = drive(op, pattern)
+        tail = out[12:]  # after warm-up
+        missing = sum(1 for step in tail if not step)
+        assert missing <= 2
+
+    def test_departed_reliable_tag_dropped_quickly(self):
+        op = AdaptiveSmoother(delta=0.05)
+        out = drive(op, [1] * 20 + [0] * 10)
+        # With p near 1 the silence probability collapses within a few
+        # polls (the estimate p-hat dilutes as zeros enter the window).
+        absent_from = next(
+            i for i, step in enumerate(out) if i >= 20 and not step
+        )
+        assert absent_from <= 24
+
+    def test_departed_flaky_tag_gets_benefit_of_doubt(self):
+        op = AdaptiveSmoother(delta=0.05)
+        out = drive(op, [1, 0, 0] * 10 + [0] * 40)
+        last_seen = max(i for i, step in enumerate(out) if step)
+        # Still reported for a few polls after the final read (p ~ 1/3
+        # needs ~ln(20)/ln(1.5) ~ 7 silent polls), but not forever.
+        assert 30 <= last_seen <= 45
+
+    def test_window_size_reported(self):
+        op = AdaptiveSmoother()
+        out = drive(op, [1] * 10)
+        assert all(step[0]["window_polls"] >= 1 for step in out if step)
+
+    def test_confidence_reported_and_bounded(self):
+        op = AdaptiveSmoother(delta=0.05)
+        out = drive(op, [1] * 20)
+        confidences = [step[0]["confidence"] for step in out if step]
+        assert all(0.0 <= c <= 1.0 for c in confidences)
+        # A tag read every poll has near-certain detection confidence.
+        assert confidences[-1] > 0.99
+
+    def test_confidence_lower_for_flaky_tags(self):
+        reliable = AdaptiveSmoother(delta=0.05, max_polls=6)
+        flaky = AdaptiveSmoother(delta=0.05, max_polls=6)
+        out_reliable = drive(reliable, [1] * 12)
+        out_flaky = drive(flaky, [1, 0, 0] * 4)
+        last_reliable = out_reliable[-1][0]["confidence"]
+        flaky_steps = [step for step in out_flaky if step]
+        last_flaky = flaky_steps[-1][0]["confidence"]
+        assert last_flaky < last_reliable
+
+    def test_state_garbage_collected(self):
+        op = AdaptiveSmoother(max_polls=10)
+        drive(op, [1] * 3 + [0] * 15)
+        assert op._states == {}
+
+    def test_readings_without_id_ignored(self):
+        op = AdaptiveSmoother()
+        op.on_tuple(StreamTuple(0.0, {"other": 1}))
+        assert op.on_time(0.0) == []
+
+
+class TestController:
+    def test_window_grows_for_flaky_tags(self):
+        op = AdaptiveSmoother(delta=0.05, min_polls=2, max_polls=150)
+        drive(op, [1, 0, 0, 0] * 15)  # p ~ 0.25
+        state = op._states["a"]
+        # completeness bound: ln(20)/0.25 ~ 12 polls
+        assert state.window_polls >= 8
+
+    def test_window_stays_small_for_reliable_tags(self):
+        op = AdaptiveSmoother(delta=0.05, min_polls=2)
+        drive(op, [1] * 30)
+        assert op._states["a"].window_polls <= 6
+
+    def test_window_clamped_at_max(self):
+        op = AdaptiveSmoother(delta=0.01, min_polls=2, max_polls=20)
+        drive(op, [1, 0, 0, 0, 0, 0, 0, 0, 0, 0] * 10)  # p ~ 0.1
+        assert op._states["a"].window_polls <= 20
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OperatorError):
+            AdaptiveSmoother(delta=0.0)
+        with pytest.raises(OperatorError):
+            AdaptiveSmoother(delta=1.5)
+        with pytest.raises(OperatorError):
+            AdaptiveSmoother(min_polls=5, max_polls=2)
+
+    def test_stage_builder(self):
+        stage = adaptive_smoother()
+        assert stage.kind is StageKind.SMOOTH
+        assert isinstance(
+            stage.make(StageContext(StageKind.SMOOTH)), AdaptiveSmoother
+        )
+
+
+class TestPipelineIntegration:
+    def test_adaptive_config_runs(self, small_shelf):
+        from repro.experiments.rfid import shelf_error
+        from repro.pipelines.rfid_shelf import query1_counts
+
+        truth = small_shelf.truth_series()
+        adaptive_error = shelf_error(
+            query1_counts(small_shelf, "adaptive+arbitrate"), truth
+        )
+        raw_error = shelf_error(query1_counts(small_shelf, "raw"), truth)
+        assert adaptive_error < raw_error / 2
+
+    def test_adaptive_tracks_distinct_tags_per_granule(self, small_shelf):
+        from repro.pipelines.rfid_shelf import query1_counts
+
+        counts = query1_counts(small_shelf, "adaptive+arbitrate")
+        # Counts must be in a sane range (0..25 items exist).
+        for series in counts.values():
+            assert series.max() <= 25

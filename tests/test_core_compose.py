@@ -1,0 +1,120 @@
+"""Tests for hierarchical (HiFi-style) composition of ESP deployments."""
+
+import numpy as np
+import pytest
+
+from repro.core.compose import EdgeSite, hierarchical_run
+from repro.cql import compile_query
+from repro.errors import PipelineError
+from repro.pipelines.rfid_shelf import build_shelf_processor
+from repro.scenarios import ShelfScenario
+
+
+@pytest.fixture(scope="module")
+def two_stores():
+    """Two independent store deployments sharing one pipeline design."""
+    sites = []
+    for index in (0, 1):
+        scenario = ShelfScenario(duration=60.0, seed=100 + index)
+        processor = build_shelf_processor(scenario, "smooth+arbitrate")
+        sites.append(
+            (
+                scenario,
+                EdgeSite(
+                    f"store{index}",
+                    processor,
+                    sources=scenario.recorded_streams(),
+                ),
+            )
+        )
+    return sites
+
+
+class TestEdgeSite:
+    def test_site_output_stamped(self, two_stores):
+        scenario, site = two_stores[0]
+        out = site.run(until=scenario.duration, tick=scenario.poll_period)
+        assert out
+        assert all(item.stream == "store0" for item in out)
+        assert all(item["site"] == "store0" for item in out)
+
+    def test_empty_name_rejected(self, two_stores):
+        _scenario, site = two_stores[0]
+        with pytest.raises(PipelineError):
+            EdgeSite("", site.processor)
+
+
+class TestHierarchicalRun:
+    def parent_query(self):
+        # HiFi-style roll-up: chain-wide distinct item count per site,
+        # computed over the union of the sites' *cleaned* streams.
+        return compile_query(
+            "SELECT site, count(distinct tag_id) AS items "
+            "FROM store0 [Range By 'NOW'] GROUP BY site "
+            "UNION "
+            "SELECT site, count(distinct tag_id) AS items "
+            "FROM store1 [Range By 'NOW'] GROUP BY site"
+        )
+
+    def test_parent_sees_both_sites(self, two_stores):
+        scenario = two_stores[0][0]
+        out = hierarchical_run(
+            [site for _s, site in two_stores],
+            self.parent_query(),
+            until=scenario.duration,
+            tick=scenario.poll_period,
+        )
+        sites_seen = {item["site"] for item in out}
+        assert sites_seen == {"store0", "store1"}
+
+    def test_rollup_counts_track_truth(self, two_stores):
+        scenario = two_stores[0][0]
+        out = hierarchical_run(
+            [site for _s, site in two_stores],
+            self.parent_query(),
+            until=scenario.duration,
+            tick=scenario.poll_period,
+        )
+        # Each store holds exactly 25 items across its two shelves (the
+        # relocated tags move between shelves, never between stores);
+        # the cleaned roll-up must track that total closely.
+        counts = [item["items"] for item in out if item.timestamp > 10.0]
+        assert counts
+        assert 21 <= np.mean(counts) <= 26
+
+    def test_coarser_parent_tick(self, two_stores):
+        scenario = two_stores[0][0]
+        fine = hierarchical_run(
+            [site for _s, site in two_stores],
+            self.parent_query(),
+            until=scenario.duration,
+            tick=scenario.poll_period,
+        )
+        coarse = hierarchical_run(
+            [site for _s, site in two_stores],
+            self.parent_query(),
+            until=scenario.duration,
+            tick=scenario.poll_period,
+            parent_tick=5.0,
+        )
+        assert len(coarse) < len(fine)
+
+    def test_duplicate_site_names_rejected(self, two_stores):
+        _scenario, site = two_stores[0]
+        with pytest.raises(PipelineError):
+            hierarchical_run(
+                [site, site], self.parent_query(), until=1.0, tick=1.0
+            )
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(PipelineError):
+            hierarchical_run([], compile_query("SELECT * FROM x"),
+                             until=1.0, tick=1.0)
+
+    def test_invalid_parent_tick(self, two_stores):
+        _scenario, site = two_stores[0]
+        with pytest.raises(PipelineError):
+            hierarchical_run(
+                [site], self.parent_query(), until=1.0, tick=1.0,
+                parent_tick=0.0,
+            )

@@ -1,0 +1,78 @@
+"""Unit tests for temporal/spatial granules and proximity groups."""
+
+import pytest
+
+from repro.core.granules import ProximityGroup, SpatialGranule, TemporalGranule
+from repro.errors import PipelineError
+
+
+class TestTemporalGranule:
+    def test_parse_from_string(self):
+        assert TemporalGranule("5 sec").seconds == 5.0
+
+    def test_window_defaults_to_granule(self):
+        granule = TemporalGranule("5 sec")
+        assert granule.window_seconds == 5.0
+        assert not granule.is_expanded
+
+    def test_window_expansion(self):
+        granule = TemporalGranule("5 min", smoothing_window="30 min")
+        assert granule.seconds == 300.0
+        assert granule.window_seconds == 1800.0
+        assert granule.is_expanded
+
+    def test_window_smaller_than_granule_rejected(self):
+        with pytest.raises(PipelineError):
+            TemporalGranule("5 min", smoothing_window="1 min")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(PipelineError):
+            TemporalGranule(0.0)
+
+    def test_equality(self):
+        assert TemporalGranule(5.0) == TemporalGranule("5 sec")
+        assert TemporalGranule(5.0) != TemporalGranule(6.0)
+        assert TemporalGranule(5.0) != TemporalGranule(
+            5.0, smoothing_window=10.0
+        )
+
+    def test_repr_shows_expansion(self):
+        assert "window" in repr(
+            TemporalGranule("5 min", smoothing_window="30 min")
+        )
+
+
+class TestSpatialGranule:
+    def test_identity_by_name(self):
+        assert SpatialGranule("shelf0") == SpatialGranule("shelf0")
+        assert SpatialGranule("shelf0") != SpatialGranule("shelf1")
+        assert hash(SpatialGranule("a")) == hash(SpatialGranule("a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PipelineError):
+            SpatialGranule("")
+
+    def test_description_optional(self):
+        granule = SpatialGranule("room", description="the office")
+        assert granule.description == "the office"
+
+
+class TestProximityGroup:
+    def test_construction(self):
+        group = ProximityGroup("g", SpatialGranule("shelf0"), "rfid")
+        assert group.receptor_kind == "rfid"
+        assert group.members == []
+
+    def test_equality_ignores_members(self):
+        a = ProximityGroup("g", SpatialGranule("s"), "rfid")
+        b = ProximityGroup("g", SpatialGranule("s"), "rfid")
+        a.members.append("r0")
+        assert a == b
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PipelineError):
+            ProximityGroup("", SpatialGranule("s"), "rfid")
+
+    def test_repr_mentions_granule(self):
+        group = ProximityGroup("g", SpatialGranule("shelf0"), "rfid")
+        assert "shelf0" in repr(group)

@@ -1,0 +1,110 @@
+"""Tests for the Horvitz–Thompson population-count estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators.adaptive_ops import (
+    HorvitzThompsonCounter,
+    horvitz_thompson_counter,
+)
+from repro.core.stages import StageContext, StageKind
+from repro.errors import OperatorError
+from repro.streams.tuples import StreamTuple
+
+
+def drive_population(op, n_tags, p, polls, rng, group="g"):
+    """Simulate a population of n_tags each read w.p. p per poll."""
+    outputs = []
+    for poll in range(polls):
+        now = float(poll)
+        for tag in range(n_tags):
+            if rng.random() < p:
+                op.on_tuple(
+                    StreamTuple(
+                        now, {"tag_id": f"t{tag}", "spatial_granule": group}
+                    )
+                )
+        outputs.append(op.on_time(now))
+    return outputs
+
+
+class TestEstimator:
+    def test_reliable_population_exact(self):
+        op = HorvitzThompsonCounter(window_polls=10)
+        rng = np.random.default_rng(0)
+        outputs = drive_population(op, n_tags=10, p=1.0, polls=15, rng=rng)
+        final = outputs[-1][0]
+        assert final["estimated_count"] == pytest.approx(10.0, abs=0.01)
+        assert final["observed_count"] == 10
+
+    def test_unreliable_population_unbiased(self):
+        """At p=0.15 with a 10-poll window, the naive distinct count
+        misses ~20% of tags; the HT estimate recovers the truth."""
+        estimates, observed = [], []
+        for seed in range(12):
+            op = HorvitzThompsonCounter(window_polls=10)
+            rng = np.random.default_rng(seed)
+            outputs = drive_population(
+                op, n_tags=20, p=0.15, polls=40, rng=rng
+            )
+            final = outputs[-1][0]
+            estimates.append(final["estimated_count"])
+            observed.append(final["observed_count"])
+        assert np.mean(observed) < 19.0  # naive count biased low
+        assert np.mean(estimates) == pytest.approx(20.0, abs=2.0)
+        assert abs(np.mean(estimates) - 20.0) < abs(
+            np.mean(observed) - 20.0
+        )
+
+    def test_groups_estimated_independently(self):
+        op = HorvitzThompsonCounter(window_polls=5)
+        for poll in range(6):
+            now = float(poll)
+            op.on_tuple(
+                StreamTuple(now, {"tag_id": "a", "spatial_granule": "g0"})
+            )
+            op.on_tuple(
+                StreamTuple(now, {"tag_id": "b", "spatial_granule": "g1"})
+            )
+            out = op.on_time(now)
+        groups = {t["spatial_granule"]: t["estimated_count"] for t in out}
+        assert set(groups) == {"g0", "g1"}
+
+    def test_departed_tags_age_out(self):
+        op = HorvitzThompsonCounter(window_polls=3)
+        op.on_tuple(
+            StreamTuple(0.0, {"tag_id": "a", "spatial_granule": "g"})
+        )
+        op.on_time(0.0)
+        for poll in range(1, 6):
+            out = op.on_time(float(poll))
+        assert out == []
+        assert op._reads == {}
+
+    def test_malformed_rows_skipped(self):
+        op = HorvitzThompsonCounter(window_polls=3)
+        op.on_tuple(StreamTuple(0.0, {"tag_id": "a"}))  # no granule
+        op.on_tuple(StreamTuple(0.0, {"spatial_granule": "g"}))  # no tag
+        assert op.on_time(0.0) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(OperatorError):
+            HorvitzThompsonCounter(window_polls=0)
+
+    def test_stage_builder(self):
+        stage = horvitz_thompson_counter(window_polls=25)
+        assert stage.kind is StageKind.SMOOTH
+        assert isinstance(
+            stage.make(StageContext(StageKind.SMOOTH)),
+            HorvitzThompsonCounter,
+        )
+
+    def test_estimate_never_below_observed(self):
+        op = HorvitzThompsonCounter(window_polls=10)
+        rng = np.random.default_rng(5)
+        outputs = drive_population(op, n_tags=15, p=0.3, polls=30, rng=rng)
+        for step in outputs:
+            for row in step:
+                assert (
+                    row["estimated_count"] >= row["observed_count"] - 1e-9
+                )

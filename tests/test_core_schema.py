@@ -1,0 +1,54 @@
+"""Unit tests for the reading-schema conventions."""
+
+import pytest
+
+from repro.core import schema
+from repro.errors import SchemaError
+from repro.streams.tuples import StreamTuple
+
+
+class TestValidateReading:
+    def test_valid_rfid(self):
+        reading = StreamTuple(0.0, {"tag_id": "a", "reader_id": "r0"})
+        schema.validate_reading(reading, "rfid")  # no exception
+
+    def test_valid_mote(self):
+        schema.validate_reading(
+            StreamTuple(0.0, {"mote_id": "m", "temp": 20.0}), "mote"
+        )
+
+    def test_valid_x10(self):
+        schema.validate_reading(
+            StreamTuple(0.0, {"sensor_id": "x", "value": "ON"}), "x10"
+        )
+
+    def test_missing_field_reported(self):
+        with pytest.raises(SchemaError) as err:
+            schema.validate_reading(StreamTuple(0.0, {"tag_id": "a"}), "rfid")
+        assert "reader_id" in str(err.value)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            schema.validate_reading(StreamTuple(0.0, {}), "lidar")
+
+    def test_simulator_outputs_conform(self):
+        from repro.receptors.motes import Mote
+        from repro.receptors.rfid import DetectionField, RFIDReader, TagPlacement
+        from repro.receptors.x10 import X10MotionDetector
+
+        reader = RFIDReader(
+            "r", shelf=0,
+            tags=[TagPlacement("t", lambda r, n: 0.0)],
+            field=DetectionField([(0.0, 1.0), (9.0, 1.0)]),
+            rng=0,
+        )
+        for reading in reader.poll(0.0):
+            schema.validate_reading(reading, "rfid")
+        mote = Mote("m", field=lambda n: 1.0, rng=0)
+        for reading in mote.poll(0.0):
+            schema.validate_reading(reading, "mote")
+        x10 = X10MotionDetector(
+            "x", occupied=lambda n: True, detect_probability=1.0, rng=0
+        )
+        for reading in x10.poll(0.0):
+            schema.validate_reading(reading, "x10")

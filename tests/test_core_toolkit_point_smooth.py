@@ -1,0 +1,179 @@
+"""Unit tests for the Point and Smooth toolkit operators."""
+
+import pytest
+
+from repro.core.granules import TemporalGranule
+from repro.core.operators.point_ops import (
+    convert_field,
+    ghost_filter,
+    range_filter,
+    whitelist,
+)
+from repro.core.operators.smooth_ops import (
+    event_smoother,
+    presence_smoother,
+    sliding_average,
+)
+from repro.core.stages import StageContext, StageKind
+from repro.errors import PipelineError
+from repro.streams.tuples import StreamTuple
+
+
+def ctx(kind=StageKind.SMOOTH, granule=None):
+    return StageContext(kind, temporal_granule=granule)
+
+
+def tup(ts, **fields):
+    return StreamTuple(ts, fields, "s")
+
+
+def drive(op, items, ticks):
+    out = []
+    items = sorted(items, key=lambda t: t.timestamp)
+    index = 0
+    for tick in ticks:
+        while index < len(items) and items[index].timestamp <= tick + 1e-9:
+            out.extend(op.on_tuple(items[index]))
+            index += 1
+        out.extend(op.on_time(tick))
+    return out
+
+
+class TestPointOps:
+    def test_range_filter_high(self):
+        op = range_filter("temp", high=50).make(ctx(StageKind.POINT))
+        assert op.on_tuple(tup(0, temp=30)) != []
+        assert op.on_tuple(tup(0, temp=50)) == []  # strict, as in Query 4
+        assert op.on_tuple(tup(0, temp=80)) == []
+
+    def test_range_filter_low(self):
+        op = range_filter("temp", low=0).make(ctx(StageKind.POINT))
+        assert op.on_tuple(tup(0, temp=-5)) == []
+        assert op.on_tuple(tup(0, temp=5)) != []
+
+    def test_range_filter_drops_missing_field(self):
+        op = range_filter("temp", high=50).make(ctx(StageKind.POINT))
+        assert op.on_tuple(tup(0, other=1)) == []
+
+    def test_range_filter_needs_a_bound(self):
+        with pytest.raises(PipelineError):
+            range_filter("temp")
+
+    def test_whitelist(self):
+        op = whitelist("tag_id", ["a", "b"]).make(ctx(StageKind.POINT))
+        assert op.on_tuple(tup(0, tag_id="a")) != []
+        assert op.on_tuple(tup(0, tag_id="zzz")) == []
+
+    def test_ghost_filter(self):
+        op = ghost_filter().make(ctx(StageKind.POINT))
+        assert op.on_tuple(tup(0, tag_id="ghost_r0_1")) == []
+        assert op.on_tuple(tup(0, tag_id="s0_01")) != []
+
+    def test_convert_field_in_place(self):
+        stage = convert_field("temp", lambda c: c * 9 / 5 + 32)
+        op = stage.make(ctx(StageKind.POINT))
+        assert op.on_tuple(tup(0, temp=100.0))[0]["temp"] == 212.0
+
+    def test_convert_field_new_output(self):
+        stage = convert_field("temp", lambda c: c + 1, output="temp_adj")
+        out = stage.make(ctx(StageKind.POINT)).on_tuple(tup(0, temp=1.0))
+        assert out[0]["temp"] == 1.0 and out[0]["temp_adj"] == 2.0
+
+    def test_convert_passes_missing_field_through(self):
+        stage = convert_field("temp", lambda c: c + 1)
+        out = stage.make(ctx(StageKind.POINT)).on_tuple(tup(0, other=1))
+        assert out[0]["other"] == 1
+
+
+class TestPresenceSmoother:
+    def test_interpolates_across_window(self):
+        op = presence_smoother(window=5.0).make(ctx())
+        out = drive(op, [tup(0.0, tag_id="a", spatial_granule="g")],
+                    [0.0, 3.0, 5.0, 6.0])
+        assert [t.timestamp for t in out] == [0.0, 3.0, 5.0]
+
+    def test_count_field(self):
+        op = presence_smoother(window=5.0).make(ctx())
+        items = [tup(0.0, tag_id="a", spatial_granule="g"),
+                 tup(1.0, tag_id="a", spatial_granule="g")]
+        out = drive(op, items, [1.0])
+        assert out[0]["count"] == 2
+
+    def test_carries_spatial_granule(self):
+        op = presence_smoother(window=5.0).make(ctx())
+        out = drive(op, [tup(0.0, tag_id="a", spatial_granule="shelf0")], [0.0])
+        assert out[0]["spatial_granule"] == "shelf0"
+
+    def test_window_defaults_to_granule(self):
+        op = presence_smoother().make(ctx(granule=TemporalGranule(2.0)))
+        out = drive(op, [tup(0.0, tag_id="a", spatial_granule="g")],
+                    [0.0, 2.0, 3.0])
+        assert [t.timestamp for t in out] == [0.0, 2.0]
+
+    def test_requires_window_or_granule(self):
+        with pytest.raises(PipelineError):
+            presence_smoother().make(ctx())
+
+
+class TestSlidingAverage:
+    def test_per_device_average(self):
+        op = sliding_average(window=10.0, value_field="temp").make(ctx())
+        items = [
+            tup(0.0, mote_id="m1", temp=10.0, spatial_granule="g"),
+            tup(0.0, mote_id="m2", temp=30.0, spatial_granule="g"),
+            tup(5.0, mote_id="m1", temp=20.0, spatial_granule="g"),
+        ]
+        out = drive(op, items, [5.0])
+        by_mote = {t["mote_id"]: t["temp"] for t in out}
+        assert by_mote == {"m1": 15.0, "m2": 30.0}
+
+    def test_masks_lost_readings_within_window(self):
+        op = sliding_average(window=30.0, value_field="temp").make(ctx())
+        items = [tup(0.0, mote_id="m1", temp=20.0, spatial_granule="g")]
+        out = drive(op, items, [0.0, 10.0, 20.0, 30.0, 40.0])
+        assert [t.timestamp for t in out] == [0.0, 10.0, 20.0, 30.0]
+
+    def test_reading_count_emitted(self):
+        op = sliding_average(window=10.0).make(ctx())
+        items = [tup(0.0, mote_id="m", temp=1.0, spatial_granule="g"),
+                 tup(1.0, mote_id="m", temp=2.0, spatial_granule="g")]
+        out = drive(op, items, [1.0])
+        assert out[0]["readings"] == 2
+
+    def test_output_field_rename(self):
+        op = sliding_average(
+            window=10.0, value_field="temp", output_field="temp_smooth"
+        ).make(ctx())
+        out = drive(op, [tup(0.0, mote_id="m", temp=5.0, spatial_granule="g")],
+                    [0.0])
+        assert out[0]["temp_smooth"] == 5.0
+
+    def test_uses_expanded_granule_window(self):
+        granule = TemporalGranule("5 min", smoothing_window="30 min")
+        op = sliding_average().make(ctx(granule=granule))
+        items = [tup(0.0, mote_id="m", temp=1.0, spatial_granule="g")]
+        out = drive(op, items, [0.0, 1500.0, 1800.0, 2100.0])
+        assert [t.timestamp for t in out] == [0.0, 1500.0, 1800.0]
+
+
+class TestEventSmoother:
+    def test_interpolates_on_events(self):
+        op = event_smoother(window=10.0).make(ctx())
+        items = [tup(0.0, value="ON", sensor_id="x1", spatial_granule="g")]
+        out = drive(op, items, [0.0, 5.0, 10.0, 11.0])
+        assert [t.timestamp for t in out] == [0.0, 5.0, 10.0]
+        assert all(t["value"] == "ON" for t in out)
+
+    def test_ignores_non_on_values(self):
+        op = event_smoother(window=10.0).make(ctx())
+        items = [tup(0.0, value="OFF", sensor_id="x1", spatial_granule="g")]
+        assert drive(op, items, [0.0]) == []
+
+    def test_event_count_carried(self):
+        op = event_smoother(window=10.0).make(ctx())
+        items = [
+            tup(0.0, value="ON", sensor_id="x1", spatial_granule="g"),
+            tup(1.0, value="ON", sensor_id="x1", spatial_granule="g"),
+        ]
+        out = drive(op, items, [1.0])
+        assert out[0]["events"] == 2

@@ -1,0 +1,93 @@
+"""Tests for CASE expressions in the CQL subset."""
+
+import pytest
+
+from repro.cql import compile_query, parse
+from repro.cql.ast import CaseExpr
+from repro.errors import CQLSyntaxError
+from repro.streams.tuples import StreamTuple
+
+
+def tup(ts, stream="s", **fields):
+    return StreamTuple(ts, fields, stream)
+
+
+class TestParsing:
+    def test_single_branch(self):
+        tree = parse(
+            "SELECT CASE WHEN a > 1 THEN 'hi' END AS label FROM s"
+        )
+        expr = tree.items[0].expr
+        assert isinstance(expr, CaseExpr)
+        assert len(expr.whens) == 1
+        assert expr.default is None
+
+    def test_else_branch(self):
+        tree = parse(
+            "SELECT CASE WHEN a > 1 THEN 1 ELSE 0 END AS flag FROM s"
+        )
+        assert tree.items[0].expr.default is not None
+
+    def test_multiple_branches(self):
+        tree = parse(
+            "SELECT CASE WHEN a > 2 THEN 'hot' WHEN a > 1 THEN 'warm' "
+            "ELSE 'cold' END AS zone FROM s"
+        )
+        assert len(tree.items[0].expr.whens) == 2
+
+    def test_case_without_when_rejected(self):
+        with pytest.raises(CQLSyntaxError):
+            parse("SELECT CASE ELSE 1 END FROM s")
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(CQLSyntaxError):
+            parse("SELECT CASE WHEN a THEN 1 FROM s")
+
+
+class TestEvaluation:
+    def test_branch_selection(self):
+        query = compile_query(
+            "SELECT CASE WHEN v > 2 THEN 'big' WHEN v > 0 THEN 'small' "
+            "ELSE 'neg' END AS size FROM s"
+        )
+        rows = [tup(0.0, v=5), tup(0.0, v=1), tup(0.0, v=-1)]
+        out = query.run({"s": rows}, [0.0])
+        assert [t["size"] for t in out] == ["big", "small", "neg"]
+
+    def test_no_match_no_else_is_null(self):
+        query = compile_query(
+            "SELECT CASE WHEN v > 100 THEN 1 END AS flag FROM s"
+        )
+        out = query.run({"s": [tup(0.0, v=1)]}, [0.0])
+        assert out[0]["flag"] is None
+
+    def test_case_inside_aggregate_vote_counting(self):
+        # A Query-6-style vote written as a conditional sum.
+        query = compile_query(
+            "SELECT sum(CASE WHEN noise > 525 THEN 1 ELSE 0 END) AS votes "
+            "FROM s [Range By 'NOW']"
+        )
+        rows = [tup(0.0, noise=n) for n in (400, 600, 700)]
+        out = query.run({"s": rows}, [0.0])
+        assert out[0]["votes"] == 2
+
+    def test_case_over_aggregates(self):
+        query = compile_query(
+            "SELECT CASE WHEN count(*) > 2 THEN 'busy' ELSE 'quiet' END "
+            "AS load FROM s [Range By '5 sec']"
+        )
+        rows = [tup(0.0, v=i) for i in range(4)]
+        out = query.run({"s": rows}, [0.0])
+        assert out[0]["load"] == "busy"
+
+    def test_case_in_where(self):
+        query = compile_query(
+            "SELECT * FROM s WHERE CASE WHEN mode = 'strict' THEN v > 10 "
+            "ELSE v > 1 END"
+        )
+        rows = [
+            tup(0.0, mode="strict", v=5),
+            tup(0.0, mode="lenient", v=5),
+        ]
+        out = query.run({"s": rows}, [0.0])
+        assert [t["mode"] for t in out] == ["lenient"]

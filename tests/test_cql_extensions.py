@@ -1,0 +1,156 @@
+"""Tests for CQL subset extensions: BETWEEN/IN/LIKE and stream operators."""
+
+import pytest
+
+from repro.cql import compile_query, parse
+from repro.errors import CQLSyntaxError, PlanError
+from repro.streams.tuples import StreamTuple
+
+
+def tup(ts, stream="s", **fields):
+    return StreamTuple(ts, fields, stream)
+
+
+def run_filter(where, rows, ticks=(0.0,)):
+    query = compile_query(f"SELECT * FROM s WHERE {where}")
+    return query.run({"s": rows}, list(ticks))
+
+
+class TestBetween:
+    def test_inclusive_bounds(self):
+        rows = [tup(0.0, v=v) for v in (4, 5, 7, 10, 11)]
+        out = run_filter("v BETWEEN 5 AND 10", rows)
+        assert [t["v"] for t in out] == [5, 7, 10]
+
+    def test_not_between(self):
+        rows = [tup(0.0, v=v) for v in (4, 5, 7, 11)]
+        out = run_filter("v NOT BETWEEN 5 AND 10", rows)
+        assert [t["v"] for t in out] == [4, 11]
+
+    def test_between_with_expressions(self):
+        rows = [tup(0.0, v=6, lo=5, hi=7), tup(0.0, v=9, lo=5, hi=7)]
+        out = run_filter("v BETWEEN lo AND hi", rows)
+        assert [t["v"] for t in out] == [6]
+
+    def test_between_null_is_false(self):
+        out = run_filter("v BETWEEN 1 AND 5", [tup(0.0, other=1)])
+        assert out == []
+
+
+class TestIn:
+    def test_membership(self):
+        rows = [tup(0.0, tag=t) for t in ("a", "b", "c")]
+        out = run_filter("tag IN ('a', 'c')", rows)
+        assert [t["tag"] for t in out] == ["a", "c"]
+
+    def test_not_in(self):
+        rows = [tup(0.0, tag=t) for t in ("a", "b", "c")]
+        out = run_filter("tag NOT IN ('a', 'c')", rows)
+        assert [t["tag"] for t in out] == ["b"]
+
+    def test_numeric_list(self):
+        rows = [tup(0.0, v=v) for v in (1, 2, 3)]
+        out = run_filter("v IN (1, 3)", rows)
+        assert [t["v"] for t in out] == [1, 3]
+
+    def test_single_element(self):
+        out = run_filter("v IN (2)", [tup(0.0, v=2), tup(0.0, v=3)])
+        assert len(out) == 1
+
+    def test_subquery_rejected_with_clear_error(self):
+        with pytest.raises(CQLSyntaxError) as err:
+            parse("SELECT * FROM s WHERE v IN (SELECT v FROM t)")
+        assert "subquery" in str(err.value)
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        rows = [tup(0.0, tag=t) for t in ("ghost_1", "s0_01", "ghost_2")]
+        out = run_filter("tag LIKE 'ghost%'", rows)
+        assert [t["tag"] for t in out] == ["ghost_1", "ghost_2"]
+
+    def test_not_like_point_filter(self):
+        # The ghost-filtering Point stage, written declaratively.
+        rows = [tup(0.0, tag_id=t) for t in ("ghost_r0_1", "s0_01")]
+        out = run_filter("tag_id NOT LIKE 'ghost%'", rows)
+        assert [t["tag_id"] for t in out] == ["s0_01"]
+
+    def test_underscore_wildcard(self):
+        rows = [tup(0.0, tag=t) for t in ("a1", "a22", "b1")]
+        out = run_filter("tag LIKE 'a_'", rows)
+        assert [t["tag"] for t in out] == ["a1"]
+
+    def test_exact_match_without_wildcards(self):
+        rows = [tup(0.0, tag=t) for t in ("on", "only")]
+        out = run_filter("tag LIKE 'on'", rows)
+        assert [t["tag"] for t in out] == ["on"]
+
+    def test_regex_metacharacters_escaped(self):
+        rows = [tup(0.0, tag=t) for t in ("a.b", "axb")]
+        out = run_filter("tag LIKE 'a.b'", rows)
+        assert [t["tag"] for t in out] == ["a.b"]
+
+    def test_null_is_false(self):
+        assert run_filter("tag LIKE 'x%'", [tup(0.0, other=1)]) == []
+
+    def test_non_literal_pattern_rejected(self):
+        with pytest.raises((PlanError, CQLSyntaxError)):
+            compile_query("SELECT * FROM s WHERE a LIKE b")
+
+
+class TestStreamOperators:
+    QUERY = """
+        SELECT ISTREAM tag_id, count(*) AS c
+        FROM s [Range By '5 sec']
+        GROUP BY tag_id
+    """
+
+    def test_istream_emits_only_new_rows(self):
+        # Same window contents at consecutive ticks -> emitted once.
+        rows = [tup(0.0, tag_id="a")]
+        out = compile_query(self.QUERY).run({"s": rows}, [0.0, 1.0, 2.0])
+        assert [(t.timestamp, t["tag_id"]) for t in out] == [(0.0, "a")]
+
+    def test_istream_reemits_on_change(self):
+        rows = [tup(0.0, tag_id="a"), tup(1.0, tag_id="a")]
+        out = compile_query(self.QUERY).run({"s": rows}, [0.0, 1.0])
+        # count changes 1 -> 2, so the t=1 row is an insertion.
+        assert [(t.timestamp, t["c"]) for t in out] == [(0.0, 1), (1.0, 2)]
+
+    def test_dstream_emits_departures(self):
+        query = """
+            SELECT DSTREAM tag_id, count(*) AS c
+            FROM s [Range By '2 sec']
+            GROUP BY tag_id
+        """
+        rows = [tup(0.0, tag_id="a")]
+        out = compile_query(query).run({"s": rows}, [0.0, 1.0, 2.0, 3.0])
+        # Row exists for ticks 0..2, disappears at t=3.
+        assert [(t.timestamp, t["tag_id"]) for t in out] == [(3.0, "a")]
+
+    def test_rstream_is_default_behaviour(self):
+        plain = self.QUERY.replace("ISTREAM ", "")
+        rstream = self.QUERY.replace("ISTREAM", "RSTREAM")
+        rows = [tup(0.0, tag_id="a")]
+        ticks = [0.0, 1.0]
+        out_plain = compile_query(plain).run({"s": rows}, ticks)
+        out_rstream = compile_query(rstream).run({"s": rows}, ticks)
+        assert len(out_plain) == len(out_rstream) == 2
+
+    def test_prefix_form(self):
+        query = """
+            ISTREAM (SELECT tag_id, count(*) AS c
+                     FROM s [Range By '5 sec'] GROUP BY tag_id)
+        """
+        tree = parse(query)
+        assert tree.stream_op == "ISTREAM"
+        rows = [tup(0.0, tag_id="a")]
+        out = compile_query(query).run({"s": rows}, [0.0, 1.0])
+        assert len(out) == 1
+
+    def test_istream_on_stateless_select(self):
+        # ISTREAM over a filter dedupes identical consecutive rows.
+        query = "SELECT ISTREAM tag FROM s WHERE tag LIKE 'a%'"
+        rows = [tup(0.0, tag="a1"), tup(1.0, tag="a1"), tup(2.0, tag="a2")]
+        out = compile_query(query).run({"s": rows}, [0.0, 1.0, 2.0])
+        assert [t["tag"] for t in out] == ["a1", "a2"]

@@ -1,0 +1,80 @@
+"""Unit tests for the scalar-function registry."""
+
+import pytest
+
+from repro.cql.functions import get_function, is_function, register_function
+from repro.errors import PlanError
+
+
+class TestBuiltins:
+    def test_abs(self):
+        assert get_function("abs")(-3) == 3
+
+    def test_null_propagation(self):
+        assert get_function("abs")(None) is None
+        assert get_function("least")(1, None) is None
+
+    def test_coalesce(self):
+        coalesce = get_function("coalesce")
+        assert coalesce(None, None, 3) == 3
+        assert coalesce(None) is None
+        assert coalesce(0, 1) == 0  # zero is not NULL
+
+    def test_ifnull(self):
+        assert get_function("ifnull")(None, 9) == 9
+        assert get_function("ifnull")(4, 9) == 4
+
+    def test_nullif(self):
+        assert get_function("nullif")(3, 3) is None
+        assert get_function("nullif")(3, 4) == 3
+
+    def test_least_greatest(self):
+        assert get_function("least")(3, 1, 2) == 1
+        assert get_function("greatest")(3, 1, 2) == 3
+
+    def test_round_floor_ceil(self):
+        assert get_function("round")(2.6) == 3
+        assert get_function("floor")(2.6) == 2
+        assert get_function("ceil")(2.1) == 3
+
+    def test_sign(self):
+        sign = get_function("sign")
+        assert (sign(-5), sign(0), sign(5)) == (-1, 0, 1)
+
+    def test_string_functions(self):
+        assert get_function("lower")("AbC") == "abc"
+        assert get_function("upper")("abc") == "ABC"
+        assert get_function("length")("abcd") == 4
+        assert get_function("concat")("a", None, "b") == "ab"
+
+    def test_math_functions(self):
+        assert get_function("sqrt")(9.0) == 3.0
+        assert get_function("power")(2, 10) == 1024
+        assert get_function("mod")(7, 3) == 1
+
+
+class TestRegistry:
+    def test_case_insensitive_lookup(self):
+        assert get_function("COALESCE") is get_function("coalesce")
+
+    def test_unknown_function(self):
+        with pytest.raises(PlanError) as err:
+            get_function("no_such_fn")
+        assert "no_such_fn" in str(err.value)
+
+    def test_is_function(self):
+        assert is_function("abs")
+        assert not is_function("count_of_chickens")
+
+    def test_register_udf_and_use_in_query(self):
+        register_function("fahrenheit_test", lambda c: c * 9 / 5 + 32)
+        from repro.cql import compile_query
+        from repro.streams.tuples import StreamTuple
+
+        query = compile_query(
+            "SELECT fahrenheit_test(temp) AS f FROM s"
+        )
+        out = query.run(
+            {"s": [StreamTuple(0.0, {"temp": 100.0})]}, [0.0]
+        )
+        assert out[0]["f"] == 212.0

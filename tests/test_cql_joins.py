@@ -1,0 +1,170 @@
+"""Unit tests for join plans: Query 5's self-join and Query 6's combine."""
+
+from repro.cql import compile_query
+from repro.streams.tuples import StreamTuple
+
+
+def tup(ts, stream="s", **fields):
+    return StreamTuple(ts, fields, stream)
+
+
+class TestInstantJoin:
+    QUERY5 = """
+        SELECT spatial_granule, AVG(temp)
+        FROM merge_input s [Range By '5 min'],
+             (SELECT spatial_granule, avg(temp) as avg,
+                     stdev(temp) as stdev
+              FROM merge_input [Range By '5 min']) as a
+        WHERE a.spatial_granule = s.spatial_granule AND
+              s.temp < a.avg + a.stdev AND
+              s.temp > a.avg - a.stdev
+        GROUP BY spatial_granule
+    """
+
+    def test_outlier_rejected_from_average(self):
+        rows = [
+            tup(0.0, "merge_input", spatial_granule="g", temp=20.0),
+            tup(0.0, "merge_input", spatial_granule="g", temp=21.0),
+            tup(0.0, "merge_input", spatial_granule="g", temp=100.0),
+        ]
+        out = compile_query(self.QUERY5).run({"merge_input": rows}, [0.0])
+        assert len(out) == 1
+        assert out[0]["avg_temp"] == 20.5
+
+    def test_granules_independent(self):
+        rows = [
+            tup(0.0, "merge_input", spatial_granule="g", temp=20.0),
+            tup(0.0, "merge_input", spatial_granule="g", temp=21.0),
+            tup(0.0, "merge_input", spatial_granule="g", temp=100.0),
+            tup(0.0, "merge_input", spatial_granule="h", temp=5.0),
+            tup(0.0, "merge_input", spatial_granule="h", temp=6.0),
+            tup(0.0, "merge_input", spatial_granule="h", temp=7.0),
+        ]
+        out = compile_query(self.QUERY5).run({"merge_input": rows}, [0.0])
+        by_granule = {t["spatial_granule"]: t["avg_temp"] for t in out}
+        assert by_granule["g"] == 20.5
+        assert by_granule["h"] == 6.0
+
+    def test_all_identical_readings_rejected_by_strict_band(self):
+        # stdev = 0 -> strict inequalities reject everything; the paper's
+        # <-and-> band is empty for identical readings. This documents the
+        # literal Query 5 semantics (the toolkit operator uses <=).
+        rows = [
+            tup(0.0, "merge_input", spatial_granule="g", temp=20.0),
+            tup(0.0, "merge_input", spatial_granule="g", temp=20.0),
+        ]
+        out = compile_query(self.QUERY5).run({"merge_input": rows}, [0.0])
+        assert out == []
+
+    def test_two_distinct_streams_join(self):
+        query = compile_query(
+            "SELECT l.v AS lv, r.v AS rv "
+            "FROM left_s l [Range By 'NOW'], right_s r [Range By 'NOW'] "
+            "WHERE l.k = r.k"
+        )
+        out = query.run(
+            {
+                "left_s": [tup(0.0, "left_s", k=1, v="L")],
+                "right_s": [
+                    tup(0.0, "right_s", k=1, v="R"),
+                    tup(0.0, "right_s", k=2, v="X"),
+                ],
+            },
+            [0.0],
+        )
+        assert len(out) == 1
+        assert (out[0]["lv"], out[0]["rv"]) == ("L", "R")
+
+
+class TestOuterCombine:
+    QUERY6 = """
+        SELECT 'Person-in-room'
+        FROM (SELECT 1 as cnt
+              FROM sensors_input [Range By 'NOW']
+              WHERE sensors.noise > 525) as sensor_count,
+             (SELECT 1 as cnt
+              FROM rfid_input [Range By 'NOW']
+              HAVING count(distinct tag_id) > 1) as rfid_count,
+             (SELECT 1 as cnt
+              FROM motion_input [Range By 'NOW']
+              WHERE value = 'ON') as motion_count,
+        WHERE coalesce(sensor_count.cnt, 0) +
+              coalesce(rfid_count.cnt, 0) +
+              coalesce(motion_count.cnt, 0) >= 2
+    """
+
+    def feeds(self, noise=False, tags=0, motion=False):
+        return {
+            "sensors_input": (
+                [tup(0.0, "sensors_input", noise=600)] if noise else []
+            ),
+            "rfid_input": [
+                tup(0.0, "rfid_input", tag_id=f"t{i}") for i in range(tags)
+            ],
+            "motion_input": (
+                [tup(0.0, "motion_input", value="ON")] if motion else []
+            ),
+        }
+
+    def test_two_votes_fire(self):
+        out = compile_query(self.QUERY6).run(
+            self.feeds(noise=True, tags=2), [0.0]
+        )
+        assert len(out) >= 1
+
+    def test_one_vote_does_not_fire(self):
+        assert compile_query(self.QUERY6).run(
+            self.feeds(noise=True), [0.0]
+        ) == []
+
+    def test_single_tag_is_not_a_vote(self):
+        # count(distinct tag_id) > 1 needs at least two badge tags.
+        assert compile_query(self.QUERY6).run(
+            self.feeds(noise=True, tags=1), [0.0]
+        ) == []
+
+    def test_motion_and_rfid_fire_without_sound(self):
+        out = compile_query(self.QUERY6).run(
+            self.feeds(tags=2, motion=True), [0.0]
+        )
+        assert len(out) >= 1
+
+    def test_all_three_fire(self):
+        out = compile_query(self.QUERY6).run(
+            self.feeds(noise=True, tags=3, motion=True), [0.0]
+        )
+        assert len(out) >= 1
+
+    def test_nothing_at_quiet_instant(self):
+        assert compile_query(self.QUERY6).run(self.feeds(), [0.0]) == []
+
+    def test_paper_literal_query6_parses(self):
+        # The paper's exact text (without coalesce) must parse; with the
+        # outer combine, missing sides become NULL so the sum is NULL and
+        # the detector (correctly) stays silent unless all three vote.
+        literal = """
+            SELECT 'Person-in-room'
+            FROM (SELECT 1 as cnt
+                  FROM sensors_input [Range By 'NOW']
+                  WHERE sensors.noise > 525) as sensor_count,
+                 (SELECT 1 as cnt
+                  FROM rfid_input [Range By 'NOW']
+                  HAVING count(distinct tag_id) > 1)
+                  as rfid_count,
+                 (SELECT 1 as cnt
+                  FROM motion_input [Range By 'NOW']
+                  WHERE value = 'ON') as motion_count,
+            WHERE sensor_count.cnt +
+                  rfid_count.cnt +
+                  motion_count.cnt >= 2
+        """
+        query = compile_query(literal)
+        assert sorted(query.input_streams) == [
+            "motion_input",
+            "rfid_input",
+            "sensors_input",
+        ]
+        out = compile_query(literal).run(
+            self.feeds(noise=True, tags=2, motion=True), [0.0]
+        )
+        assert len(out) >= 1  # all three present -> sum defined -> fires

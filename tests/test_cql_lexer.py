@@ -1,0 +1,78 @@
+"""Unit tests for the CQL tokenizer."""
+
+import pytest
+
+from repro.cql.lexer import Token, tokenize
+from repro.errors import CQLSyntaxError
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # drop end
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        assert kinds("select from")[0] == ("keyword", "SELECT")
+        assert kinds("select from")[1] == ("keyword", "FROM")
+
+    def test_identifiers_keep_case(self):
+        assert kinds("tag_id")[0] == ("name", "tag_id")
+
+    def test_numbers(self):
+        assert kinds("5")[0] == ("number", "5")
+        assert kinds("5.25")[0] == ("number", "5.25")
+        assert kinds(".5")[0] == ("number", ".5")
+
+    def test_string_literal_unquoted(self):
+        assert kinds("'5 sec'")[0] == ("string", "5 sec")
+
+    def test_string_escape(self):
+        assert kinds(r"'it\'s'")[0] == ("string", "it's")
+
+    def test_operators(self):
+        ops = [v for k, v in kinds("<= >= <> != = < > ( ) [ ] , . ; + - * / %")]
+        assert ops == [
+            "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", "[", "]",
+            ",", ".", ";", "+", "-", "*", "/", "%",
+        ]
+
+    def test_comment_skipped(self):
+        assert kinds("select -- a comment\n x") == [
+            ("keyword", "SELECT"),
+            ("name", "x"),
+        ]
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert len(kinds("a\n\t b")) == 2
+
+    def test_end_sentinel(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "end"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(CQLSyntaxError) as err:
+            tokenize("select @")
+        assert err.value.position == 7
+
+    def test_token_helpers(self):
+        token = Token("keyword", "SELECT", 0)
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("WHERE")
+        op = Token("op", ",", 0)
+        assert op.is_op(",")
+        assert not op.is_op(".")
+
+    def test_range_by_bracket_sequence(self):
+        parts = kinds("[Range By '5 sec']")
+        assert parts == [
+            ("op", "["),
+            ("keyword", "RANGE"),
+            ("keyword", "BY"),
+            ("string", "5 sec"),
+            ("op", "]"),
+        ]

@@ -1,0 +1,162 @@
+"""Every query printed in the paper parses and runs with the documented
+semantics — the acceptance test for the CQL subset's scope."""
+
+import pytest
+
+from repro.cql import compile_query, parse
+from repro.streams.tuples import StreamTuple
+
+QUERY_1 = """
+SELECT shelf, count(distinct tag_id)
+FROM rfid_data [Range By '5 sec']
+GROUP BY shelf
+"""
+
+QUERY_2 = """
+SELECT tag_id, count(*)
+FROM smooth_input [Range By '5 sec']
+GROUP BY tag_id
+"""
+
+QUERY_3 = """
+SELECT spatial_granule, tag_id
+FROM arbitrate_input ai1 [Range By 'NOW']
+GROUP BY spatial_granule, tag_id
+HAVING count(*) >= ALL(SELECT count(*)
+                       FROM arbitrate_input ai2
+                       [Range By 'NOW']
+                       WHERE ai1.tag_id = ai2.tag_id
+                       GROUP BY spatial_granule)
+"""
+
+QUERY_4 = """
+SELECT *
+FROM point_input
+WHERE temp < 50
+"""
+
+# Query 5 as printed has two typos (missing comma before the derived
+# table — which the parser tolerates — and an impossible rejection band:
+# "a.avg + a.stdev < s.temp AND a.avg - a.stdev > s.temp" selects
+# readings simultaneously above and below the band). This is the
+# intended, satisfiable form; see DESIGN.md.
+QUERY_5 = """
+SELECT spatial_granule, AVG(temp)
+FROM merge_input s [Range By '5 min']
+     (SELECT spatial_granule, avg(temp) as avg,
+             stdev(temp) as stdev
+      FROM merge_input [Range By '5 min']) as a
+WHERE a.spatial_granule = s.spatial_granule AND
+      s.temp < a.avg + a.stdev AND
+      s.temp > a.avg - a.stdev
+GROUP BY spatial_granule
+"""
+
+QUERY_6 = """
+SELECT 'Person-in-room'
+FROM (SELECT 1 as cnt
+      FROM sensors_input [Range By 'NOW']
+      WHERE sensors.noise > 525) as sensor_count,
+     (SELECT 1 as cnt
+      FROM rfid_input [Range By 'NOW']
+      HAVING count(distinct tag_id) > 1)
+      as rfid_count,
+     (SELECT 1 as cnt
+      FROM motion_input [Range By 'NOW']
+      WHERE value = 'ON') as motion_count,
+WHERE sensor_count.cnt +
+      rfid_count.cnt +
+      motion_count.cnt >= 2
+"""
+
+ALL_QUERIES = {
+    "query1": QUERY_1,
+    "query2": QUERY_2,
+    "query3": QUERY_3,
+    "query4": QUERY_4,
+    "query5": QUERY_5,
+    "query6": QUERY_6,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+def test_parses(name):
+    assert parse(ALL_QUERIES[name]) is not None
+
+
+@pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+def test_compiles(name):
+    assert compile_query(ALL_QUERIES[name]) is not None
+
+
+def tup(ts, stream, **fields):
+    return StreamTuple(ts, fields, stream)
+
+
+def test_query1_counts_items_per_shelf():
+    rows = [
+        tup(0.0, "rfid_data", shelf=0, tag_id="a"),
+        tup(1.0, "rfid_data", shelf=0, tag_id="b"),
+        tup(1.0, "rfid_data", shelf=0, tag_id="a"),
+        tup(1.0, "rfid_data", shelf=1, tag_id="c"),
+    ]
+    out = compile_query(QUERY_1).run({"rfid_data": rows}, [0.0, 1.0])
+    at_1 = {
+        t["shelf"]: t["count_distinct_tag_id"]
+        for t in out
+        if t.timestamp == 1.0
+    }
+    assert at_1 == {0: 2, 1: 1}
+
+
+def test_query2_interpolates_within_window():
+    # Tag read at t=0 only; the 5s window keeps reporting it through t=5.
+    rows = [tup(0.0, "smooth_input", tag_id="a")]
+    out = compile_query(QUERY_2).run(
+        {"smooth_input": rows}, [0.0, 2.0, 5.0, 6.0]
+    )
+    times = [t.timestamp for t in out]
+    assert times == [0.0, 2.0, 5.0]  # gone by 6.0
+
+
+def test_query3_attributes_tag_to_strongest_granule():
+    rows = (
+        [tup(0.0, "arbitrate_input", spatial_granule="shelf0", tag_id="a")] * 3
+        + [tup(0.0, "arbitrate_input", spatial_granule="shelf1", tag_id="a")]
+    )
+    out = compile_query(QUERY_3).run({"arbitrate_input": rows}, [0.0])
+    assert [(t["spatial_granule"], t["tag_id"]) for t in out] == [
+        ("shelf0", "a")
+    ]
+
+
+def test_query4_drops_fail_dirty_readings():
+    rows = [
+        tup(0.0, "point_input", temp=22.0, mote_id="m1"),
+        tup(0.0, "point_input", temp=104.0, mote_id="m3"),
+    ]
+    out = compile_query(QUERY_4).run({"point_input": rows}, [0.0])
+    assert [t["mote_id"] for t in out] == ["m1"]
+
+
+def test_query5_discards_sigma_outlier():
+    rows = [
+        tup(0.0, "merge_input", spatial_granule="room", temp=v)
+        for v in (21.0, 22.0, 90.0)
+    ]
+    out = compile_query(QUERY_5).run({"merge_input": rows}, [0.0])
+    assert len(out) == 1
+    assert out[0]["avg_temp"] == pytest.approx(21.5)
+
+
+def test_query6_votes_two_of_three():
+    feeds = {
+        "sensors_input": [tup(0.0, "sensors_input", noise=700)],
+        "rfid_input": [
+            tup(0.0, "rfid_input", tag_id="b0"),
+            tup(0.0, "rfid_input", tag_id="b1"),
+        ],
+        "motion_input": [tup(0.0, "motion_input", value="ON")],
+    }
+    out = compile_query(QUERY_6).run(feeds, [0.0])
+    assert out and out[0]["col0"] == "Person-in-room"

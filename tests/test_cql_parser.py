@@ -1,0 +1,241 @@
+"""Unit tests for the CQL parser (AST construction)."""
+
+import pytest
+
+from repro.cql import ast, parse
+from repro.errors import CQLSyntaxError
+
+
+class TestSelectList:
+    def test_star(self):
+        tree = parse("SELECT * FROM s")
+        assert tree.star and not tree.items
+
+    def test_columns(self):
+        tree = parse("SELECT a, b FROM s")
+        assert [item.expr for item in tree.items] == [
+            ast.ColumnRef("a"),
+            ast.ColumnRef("b"),
+        ]
+
+    def test_explicit_alias(self):
+        tree = parse("SELECT 1 AS cnt FROM s")
+        assert tree.items[0].alias == "cnt"
+        assert tree.items[0].expr == ast.Literal(1)
+
+    def test_implicit_alias(self):
+        tree = parse("SELECT a + 1 total FROM s")
+        assert tree.items[0].alias == "total"
+
+    def test_string_literal_item(self):
+        tree = parse("SELECT 'Person-in-room' FROM s")
+        assert tree.items[0].expr == ast.Literal("Person-in-room")
+
+    def test_aggregate_with_distinct(self):
+        tree = parse("SELECT count(distinct tag_id) FROM s")
+        call = tree.items[0].expr
+        assert isinstance(call, ast.FuncCall)
+        assert call.distinct and call.name == "count"
+
+    def test_count_star(self):
+        call = parse("SELECT count(*) FROM s").items[0].expr
+        assert call.args == (ast.Star(),)
+
+    def test_output_names(self):
+        tree = parse(
+            "SELECT shelf, count(distinct tag_id), avg(temp), a*2 FROM s"
+        )
+        names = [item.output_name(i) for i, item in enumerate(tree.items)]
+        assert names == ["shelf", "count_distinct_tag_id", "avg_temp", "col3"]
+
+
+class TestFromClause:
+    def test_stream_with_window(self):
+        source = parse("SELECT * FROM s [Range By '5 sec']").sources[0]
+        assert isinstance(source, ast.StreamRef)
+        assert source.window.range_seconds == 5.0
+
+    def test_stream_alias(self):
+        source = parse("SELECT * FROM rfid r [Range By 'NOW']").sources[0]
+        assert source.alias == "r" and source.binding == "r"
+
+    def test_now_window(self):
+        source = parse("SELECT * FROM s [Range By 'NOW']").sources[0]
+        assert source.window.is_now
+
+    def test_rows_window(self):
+        source = parse("SELECT * FROM s [Rows 10]").sources[0]
+        assert source.window.row_count == 10
+
+    def test_no_window(self):
+        assert parse("SELECT * FROM s").sources[0].window is None
+
+    def test_subquery_source(self):
+        tree = parse("SELECT * FROM (SELECT a FROM s) AS sub")
+        source = tree.sources[0]
+        assert isinstance(source, ast.SubquerySource)
+        assert source.alias == "sub"
+
+    def test_subquery_implicit_alias(self):
+        source = parse("SELECT * FROM (SELECT a FROM s) sub").sources[0]
+        assert source.alias == "sub"
+
+    def test_multiple_sources(self):
+        tree = parse("SELECT * FROM a [Range By 'NOW'], b [Range By 'NOW']")
+        assert len(tree.sources) == 2
+
+    def test_trailing_comma_tolerated(self):
+        tree = parse(
+            "SELECT * FROM (SELECT a FROM s) x, WHERE coalesce(x.a, 0) > 1"
+        )
+        assert len(tree.sources) == 1 and tree.where is not None
+
+    def test_missing_comma_before_subquery_tolerated(self):
+        tree = parse(
+            "SELECT * FROM s alias [Range By '5 min'] "
+            "(SELECT a FROM s) AS sub"
+        )
+        assert len(tree.sources) == 2
+
+
+class TestClauses:
+    def test_where(self):
+        tree = parse("SELECT * FROM s WHERE temp < 50")
+        assert tree.where == ast.BinaryOp(
+            "<", ast.ColumnRef("temp"), ast.Literal(50)
+        )
+
+    def test_group_by_multiple(self):
+        tree = parse("SELECT a, b FROM s [Range By '1 sec'] GROUP BY a, b")
+        assert tree.group_by == (ast.ColumnRef("a"), ast.ColumnRef("b"))
+
+    def test_group_by_qualified(self):
+        tree = parse("SELECT a FROM s t [Range By '1 sec'] GROUP BY t.a")
+        assert tree.group_by[0] == ast.ColumnRef("a", qualifier="t")
+
+    def test_having_plain(self):
+        tree = parse(
+            "SELECT a FROM s [Range By '1 sec'] GROUP BY a HAVING count(*) > 1"
+        )
+        assert isinstance(tree.having, ast.BinaryOp)
+
+    def test_having_all_subquery(self):
+        tree = parse(
+            "SELECT g, t FROM s x [Range By 'NOW'] GROUP BY g, t "
+            "HAVING count(*) >= ALL(SELECT count(*) FROM s y "
+            "[Range By 'NOW'] WHERE x.t = y.t GROUP BY g)"
+        )
+        having = tree.having
+        assert isinstance(having, ast.QuantifiedComparison)
+        assert having.quantifier == "ALL"
+        assert having.op == ">="
+
+    def test_union(self):
+        tree = parse("SELECT a FROM s UNION SELECT a FROM t")
+        assert tree.union_with is not None
+        assert tree.union_with.sources[0].name == "t"
+
+    def test_union_all(self):
+        tree = parse("SELECT a FROM s UNION ALL SELECT a FROM t")
+        assert tree.union_all
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT a FROM s;").items
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse(f"SELECT * FROM s WHERE {text}").where
+
+    def test_precedence_and_over_or(self):
+        node = self.expr("a = 1 OR b = 2 AND c = 3")
+        assert node.op == "OR"
+        assert node.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        node = self.expr("a + b * 2 > 0")
+        assert node.left.op == "+"
+        assert node.left.right.op == "*"
+
+    def test_parentheses(self):
+        node = self.expr("(a + b) * 2 > 0")
+        assert node.left.op == "*"
+
+    def test_not(self):
+        node = self.expr("NOT a = 1")
+        assert isinstance(node, ast.UnaryOp) and node.op == "NOT"
+
+    def test_unary_minus(self):
+        node = self.expr("a > -5")
+        assert isinstance(node.right, ast.UnaryOp)
+
+    def test_qualified_column(self):
+        node = self.expr("ai1.tag_id = ai2.tag_id")
+        assert node.left == ast.ColumnRef("tag_id", qualifier="ai1")
+
+    def test_is_null(self):
+        node = self.expr("a IS NULL")
+        assert node.op == "IS NULL"
+
+    def test_is_not_null(self):
+        node = self.expr("a IS NOT NULL")
+        assert isinstance(node, ast.UnaryOp) and node.op == "NOT"
+
+    def test_neq_normalized(self):
+        assert self.expr("a != 1").op == "<>"
+
+    def test_function_call_multi_arg(self):
+        node = self.expr("coalesce(a, 0) >= 2")
+        assert node.left.name == "coalesce"
+        assert len(node.left.args) == 2
+
+    def test_null_literal(self):
+        node = self.expr("a = NULL")
+        assert node.right == ast.Literal(None)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM s WHERE",
+            "SELECT a FROM s [Range '5 sec']",
+            "SELECT a FROM s [Rows 'x']",
+            "SELECT a FROM s GROUP a",
+            "SELECT a FROM s extra stuff here",
+            "SELECT a FROM s HAVING count(*) >= ALL SELECT",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(CQLSyntaxError):
+            parse(bad)
+
+    def test_error_carries_position_context(self):
+        with pytest.raises(CQLSyntaxError) as err:
+            parse("SELECT a FROM s [Range '5 sec']")
+        assert "position" in str(err.value)
+
+
+class TestAstHelpers:
+    def test_find_aggregates(self):
+        tree = parse(
+            "SELECT avg(a) + avg(a), count(*) FROM s [Range By '1 sec']"
+        )
+        found = ast.find_aggregates(
+            tree.items[0].expr, frozenset({"avg", "count"})
+        )
+        assert len(found) == 2  # both occurrences, same structural call
+        assert found[0] == found[1]
+
+    def test_walk_visits_descendants(self):
+        node = parse("SELECT * FROM s WHERE a + 1 > b").where
+        assert ast.ColumnRef("b") in list(node.walk())
+
+    def test_expr_equality_and_hash(self):
+        a1 = ast.BinaryOp("+", ast.ColumnRef("a"), ast.Literal(1))
+        a2 = ast.BinaryOp("+", ast.ColumnRef("a"), ast.Literal(1))
+        assert a1 == a2 and hash(a1) == hash(a2)
+        assert a1 != ast.BinaryOp("-", ast.ColumnRef("a"), ast.Literal(1))

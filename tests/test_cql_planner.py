@@ -1,0 +1,270 @@
+"""Unit tests for the query planner: stateless, aggregation and HAVING."""
+
+import pytest
+
+from repro.cql import compile_query
+from repro.errors import PlanError
+from repro.streams.tuples import StreamTuple
+
+
+def tup(ts, stream="s", **fields):
+    return StreamTuple(ts, fields, stream)
+
+
+class TestStateless:
+    def test_select_star_passthrough(self):
+        query = compile_query("SELECT * FROM s")
+        out = query.run({"s": [tup(0.0, v=1)]}, [0.0])
+        assert out[0]["v"] == 1
+
+    def test_where_filter(self):
+        query = compile_query("SELECT * FROM s WHERE temp < 50")
+        out = query.run(
+            {"s": [tup(0.0, temp=30), tup(1.0, temp=80)]}, [0.0, 1.0]
+        )
+        assert [t["temp"] for t in out] == [30]
+
+    def test_projection_with_alias(self):
+        query = compile_query("SELECT temp AS celsius, 1 AS one FROM s")
+        out = query.run({"s": [tup(0.0, temp=20)]}, [0.0])
+        assert out[0].as_dict() == {"celsius": 20, "one": 1}
+
+    def test_expression_projection(self):
+        query = compile_query("SELECT temp * 2 + 1 AS x FROM s")
+        out = query.run({"s": [tup(0.0, temp=10)]}, [0.0])
+        assert out[0]["x"] == 21
+
+    def test_missing_field_is_null(self):
+        query = compile_query("SELECT * FROM s WHERE temp < 50")
+        out = query.run({"s": [tup(0.0, other=1)]}, [0.0])
+        assert out == []  # NULL comparison is false
+
+    def test_qualifier_matching_alias_resolves(self):
+        query = compile_query("SELECT * FROM s alias WHERE alias.v > 1")
+        out = query.run({"s": [tup(0.0, v=2)]}, [0.0])
+        assert len(out) == 1
+
+    def test_unknown_qualifier_falls_back_to_bare(self):
+        # Paper Query 6 writes sensors.noise over stream sensors_input.
+        query = compile_query("SELECT * FROM sensors_input WHERE sensors.noise > 5")
+        out = query.run({"sensors_input": [tup(0.0, noise=10)]}, [0.0])
+        assert len(out) == 1
+
+    def test_having_without_groupby_rejected(self):
+        with pytest.raises(PlanError):
+            compile_query("SELECT a FROM s HAVING a > 1")
+
+    def test_single_stream_accepts_renamed_input(self):
+        # The ESP processor renames streams; single-input queries adapt.
+        query = compile_query("SELECT * FROM expected_name WHERE v > 0")
+        out = query.run({"some_other_name": [tup(0.0, v=1)]}, [0.0])
+        assert len(out) == 1
+
+
+class TestAggregation:
+    def test_windowed_count_distinct(self):
+        query = compile_query(
+            "SELECT shelf, count(distinct tag_id) AS n "
+            "FROM s [Range By '5 sec'] GROUP BY shelf"
+        )
+        rows = [
+            tup(0.0, shelf=0, tag_id="a"),
+            tup(0.0, shelf=0, tag_id="a"),
+            tup(0.0, shelf=1, tag_id="b"),
+        ]
+        out = query.run({"s": rows}, [0.0])
+        assert {t["shelf"]: t["n"] for t in out} == {0: 1, 1: 1}
+
+    def test_aggregate_without_window_rejected(self):
+        with pytest.raises(PlanError) as err:
+            compile_query("SELECT count(*) FROM s")
+        assert "window" in str(err.value)
+
+    def test_where_applies_before_window(self):
+        query = compile_query(
+            "SELECT count(*) AS c FROM s [Range By '10 sec'] WHERE v > 0"
+        )
+        out = query.run({"s": [tup(0.0, v=1), tup(0.0, v=-1)]}, [0.0])
+        assert out[0]["c"] == 1
+
+    def test_global_aggregate_empty_window_emits_nothing(self):
+        query = compile_query(
+            "SELECT count(*) AS c FROM s [Range By 'NOW']"
+        )
+        out = query.run({"s": [tup(0.0, v=1)]}, [0.0, 1.0])
+        assert [t["c"] for t in out] == [1]  # nothing at t=1
+
+    def test_having_over_aggregate(self):
+        query = compile_query(
+            "SELECT tag_id FROM s [Range By '5 sec'] "
+            "GROUP BY tag_id HAVING count(*) >= 2"
+        )
+        rows = [tup(0.0, tag_id="a"), tup(0.0, tag_id="a"), tup(0.0, tag_id="b")]
+        out = query.run({"s": rows}, [0.0])
+        assert [t["tag_id"] for t in out] == ["a"]
+
+    def test_having_aggregate_not_in_select(self):
+        query = compile_query(
+            "SELECT 1 AS cnt FROM s [Range By 'NOW'] "
+            "HAVING count(distinct tag_id) > 1"
+        )
+        out = query.run(
+            {"s": [tup(0.0, tag_id="a"), tup(0.0, tag_id="b")]}, [0.0]
+        )
+        assert out[0]["cnt"] == 1
+        out2 = compile_query(
+            "SELECT 1 AS cnt FROM s [Range By 'NOW'] "
+            "HAVING count(distinct tag_id) > 1"
+        ).run({"s": [tup(0.0, tag_id="a")]}, [0.0])
+        assert out2 == []
+
+    def test_implicit_group_by_bare_column(self):
+        # Paper Query 5's subquery: bare column next to aggregates.
+        query = compile_query(
+            "SELECT g, avg(v) AS m FROM s [Range By '5 sec']"
+        )
+        rows = [tup(0.0, g="x", v=1.0), tup(0.0, g="y", v=3.0)]
+        out = query.run({"s": rows}, [0.0])
+        assert {t["g"]: t["m"] for t in out} == {"x": 1.0, "y": 3.0}
+
+    def test_expression_over_aggregates(self):
+        query = compile_query(
+            "SELECT max(v) - min(v) AS spread FROM s [Range By '5 sec']"
+        )
+        rows = [tup(0.0, v=v) for v in (1.0, 5.0, 3.0)]
+        out = query.run({"s": rows}, [0.0])
+        assert out[0]["spread"] == 4.0
+
+    def test_sliding_window_semantics_across_ticks(self):
+        query = compile_query(
+            "SELECT count(*) AS c FROM s [Range By '2 sec']"
+        )
+        rows = [tup(0.0, v=1), tup(1.0, v=1), tup(3.5, v=1)]
+        out = query.run({"s": rows}, [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert [t["c"] for t in out] == [1, 2, 2, 1, 1]
+
+    def test_aggregate_argument_count_validation(self):
+        with pytest.raises(PlanError):
+            compile_query("SELECT avg(a, b) FROM s [Range By '1 sec']")
+
+
+class TestQuantifiedHaving:
+    QUERY = """
+        SELECT spatial_granule, tag_id
+        FROM arbitrate_input ai1 [Range By 'NOW']
+        GROUP BY spatial_granule, tag_id
+        HAVING count(*) >= ALL(SELECT count(*)
+                               FROM arbitrate_input ai2 [Range By 'NOW']
+                               WHERE ai1.tag_id = ai2.tag_id
+                               GROUP BY spatial_granule)
+    """
+
+    def rows(self, counts: dict):
+        out = []
+        for (granule, tag), n in counts.items():
+            out.extend(
+                tup(0.0, spatial_granule=granule, tag_id=tag)
+                for _ in range(n)
+            )
+        return out
+
+    def test_attributes_to_max_count_granule(self):
+        out = compile_query(self.QUERY).run(
+            {"arbitrate_input": self.rows({("g0", "a"): 3, ("g1", "a"): 1})},
+            [0.0],
+        )
+        assert [(t["spatial_granule"], t["tag_id"]) for t in out] == [("g0", "a")]
+
+    def test_tie_keeps_both(self):
+        out = compile_query(self.QUERY).run(
+            {"arbitrate_input": self.rows({("g0", "a"): 2, ("g1", "a"): 2})},
+            [0.0],
+        )
+        assert len(out) == 2  # >= ALL keeps ties on both sides
+
+    def test_independent_tags(self):
+        out = compile_query(self.QUERY).run(
+            {
+                "arbitrate_input": self.rows(
+                    {("g0", "a"): 3, ("g1", "a"): 1, ("g1", "b"): 1}
+                )
+            },
+            [0.0],
+        )
+        pairs = {(t["spatial_granule"], t["tag_id"]) for t in out}
+        assert pairs == {("g0", "a"), ("g1", "b")}
+
+    def test_mismatched_stream_rejected(self):
+        with pytest.raises(PlanError):
+            compile_query(
+                "SELECT g, t FROM s x [Range By 'NOW'] GROUP BY g, t "
+                "HAVING count(*) >= ALL(SELECT count(*) FROM other y "
+                "[Range By 'NOW'] WHERE x.t = y.t GROUP BY g)"
+            )
+
+    def test_uncorrelated_subquery_rejected(self):
+        with pytest.raises(PlanError) as err:
+            compile_query(
+                "SELECT g, t FROM s x [Range By 'NOW'] GROUP BY g, t "
+                "HAVING count(*) >= ALL(SELECT count(*) FROM s y "
+                "[Range By 'NOW'] GROUP BY g)"
+            )
+        assert "correlated" in str(err.value)
+
+    def test_correlation_not_in_group_keys_rejected(self):
+        with pytest.raises(PlanError):
+            compile_query(
+                "SELECT g FROM s x [Range By 'NOW'] GROUP BY g "
+                "HAVING count(*) >= ALL(SELECT count(*) FROM s y "
+                "[Range By 'NOW'] WHERE x.t = y.t GROUP BY g)"
+            )
+
+    def test_any_quantifier(self):
+        query = compile_query(
+            "SELECT spatial_granule, tag_id "
+            "FROM s ai1 [Range By 'NOW'] GROUP BY spatial_granule, tag_id "
+            "HAVING count(*) > ANY(SELECT count(*) FROM s ai2 "
+            "[Range By 'NOW'] WHERE ai1.tag_id = ai2.tag_id "
+            "GROUP BY spatial_granule)"
+        )
+        out = query.run(
+            {"s": self.rows({("g0", "a"): 3, ("g1", "a"): 1})}, [0.0]
+        )
+        # g0 (3) > some count (1) -> passes; g1 (1) > nothing -> fails
+        assert [(t["spatial_granule"]) for t in out] == ["g0"]
+
+
+class TestUnion:
+    def test_union_merges_streams(self):
+        query = compile_query("SELECT v FROM a UNION SELECT v FROM b")
+        out = query.run(
+            {"a": [tup(0.0, v=1)], "b": [tup(0.0, v=2)]}, [0.0]
+        )
+        assert sorted(t["v"] for t in out) == [1, 2]
+
+    def test_union_of_aggregates(self):
+        query = compile_query(
+            "SELECT count(*) AS c FROM a [Range By 'NOW'] "
+            "UNION SELECT count(*) AS c FROM b [Range By 'NOW']"
+        )
+        out = query.run(
+            {"a": [tup(0.0, v=1)], "b": [tup(0.0, v=1), tup(0.0, v=2)]},
+            [0.0],
+        )
+        assert sorted(t["c"] for t in out) == [1, 2]
+
+
+class TestPlanErrors:
+    def test_from_required(self):
+        from repro.cql import parse
+        from repro.cql.ast import Select
+
+        with pytest.raises(PlanError):
+            compile_query(Select([], []))
+
+    def test_input_streams_listed(self):
+        query = compile_query("SELECT * FROM stream_a")
+        assert query.input_streams == ["stream_a"]
+
+    def test_repr_mentions_query(self):
+        assert "SELECT" in repr(compile_query("SELECT * FROM s"))

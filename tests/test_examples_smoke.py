@@ -1,0 +1,69 @@
+"""Smoke tests: the fast examples run end-to-end and produce output.
+
+The full-scale walkthroughs (rfid_shelf_monitoring, redwood_monitoring,
+digital_home_person_detector) are exercised through their underlying
+experiment drivers elsewhere; here we run the examples that complete in
+seconds, exactly as a user would.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "avg relative error" in out
+        assert "cleaned" in out
+
+    def test_custom_pipeline(self, capsys):
+        load_example("custom_pipeline").main()
+        out = capsys.readouterr().out
+        assert "Anomaly alarms" in out
+        assert "peak anomaly score" in out
+
+    def test_hierarchical_stores(self, capsys):
+        load_example("hierarchical_stores").main()
+        out = capsys.readouterr().out
+        assert "chain-wide mean inventory" in out
+
+    def test_dock_door_infers_every_direction(self, capsys):
+        module = load_example("dock_door")
+        module.main()
+        out = capsys.readouterr().out
+        assert "direction accuracy: 12/12" in out
+
+    def test_replay_recorded_trace(self, capsys):
+        load_example("replay_recorded_trace").main()
+        out = capsys.readouterr().out
+        assert "live vs replayed outputs identical: True" in out
+
+    def test_dock_door_world_geometry(self):
+        module = load_example("dock_door")
+        world = module.DockDoorWorld(n_pallets=2, seed=0)
+        # Pallet 0 is received: starts outside (-1) and ends inside (+1).
+        start = world.starts[0]
+        assert world.position(0, start) == pytest.approx(-1.0)
+        assert world.position(0, start + 5.9) == pytest.approx(
+            0.9667, abs=0.01
+        )
+        assert world.position(0, start - 1.0) is None
+        # Shipped pallets run the other way.
+        start1 = world.starts[1]
+        assert world.position(1, start1) == pytest.approx(1.0)

@@ -1,0 +1,173 @@
+"""Integration tests: the experiment drivers reproduce the paper's shape.
+
+These run on reduced-scale scenarios (session fixtures) so the suite
+stays fast; the full-scale numbers live in the benchmark harness and
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.intel_lab import figure7
+from repro.experiments.office import figure9, threshold_sweep
+from repro.experiments.redwood import section52
+from repro.experiments.rfid import figure3, figure5, figure6
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self, small_shelf):
+        return figure3(small_shelf)
+
+    def test_trace_keys(self, result):
+        assert set(result["traces"]) == {
+            "reality",
+            "raw",
+            "smooth",
+            "smooth_arbitrate",
+        }
+
+    def test_error_ordering(self, result):
+        errors = result["errors"]
+        assert errors["smooth_arbitrate"] < errors["smooth"] < errors["raw"]
+
+    def test_raw_data_near_useless(self, result):
+        assert result["errors"]["raw"] > 0.3
+
+    def test_cleaned_error_small(self, result):
+        assert result["errors"]["smooth_arbitrate"] < 0.12
+
+    def test_raw_generates_false_alerts_cleaned_does_not(self, result):
+        assert result["raw_alert_rate_per_sec"] > 0.2
+        assert (
+            result["cleaned_alert_rate_per_sec"]
+            < result["raw_alert_rate_per_sec"] / 10
+        )
+
+    def test_traces_aligned_with_ticks(self, result):
+        n = len(result["ticks"])
+        for config, traces in result["traces"].items():
+            for series in traces.values():
+                assert len(series) == n
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def errors(self, small_shelf):
+        return figure5(small_shelf)
+
+    def test_all_configs_present(self, errors):
+        assert set(errors) == {
+            "raw",
+            "smooth",
+            "arbitrate",
+            "arbitrate+smooth",
+            "smooth+arbitrate",
+        }
+
+    def test_paper_ordering_holds(self, errors):
+        # Fig 5: smooth+arbitrate best; arbitrate-only ~ raw;
+        # arbitrate-before-smooth no better than smooth-only's ballpark.
+        assert errors["smooth+arbitrate"] == min(errors.values())
+        assert errors["arbitrate"] > 0.6 * errors["raw"]
+        assert errors["smooth+arbitrate"] < 0.6 * errors["smooth"]
+
+    def test_order_matters(self, errors):
+        assert errors["smooth+arbitrate"] < errors["arbitrate+smooth"]
+
+
+class TestFigure6:
+    def test_u_shape(self, small_shelf):
+        sweep = figure6(small_shelf, granule_sizes=(0.2, 1.0, 5.0, 30.0))
+        assert sweep[0.2] > sweep[5.0]
+        assert sweep[30.0] > sweep[5.0]
+
+    def test_returns_requested_sizes(self, small_shelf):
+        sweep = figure6(small_shelf, granule_sizes=(1.0, 5.0))
+        assert set(sweep) == {1.0, 5.0}
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self, small_intel_lab):
+        return figure7(small_intel_lab)
+
+    def test_outlier_rises_past_point_threshold(self, result):
+        assert result["outlier_peak"] > 50.0
+
+    def test_esp_tracks_functioning_motes(self, result):
+        assert result["esp_tracking_error_after_failure"] < 1.0
+
+    def test_naive_average_dragged_upward(self, result):
+        assert (
+            result["naive_tracking_error_after_failure"]
+            > 5 * result["esp_tracking_error_after_failure"]
+        )
+
+    def test_elimination_happens_soon_after_onset(self, result):
+        elimination = result["esp_elimination_time"]
+        assert elimination is not None
+        assert result["failure_onset"] <= elimination
+        assert elimination < result["failure_onset"] + 3 * 3600.0
+
+    def test_raw_series_cover_three_motes(self, result):
+        assert set(result["raw"]) == {"mote1", "mote2", "mote3"}
+
+
+class TestSection52:
+    @pytest.fixture(scope="class")
+    def result(self, small_redwood):
+        return section52(small_redwood)
+
+    def test_yield_strictly_improves_along_pipeline(self, result):
+        assert (
+            result["raw_yield"]
+            < result["smooth_yield"]
+            < result["merge_yield"]
+        )
+
+    def test_raw_yield_matches_channel_target(self, result, small_redwood):
+        assert result["raw_yield"] == pytest.approx(
+            small_redwood.target_yield, abs=0.12
+        )
+
+    def test_smooth_accuracy_high(self, result):
+        assert result["smooth_within_1c"] > 0.9
+
+    def test_merge_trades_accuracy_for_yield(self, result):
+        assert result["merge_within_1c"] <= result["smooth_within_1c"]
+        assert result["merge_within_1c"] > 0.85
+
+    def test_slot_counts(self, result, small_redwood):
+        assert result["n_motes"] == small_redwood.n_groups * 2
+        assert result["n_granules"] == small_redwood.n_groups
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self, small_office):
+        return figure9(small_office)
+
+    def test_accuracy_near_paper(self, result):
+        assert result["accuracy"] > 0.8
+
+    def test_detector_not_always_on(self, result):
+        detected = result["detected"]
+        assert 0 < detected.sum() < len(detected)
+
+    def test_panels_present(self, result):
+        assert set(result["rfid_counts"]) == {
+            "office_reader0",
+            "office_reader1",
+        }
+        assert len(result["sound"]) == 3
+        assert len(result["x10_events"]) == 3
+
+    def test_confusion_sums_to_steps(self, result):
+        confusion = result["confusion"]
+        assert sum(confusion.values()) == len(result["ticks"])
+
+    def test_threshold_sweep_covers_thresholds(self, small_office):
+        sweep = threshold_sweep(small_office, thresholds=(1, 2))
+        assert set(sweep) == {1, 2}
+        assert all(0.0 <= acc <= 1.0 for acc in sweep.values())

@@ -1,0 +1,61 @@
+"""Tests for the one-shot experiment runner and its report formatting."""
+
+import pytest
+
+from repro.experiments.runner import PAPER_VALUES, format_report, run_all
+
+
+class TestRunAllFast:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_all(fast=True)
+
+    def test_all_artifacts_present(self, results):
+        assert set(results) == {
+            "figure3",
+            "figure5",
+            "figure6",
+            "figure7",
+            "section52",
+            "figure9",
+        }
+
+    def test_fast_mode_preserves_shape_findings(self, results):
+        errors = results["figure3"]["errors"]
+        assert errors["smooth_arbitrate"] < errors["smooth"] < errors["raw"]
+        assert results["figure9"]["accuracy"] > 0.8
+        sec52 = results["section52"]
+        assert sec52["raw_yield"] < sec52["smooth_yield"] < sec52["merge_yield"]
+
+    def test_report_renders_every_section(self, results):
+        report = format_report(results)
+        for heading in (
+            "Figure 3",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Section 5.2",
+            "Figure 9",
+        ):
+            assert heading in report
+
+    def test_report_shows_paper_values(self, results):
+        report = format_report(results)
+        assert f"{PAPER_VALUES['fig3_raw_error']:.2f}" in report
+        assert f"{PAPER_VALUES['fig9_accuracy']:.2f}" in report
+
+    def test_report_marks_best_granule(self, results):
+        assert "<-- best" in format_report(results)
+
+
+class TestPaperValues:
+    def test_reference_values_frozen(self):
+        # These are transcription-of-the-paper constants; a change here
+        # is a documentation bug, not a tuning knob.
+        assert PAPER_VALUES["fig3_raw_error"] == 0.41
+        assert PAPER_VALUES["fig3_smooth_error"] == 0.24
+        assert PAPER_VALUES["fig3_arbitrate_error"] == 0.04
+        assert PAPER_VALUES["sec52_raw_yield"] == 0.40
+        assert PAPER_VALUES["sec52_smooth_yield"] == 0.77
+        assert PAPER_VALUES["sec52_merge_yield"] == 0.92
+        assert PAPER_VALUES["fig9_accuracy"] == 0.92

@@ -1,0 +1,125 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import (
+    alert_rate,
+    average_relative_error,
+    detection_accuracy,
+    detection_confusion,
+    epoch_yield,
+    percent_within,
+    yield_by_entity,
+)
+from repro.metrics.epoch_yield import coverage_mask
+
+
+class TestAverageRelativeError:
+    def test_equation_1(self):
+        # |8-10|/10 and |12-10|/10 -> mean 0.2
+        assert average_relative_error([8, 12], [10, 10]) == pytest.approx(0.2)
+
+    def test_perfect_reporting(self):
+        assert average_relative_error([5, 5], [5, 5]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            average_relative_error([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            average_relative_error([], [])
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ReproError):
+            average_relative_error([1], [0])
+
+    def test_accepts_numpy_arrays(self):
+        reported = np.array([9.0, 11.0])
+        truth = np.array([10.0, 10.0])
+        assert average_relative_error(reported, truth) == pytest.approx(0.1)
+
+
+class TestPercentWithin:
+    def test_fraction_within_tolerance(self):
+        assert percent_within([1.0, 2.5, 3.0], [1.5, 1.0, 3.0], 1.0) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_boundary_inclusive(self):
+        assert percent_within([2.0], [1.0], 1.0) == 1.0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ReproError):
+            percent_within([1.0], [1.0], -0.1)
+
+
+class TestAlertRate:
+    def test_false_alerts_per_second(self):
+        reported = [3, 6, 2, 8]  # two dips below 5
+        truth = [10, 10, 10, 10]
+        assert alert_rate(reported, truth, 5, duration=2.0) == 1.0
+
+    def test_true_alerts_not_counted(self):
+        reported = [3]
+        truth = [3]  # genuinely low: not a false alert
+        assert alert_rate(reported, truth, 5, duration=1.0) == 0.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ReproError):
+            alert_rate([1], [10], 5, duration=0.0)
+
+
+class TestEpochYield:
+    def test_fraction(self):
+        assert epoch_yield([True, False, True, True]) == 0.75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            epoch_yield([])
+
+    def test_by_entity(self):
+        yields = yield_by_entity(
+            {"m1": [True, True], "m2": [True, False]}
+        )
+        assert yields == {"m1": 1.0, "m2": 0.5}
+
+    def test_by_entity_empty_rejected(self):
+        with pytest.raises(ReproError):
+            yield_by_entity({})
+
+    def test_coverage_mask(self):
+        mask = coverage_mask([0, 2, 2, 99], n_epochs=4)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_coverage_mask_invalid_size(self):
+        with pytest.raises(ReproError):
+            coverage_mask([], 0)
+
+
+class TestDetection:
+    def test_accuracy(self):
+        assert detection_accuracy(
+            [True, False, True], [True, True, True]
+        ) == pytest.approx(2 / 3)
+
+    def test_confusion(self):
+        confusion = detection_confusion(
+            [True, True, False, False], [True, False, True, False]
+        )
+        assert confusion == {
+            "true_positive": 1,
+            "false_positive": 1,
+            "false_negative": 1,
+            "true_negative": 1,
+        }
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            detection_accuracy([True], [True, False])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            detection_accuracy([], [])

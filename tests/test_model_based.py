@@ -1,0 +1,192 @@
+"""Tests for MultiSensorMote and BBQ-style model-driven cleaning."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators.virtualize_ops import (
+    CorrelationModelCleaner,
+    correlation_model_cleaner,
+)
+from repro.core.stages import StageContext, StageKind
+from repro.errors import OperatorError, ReceptorError
+from repro.receptors.motes import FailDirtyModel, MultiSensorMote
+from repro.streams.tuples import StreamTuple
+
+
+class TestMultiSensorMote:
+    def make(self, **kwargs):
+        defaults = dict(
+            fields={
+                "temp": lambda now: 20.0,
+                "voltage": lambda now: 2.8,
+            },
+            noise_std=0.0,
+            sample_period=60.0,
+            rng=0,
+        )
+        defaults.update(kwargs)
+        return MultiSensorMote("mm", **defaults)
+
+    def test_emits_all_quantities_in_one_tuple(self):
+        readings = self.make().poll(60.0)
+        assert len(readings) == 1
+        reading = readings[0]
+        assert reading["temp"] == 20.0
+        assert reading["voltage"] == 2.8
+        assert reading["mote_id"] == "mm"
+        assert reading["epoch"] == 1
+
+    def test_per_quantity_noise(self):
+        mote = self.make(noise_std={"temp": 1.0, "voltage": 0.0})
+        values = [mote.poll(i * 60.0)[0] for i in range(20)]
+        temps = {v["temp"] for v in values}
+        volts = {v["voltage"] for v in values}
+        assert len(temps) > 1
+        assert volts == {2.8}
+
+    def test_fail_dirty_corrupts_only_fail_quantity(self):
+        mote = self.make(
+            fail_dirty=FailDirtyModel(onset=0.0, drift_rate=1.0),
+            fail_quantity="temp",
+        )
+        sensed = mote.sense(100.0)
+        assert sensed["temp"] == pytest.approx(120.0)
+        assert sensed["voltage"] == 2.8
+
+    def test_requires_fields(self):
+        with pytest.raises(ReceptorError):
+            MultiSensorMote("m", fields={})
+
+    def test_fail_quantity_must_exist(self):
+        with pytest.raises(ReceptorError):
+            self.make(
+                fail_dirty=FailDirtyModel(onset=0.0, drift_rate=1.0),
+                fail_quantity="humidity",
+            )
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ReceptorError):
+            self.make(noise_std={"temp": -1.0})
+
+    def test_lossy_channel(self):
+        class DropAll:
+            def deliver(self):
+                return False
+
+        assert self.make(channel=DropAll()).poll(0.0) == []
+
+
+def feed(cleaner, pairs):
+    """Feed (voltage, temp) pairs; return kept temps."""
+    kept = []
+    for index, (x, y) in enumerate(pairs):
+        out = cleaner.on_tuple(
+            StreamTuple(float(index), {"voltage": x, "temp": y})
+        )
+        kept.extend(t["temp"] for t in out)
+    return kept
+
+
+def correlated_pairs(n, rng, slope=10.0, noise=0.1):
+    xs = 2.8 + 0.05 * rng.standard_normal(n)
+    ys = 20.0 + slope * (xs - 2.8) + noise * rng.standard_normal(n)
+    return list(zip(xs, ys))
+
+
+class TestCorrelationModelCleaner:
+    def test_consistent_readings_pass(self):
+        rng = np.random.default_rng(0)
+        cleaner = CorrelationModelCleaner(warmup=30, k=4.0)
+        pairs = correlated_pairs(200, rng)
+        kept = feed(cleaner, pairs)
+        assert len(kept) >= 195  # near-zero false rejections
+
+    def test_inconsistent_reading_rejected(self):
+        rng = np.random.default_rng(1)
+        cleaner = CorrelationModelCleaner(warmup=30, k=4.0)
+        feed(cleaner, correlated_pairs(100, rng))
+        out = cleaner.on_tuple(
+            StreamTuple(0.0, {"voltage": 2.8, "temp": 95.0})
+        )
+        assert out == []
+
+    def test_no_rejection_during_warmup(self):
+        cleaner = CorrelationModelCleaner(warmup=50)
+        wild = [(2.8, 20.0), (2.8, 500.0), (2.8, -40.0)] * 5
+        kept = feed(cleaner, wild)
+        assert len(kept) == len(wild)
+
+    def test_missing_fields_pass_through(self):
+        cleaner = CorrelationModelCleaner(warmup=2)
+        out = cleaner.on_tuple(StreamTuple(0.0, {"other": 1}))
+        assert len(out) == 1
+
+    def test_prediction_learns_slope(self):
+        rng = np.random.default_rng(2)
+        cleaner = CorrelationModelCleaner(warmup=10, alpha=0.02)
+        feed(cleaner, correlated_pairs(500, rng, slope=10.0, noise=0.05))
+        assert cleaner.predict(2.9) - cleaner.predict(2.8) == pytest.approx(
+            1.0, abs=0.3
+        )
+
+    def test_slow_drift_detected_not_tracked(self):
+        # A fault creeping at +0.05 per reading must eventually be
+        # rejected rather than dragged along (the learn-gate's job).
+        rng = np.random.default_rng(3)
+        cleaner = CorrelationModelCleaner(
+            warmup=50, k=4.0, k_learn=2.0, alpha=0.02
+        )
+        feed(cleaner, correlated_pairs(300, rng, noise=0.1))
+        drift_kept = 0
+        for step in range(400):
+            out = cleaner.on_tuple(
+                StreamTuple(
+                    0.0, {"voltage": 2.8, "temp": 20.0 + 0.05 * step}
+                )
+            )
+            drift_kept += len(out)
+        assert drift_kept < 100  # rejected long before the drift ends
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OperatorError):
+            CorrelationModelCleaner(k=0.0)
+        with pytest.raises(OperatorError):
+            CorrelationModelCleaner(alpha=0.0)
+        with pytest.raises(OperatorError):
+            CorrelationModelCleaner(warmup=1)
+        with pytest.raises(OperatorError):
+            CorrelationModelCleaner(k=2.0, k_learn=3.0)
+
+    def test_stage_builder(self):
+        stage = correlation_model_cleaner()
+        assert stage.kind is StageKind.VIRTUALIZE
+        assert isinstance(
+            stage.make(StageContext(StageKind.VIRTUALIZE)),
+            CorrelationModelCleaner,
+        )
+
+
+class TestLoneMoteExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.model_based import model_based_comparison
+
+        return model_based_comparison(duration=1.2 * 86400.0,
+                                      failure_onset=0.4 * 86400.0)
+
+    def test_raw_stream_ruined_by_failure(self, result):
+        assert result["raw_error_after_failure"] > 10.0
+
+    def test_model_cleaning_without_redundancy(self, result):
+        assert result["cleaned_error_after_failure"] < 1.5
+
+    def test_detection_soon_after_onset(self, result):
+        first = result["first_post_onset_rejection"]
+        assert first is not None
+        assert first - result["failure_onset"] < 3 * 3600.0
+
+    def test_low_false_rejection_rate(self, result):
+        assert result["pre_onset_false_rejection_rate"] < 0.03
+
+    def test_faulty_readings_suppressed(self, result):
+        assert result["cleaned_coverage_after_failure"] < 0.2

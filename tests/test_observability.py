@@ -1,0 +1,102 @@
+"""Tests for observability surfaces: EXPLAIN, describe(), flow stats."""
+
+import pytest
+
+from repro.cql import compile_query
+from repro.streams.fjord import Fjord
+from repro.streams.operators import FilterOp, UnionOp
+from repro.streams.tuples import StreamTuple
+
+
+def tup(ts, stream="s", **fields):
+    return StreamTuple(ts, fields or {"v": ts}, stream)
+
+
+class TestExplain:
+    def test_stateless_plan(self):
+        plan = compile_query("SELECT * FROM s WHERE v > 1").explain()
+        assert "plan for: SELECT * FROM s WHERE v > 1" in plan
+        assert "FilterOp" in plan
+        assert "<- stream 's'" in plan
+        assert "-> output" in plan
+
+    def test_aggregation_plan_shows_groupby(self):
+        plan = compile_query(
+            "SELECT g, count(*) FROM s [Range By '5 sec'] GROUP BY g"
+        ).explain()
+        assert "WindowedGroupByOp" in plan
+
+    def test_join_plan_shows_join_operator(self):
+        plan = compile_query(
+            "SELECT l.v AS x FROM a l [Range By 'NOW'], "
+            "b r [Range By 'NOW'] WHERE l.k = r.k"
+        ).explain()
+        assert "_InstantJoinOp" in plan
+        assert "'a'" in plan and "'b'" in plan
+
+    def test_outer_combine_plan(self):
+        plan = compile_query(
+            "SELECT 'x' FROM (SELECT 1 AS c FROM a [Range By 'NOW']) p, "
+            "(SELECT 1 AS c FROM b [Range By 'NOW']) q, "
+            "WHERE coalesce(p.c, 0) + coalesce(q.c, 0) >= 1"
+        ).explain()
+        assert "_OuterCombineOp" in plan
+
+    def test_every_node_listed_once(self):
+        query = compile_query("SELECT * FROM s WHERE v > 1")
+        plan = query.explain()
+        node_lines = [l for l in plan.splitlines() if l.startswith("  [")]
+        assert len(node_lines) == len(query._nodes)
+
+
+class TestFjordStats:
+    def build(self):
+        fjord = Fjord()
+        fjord.add_source("src", [tup(0.0, v=1), tup(1.0, v=5)])
+        fjord.add_operator("f", FilterOp(lambda t: t["v"] > 2), inputs=["src"])
+        sink = fjord.add_sink("out", inputs=["f"])
+        return fjord, sink
+
+    def test_stats_zero_before_run(self):
+        fjord, _sink = self.build()
+        assert fjord.stats() == {"f": (0, 0), "out": (0, 0)}
+
+    def test_stats_count_flow(self):
+        fjord, sink = self.build()
+        fjord.run([0.0, 1.0])
+        stats = fjord.stats()
+        assert stats["f"] == (2, 1)  # filter dropped one tuple
+        assert stats["out"] == (1, 0)  # sink consumes, emits nothing
+        assert len(sink.results) == 1
+
+    def test_describe_lists_wiring_and_counts(self):
+        fjord, _sink = self.build()
+        fjord.run([0.0, 1.0])
+        text = fjord.describe()
+        assert "f [FilterOp] <- source:src" in text
+        assert "out [SinkOp] <- f" in text
+        assert "(2 in / 1 out)" in text
+
+    def test_describe_union_multiple_upstreams(self):
+        fjord = Fjord()
+        fjord.add_source("a", [tup(0.0, "a")])
+        fjord.add_source("b", [tup(0.0, "b")])
+        fjord.add_operator("u", UnionOp(), inputs=["a", "b"])
+        fjord.add_sink("out", inputs=["u"])
+        text = fjord.describe()
+        assert "u [UnionOp] <- source:a, source:b" in text
+
+    def test_point_stage_volume_reduction_visible(self, small_shelf):
+        """The §3.2 'early elimination' claim, read off the flow stats."""
+        from repro.pipelines.rfid_shelf import build_shelf_processor
+
+        processor = build_shelf_processor(small_shelf, "smooth")
+        run = processor.run(
+            until=small_shelf.duration,
+            tick=small_shelf.poll_period,
+            sources=small_shelf.recorded_streams(),
+            taps=("raw", "smooth"),
+        )
+        raw_volume = len(run.tap("rfid", "raw"))
+        smooth_volume = len(run.tap("rfid", "smooth"))
+        assert raw_volume > 0 and smooth_volume > 0

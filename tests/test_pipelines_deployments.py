@@ -1,0 +1,282 @@
+"""Integration tests for the three prebuilt deployment pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.granules import TemporalGranule
+from repro.errors import PipelineError
+from repro.metrics import average_relative_error, detection_accuracy
+from repro.pipelines.digital_home import build_digital_home_processor
+from repro.pipelines.rfid_shelf import (
+    SHELF_CONFIGS,
+    build_shelf_processor,
+    count_series,
+    query1_counts,
+)
+from repro.pipelines.sensornet import (
+    build_outlier_processor,
+    build_redwood_processor,
+)
+from repro.streams.tuples import StreamTuple
+
+
+def shelf_error(scenario, counts):
+    truth = scenario.truth_series()
+    reported = np.concatenate([counts["shelf0"], counts["shelf1"]])
+    actual = np.concatenate([truth["shelf0"], truth["shelf1"]])
+    return average_relative_error(reported, actual)
+
+
+class TestShelfPipeline:
+    def test_unknown_config_rejected(self, small_shelf):
+        with pytest.raises(PipelineError):
+            build_shelf_processor(small_shelf, "bogus")
+
+    @pytest.mark.parametrize("config", SHELF_CONFIGS)
+    def test_all_configs_run(self, small_shelf, config):
+        counts = query1_counts(small_shelf, config)
+        assert set(counts) == {"shelf0", "shelf1"}
+        assert len(counts["shelf0"]) == len(small_shelf.ticks())
+
+    def test_cleaning_improves_on_raw(self, small_shelf):
+        raw_error = shelf_error(
+            small_shelf, query1_counts(small_shelf, "raw")
+        )
+        clean_error = shelf_error(
+            small_shelf, query1_counts(small_shelf, "smooth+arbitrate")
+        )
+        assert clean_error < raw_error / 3
+
+    def test_smooth_alone_insufficient(self, small_shelf):
+        smooth_error = shelf_error(
+            small_shelf, query1_counts(small_shelf, "smooth")
+        )
+        clean_error = shelf_error(
+            small_shelf, query1_counts(small_shelf, "smooth+arbitrate")
+        )
+        assert clean_error < smooth_error
+
+    def test_arbitrate_alone_close_to_raw(self, small_shelf):
+        raw_error = shelf_error(small_shelf, query1_counts(small_shelf, "raw"))
+        arb_error = shelf_error(
+            small_shelf, query1_counts(small_shelf, "arbitrate")
+        )
+        assert arb_error > raw_error * 0.6
+
+    def test_granule_override(self, small_shelf):
+        counts = query1_counts(
+            small_shelf, "smooth+arbitrate", granule=TemporalGranule(2.0)
+        )
+        assert len(counts["shelf0"]) == len(small_shelf.ticks())
+
+    def test_identical_data_across_configs(self, small_shelf):
+        # query1_counts replays the cached recording: raw twice is equal.
+        first = query1_counts(small_shelf, "raw")
+        second = query1_counts(small_shelf, "raw")
+        assert np.array_equal(first["shelf0"], second["shelf0"])
+
+    def test_count_series_bucketing(self):
+        rows = [
+            StreamTuple(0.0, {"tag_id": "a", "spatial_granule": "g"}),
+            StreamTuple(0.0, {"tag_id": "b", "spatial_granule": "g"}),
+            StreamTuple(1.0, {"tag_id": "a", "spatial_granule": "g"}),
+            StreamTuple(1.0, {"tag_id": "x", "spatial_granule": "other"}),
+        ]
+        series = count_series(
+            rows, np.array([0.0, 1.0]), ["g"], tick_period=1.0
+        )
+        assert series["g"].tolist() == [2.0, 1.0]
+
+    def test_count_series_ignores_out_of_range(self):
+        rows = [StreamTuple(99.0, {"tag_id": "a", "spatial_granule": "g"})]
+        series = count_series(
+            rows, np.array([0.0, 1.0]), ["g"], tick_period=1.0
+        )
+        assert series["g"].tolist() == [0.0, 0.0]
+
+
+class TestOutlierPipeline:
+    def test_esp_tracks_functioning_motes(self, small_intel_lab):
+        scenario = small_intel_lab
+        recorded = scenario.recorded_streams()
+        processor = build_outlier_processor(scenario)
+        run = processor.run(
+            until=scenario.duration,
+            tick=scenario.sample_period,
+            sources=recorded,
+        )
+        late = [
+            t["temp"]
+            for t in run.output
+            if t.timestamp > scenario.failure_onset + 3600.0
+        ]
+        assert late and max(late) < 30.0  # outlier excluded
+
+    def test_without_merge_average_is_dragged(self, small_intel_lab):
+        scenario = small_intel_lab
+        recorded = scenario.recorded_streams()
+        processor = build_outlier_processor(
+            scenario, use_point=False, use_merge=False
+        )
+        run = processor.run(
+            until=scenario.duration,
+            tick=scenario.sample_period,
+            sources=recorded,
+        )
+        # No cleaning at all: the fail-dirty readings are still present.
+        late = [
+            t["temp"]
+            for t in run.output
+            if t.timestamp > scenario.duration * 0.9
+        ]
+        assert max(late) > 40.0
+
+    def test_point_only_caps_at_50(self, small_intel_lab):
+        scenario = small_intel_lab
+        recorded = scenario.recorded_streams()
+        processor = build_outlier_processor(scenario, use_merge=False)
+        run = processor.run(
+            until=scenario.duration,
+            tick=scenario.sample_period,
+            sources=recorded,
+        )
+        assert all(t["temp"] < 50.0 for t in run.output)
+
+    def test_robust_variant_runs(self, small_intel_lab):
+        scenario = small_intel_lab
+        processor = build_outlier_processor(scenario, robust=True, sigma_k=3.0)
+        run = processor.run(
+            until=scenario.duration,
+            tick=scenario.sample_period,
+            sources=scenario.recorded_streams(),
+        )
+        late = [
+            t["temp"]
+            for t in run.output
+            if t.timestamp > scenario.failure_onset + 3600.0
+        ]
+        assert late and max(late) < 30.0
+
+
+class TestRedwoodPipeline:
+    def test_smooth_raises_yield(self, small_redwood):
+        scenario = small_redwood
+        recorded = scenario.recorded_streams()
+        n_epochs = len(scenario.epochs())
+        raw_slots = sum(len(v) for v in recorded.values())
+        run = build_redwood_processor(
+            scenario, use_smooth=True, use_merge=False
+        ).run(until=scenario.duration, tick=scenario.epoch, sources=recorded)
+        smooth_slots = {
+            (t["mote_id"], int(round(t.timestamp / scenario.epoch)))
+            for t in run.output
+        }
+        assert len(smooth_slots) > raw_slots
+
+    def test_merge_fills_further(self, small_redwood):
+        scenario = small_redwood
+        recorded = scenario.recorded_streams()
+        smooth_run = build_redwood_processor(
+            scenario, use_smooth=True, use_merge=False
+        ).run(until=scenario.duration, tick=scenario.epoch, sources=recorded)
+        merge_run = build_redwood_processor(
+            scenario, use_smooth=True, use_merge=True
+        ).run(until=scenario.duration, tick=scenario.epoch, sources=recorded)
+        n_epochs = len(scenario.epochs())
+        smooth_granule_slots = {
+            (t["spatial_granule"], int(round(t.timestamp / scenario.epoch)))
+            for t in smooth_run.output
+        }
+        merge_slots = {
+            (t["spatial_granule"], int(round(t.timestamp / scenario.epoch)))
+            for t in merge_run.output
+        }
+        assert len(merge_slots) >= len(smooth_granule_slots)
+
+    def test_merge_output_one_row_per_granule_epoch(self, small_redwood):
+        scenario = small_redwood
+        run = build_redwood_processor(scenario).run(
+            until=scenario.duration,
+            tick=scenario.epoch,
+            sources=scenario.recorded_streams(),
+        )
+        slots = [
+            (t["spatial_granule"], int(round(t.timestamp / scenario.epoch)))
+            for t in run.output
+        ]
+        assert len(slots) == len(set(slots))
+
+
+class TestDigitalHome:
+    def test_accuracy_beats_chance(self, small_office):
+        scenario = small_office
+        processor = build_digital_home_processor(scenario)
+        run = processor.run(
+            until=scenario.duration,
+            tick=0.5,
+            sources=scenario.recorded_streams(),
+        )
+        ticks = scenario.ticks()
+        detected = np.zeros(len(ticks), dtype=bool)
+        for event in run.output:
+            index = int(event.timestamp // 1.0)
+            if index < len(detected):
+                detected[index] = True
+        truth = scenario.truth_series() > 0.5
+        assert detection_accuracy(detected, truth) > 0.8
+
+    def test_three_of_three_is_stricter(self, small_office):
+        scenario = small_office
+        recorded = scenario.recorded_streams()
+        loose = build_digital_home_processor(scenario, threshold=1).run(
+            until=scenario.duration, tick=0.5, sources=recorded
+        )
+        strict = build_digital_home_processor(scenario, threshold=3).run(
+            until=scenario.duration, tick=0.5, sources=recorded
+        )
+        assert len(strict.output) < len(loose.output)
+
+    def test_detection_tuples_carry_votes(self, small_office):
+        scenario = small_office
+        run = build_digital_home_processor(scenario).run(
+            until=scenario.duration,
+            tick=0.5,
+            sources=scenario.recorded_streams(),
+        )
+        assert run.output
+        event = run.output[0]
+        assert event["event"] == "Person-in-room"
+        assert event["votes"] >= 2
+
+    def test_declarative_query6_matches_toolkit_detector(self, small_office):
+        """The literal CQL Query 6 as Virtualize produces the same
+        detection instants as the VotingDetector toolkit operator."""
+        from repro.pipelines.digital_home import (
+            build_declarative_home_processor,
+        )
+
+        scenario = small_office
+        recorded = scenario.recorded_streams()
+
+        def detection_instants(builder):
+            run = builder(scenario).run(
+                until=scenario.duration, tick=0.5, sources=recorded
+            )
+            return sorted({round(t.timestamp, 3) for t in run.output})
+
+        toolkit = detection_instants(build_digital_home_processor)
+        declarative = detection_instants(build_declarative_home_processor)
+        assert toolkit == declarative
+
+    def test_declarative_query6_output_shape(self, small_office):
+        from repro.pipelines.digital_home import (
+            build_declarative_home_processor,
+        )
+
+        run = build_declarative_home_processor(small_office).run(
+            until=small_office.duration,
+            tick=0.5,
+            sources=small_office.recorded_streams(),
+        )
+        assert run.output
+        assert run.output[0]["event"] == "Person-in-room"

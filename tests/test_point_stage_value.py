@@ -1,0 +1,88 @@
+"""The Point stage's value: early elimination of junk readings.
+
+The paper notes the RFID reader's built-in checksum filtering plays the
+Point role in the shelf deployment (§4) and that Point "may also be used
+to improve performance through early elimination of data" (§3.2). These
+tests quantify both: accuracy with/without the ghost filter under a
+noisy reader, and the data-volume reduction Point provides.
+"""
+
+import pytest
+
+from repro.core.operators import max_count_arbitrate, presence_smoother
+from repro.core.pipeline import ESPPipeline, ESPProcessor
+from repro.experiments.rfid import shelf_error
+from repro.pipelines.rfid_shelf import count_series, query1_counts
+from repro.scenarios import ShelfScenario
+
+
+@pytest.fixture(scope="module")
+def ghosty_shelf():
+    """A shelf scenario with an unusually ghost-prone reader pair."""
+    scenario = ShelfScenario(duration=120.0, ghost_rate=0.05, seed=11)
+    scenario.recorded_streams()
+    return scenario
+
+
+def _error_without_point(scenario):
+    pipeline = ESPPipeline(
+        "rfid",
+        temporal_granule=scenario.temporal_granule,
+        sequence=[
+            presence_smoother(),
+            max_count_arbitrate(
+                tie_break="weakest", strength=scenario.strength
+            ),
+        ],
+    )
+    processor = ESPProcessor(scenario.registry).add_pipeline(pipeline)
+    run = processor.run(
+        until=scenario.duration,
+        tick=scenario.poll_period,
+        sources=scenario.recorded_streams(),
+    )
+    counts = count_series(
+        run.output,
+        scenario.ticks(),
+        [granule.name for granule in scenario.granules],
+        scenario.poll_period,
+    )
+    return shelf_error(counts, scenario.truth_series())
+
+
+class TestGhostFilterValue:
+    def test_point_stage_removes_ghost_error(self, ghosty_shelf):
+        with_point = shelf_error(
+            query1_counts(ghosty_shelf, "smooth+arbitrate"),
+            ghosty_shelf.truth_series(),
+        )
+        without_point = _error_without_point(ghosty_shelf)
+        # Ghost tags each linger a full smoothing window; dropping them
+        # at Point more than halves the error.
+        assert with_point < without_point / 2
+
+    def test_ghosts_present_in_raw_data(self, ghosty_shelf):
+        recorded = ghosty_shelf.recorded_streams()
+        ghost_reads = sum(
+            1
+            for readings in recorded.values()
+            for reading in readings
+            if str(reading["tag_id"]).startswith("ghost_")
+        )
+        assert ghost_reads > 20
+
+    def test_early_elimination_reduces_volume(self, ghosty_shelf):
+        """Point shrinks the stream before the stateful stages see it —
+        the §3.2 performance argument."""
+        from repro.core.operators.point_ops import ghost_filter
+        from repro.core.stages import StageContext, StageKind
+
+        op = ghost_filter().make(StageContext(StageKind.POINT))
+        recorded = ghosty_shelf.recorded_streams()
+        total = kept = 0
+        for readings in recorded.values():
+            for reading in readings:
+                total += 1
+                kept += len(op.on_tuple(reading))
+        assert kept < total
+        assert total - kept > 20

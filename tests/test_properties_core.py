@@ -1,0 +1,173 @@
+"""Property-based tests for ESP core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators.arbitrate_ops import MaxCountArbitrator
+from repro.core.operators.merge_ops import sigma_outlier_average
+from repro.core.operators.virtualize_ops import VotingDetector
+from repro.core.stages import StageContext, StageKind
+from repro.streams.time import parse_duration
+from repro.streams.tuples import StreamTuple
+
+# -- arbitration invariants -----------------------------------------------------
+
+claims_strategy = st.dictionaries(
+    keys=st.tuples(
+        st.sampled_from(["g0", "g1", "g2"]),
+        st.sampled_from(["a", "b", "c", "d"]),
+    ),
+    values=st.integers(min_value=1, max_value=9),
+    min_size=1,
+    max_size=12,
+)
+
+
+def arbitrate(claims, tie_break="all", strength=None):
+    op = MaxCountArbitrator(tie_break=tie_break, strength=strength)
+    for (granule, tag), count in claims.items():
+        op.on_tuple(
+            StreamTuple(
+                0.0,
+                {"spatial_granule": granule, "tag_id": tag, "count": count},
+            )
+        )
+    return op.on_time(0.0)
+
+
+@given(claims_strategy)
+def test_arbitrate_emits_at_most_one_granule_per_tag_with_weakest(claims):
+    strength = {"g0": 1.0, "g1": 0.6, "g2": 0.3}
+    out = arbitrate(claims, tie_break="weakest", strength=strength)
+    tags = [t["tag_id"] for t in out]
+    assert len(tags) == len(set(tags))
+
+
+@given(claims_strategy)
+def test_arbitrate_every_claimed_tag_is_attributed(claims):
+    out = arbitrate(claims)
+    claimed_tags = {tag for _granule, tag in claims}
+    assert {t["tag_id"] for t in out} == claimed_tags
+
+
+@given(claims_strategy)
+def test_arbitrate_winner_has_max_count(claims):
+    out = arbitrate(claims)
+    for row in out:
+        tag = row["tag_id"]
+        best = max(
+            count for (_g, t), count in claims.items() if t == tag
+        )
+        assert claims[(row["spatial_granule"], tag)] == best
+
+
+@given(claims_strategy)
+def test_arbitrate_never_invents_granules(claims):
+    out = arbitrate(claims)
+    for row in out:
+        assert (row["spatial_granule"], row["tag_id"]) in claims
+
+
+# -- merge outlier invariants ------------------------------------------------------
+
+
+readings_strategy = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+def run_merge(values, k=1.0):
+    op = sigma_outlier_average(window=10.0, k=k).make(
+        StageContext(StageKind.MERGE)
+    )
+    for value in values:
+        op.on_tuple(StreamTuple(0.0, {"spatial_granule": "g", "temp": value}))
+    return op.on_time(0.0)
+
+
+@given(readings_strategy)
+def test_merge_output_within_input_range(values):
+    out = run_merge(values)
+    if out:
+        assert min(values) - 1e-9 <= out[0]["temp"] <= max(values) + 1e-9
+
+
+@given(readings_strategy)
+def test_merge_survivor_count_bounded(values):
+    out = run_merge(values)
+    if out:
+        assert 1 <= out[0]["readings"] <= len(values)
+
+
+@given(readings_strategy)
+def test_merge_constant_input_is_identity(values):
+    constant = [values[0]] * len(values)
+    out = run_merge(constant)
+    assert out and out[0]["temp"] == pytest.approx(values[0])
+    assert out[0]["readings"] == len(constant)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        min_size=2,
+        max_size=10,
+    ),
+    st.floats(min_value=50.0, max_value=500.0),
+)
+def test_merge_rejects_single_extreme_outlier(cluster, offset):
+    """A lone far-away reading never survives among >= 2 close readings."""
+    values = [10.0 + v for v in cluster] + [10.0 + offset]
+    out = run_merge(values)
+    assert out
+    # Output must stay near the cluster, not be dragged by the outlier.
+    assert out[0]["temp"] < 10.0 + 5.0
+
+
+# -- voting detector invariants ------------------------------------------------------
+
+
+@given(
+    st.dictionaries(
+        keys=st.sampled_from(["s1", "s2", "s3"]),
+        values=st.booleans(),
+        min_size=0,
+        max_size=3,
+    ),
+    st.integers(min_value=1, max_value=3),
+)
+def test_voting_threshold_monotone(fired, threshold):
+    def run(thresh):
+        op = VotingDetector(
+            votes={"s1": None, "s2": None, "s3": None}, threshold=thresh
+        )
+        for stream, is_on in fired.items():
+            if is_on:
+                op.on_tuple(StreamTuple(0.0, {}, stream))
+        return bool(op.on_time(0.0))
+
+    votes = sum(fired.values())
+    assert run(threshold) == (votes >= threshold)
+    if threshold < 3 and run(threshold + 1):
+        assert run(threshold)  # firing at k+1 implies firing at k
+
+
+# -- duration parsing total behaviour -------------------------------------------------
+
+
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_parse_duration_roundtrip_numeric(seconds):
+    assert parse_duration(seconds).seconds == seconds
+
+
+@given(
+    st.integers(min_value=1, max_value=10000),
+    st.sampled_from(["sec", "min", "hour"]),
+)
+def test_parse_duration_unit_scaling(value, unit):
+    scale = {"sec": 1.0, "min": 60.0, "hour": 3600.0}[unit]
+    assert parse_duration(f"{value} {unit}").seconds == value * scale

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the stream substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.aggregates import (
+    Avg,
+    Count,
+    CountDistinct,
+    Mad,
+    Max,
+    Median,
+    Min,
+    Stdev,
+    Sum,
+)
+from repro.streams.operators import GroupKey, WindowedGroupByOp, run_operator
+from repro.streams.aggregates import AggregateSpec
+from repro.streams.tuples import StreamTuple
+from repro.streams.windows import RowWindow, SlidingWindow, WindowSpec
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+# -- aggregates agree with reference implementations -------------------------
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=60))
+def test_sum_matches_numpy(values):
+    assert Sum.over(values) == pytest.approx(float(np.sum(values)))
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=60))
+def test_avg_matches_numpy(values):
+    assert Avg.over(values) == pytest.approx(float(np.mean(values)))
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=60))
+def test_stdev_matches_numpy_ddof1(values):
+    expected = float(np.std(values, ddof=1))
+    assert Stdev.over(values) == pytest.approx(expected, abs=1e-6, rel=1e-6)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=60))
+def test_min_max_bound_all_values(values):
+    low, high = Min.over(values), Max.over(values)
+    assert low <= high
+    assert all(low <= v <= high for v in values)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=60))
+def test_median_matches_numpy(values):
+    assert Median.over(values) == pytest.approx(float(np.median(values)))
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=60))
+def test_mad_is_nonnegative_and_bounded_by_range(values):
+    mad = Mad.over(values)
+    assert mad >= 0.0
+    assert mad <= (max(values) - min(values)) + 1e-9
+
+
+@given(st.lists(st.one_of(st.none(), finite_floats), max_size=60))
+def test_count_ignores_none(values):
+    assert Count.over(values) == sum(1 for v in values if v is not None)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10), max_size=60))
+def test_count_distinct_matches_set(values):
+    assert CountDistinct.over(values) == len(set(values))
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=40))
+def test_stdev_zero_iff_constant(values):
+    constant = [values[0]] * len(values)
+    assert Stdev.over(constant) == pytest.approx(0.0, abs=1e-9)
+
+
+# -- window invariants ---------------------------------------------------------
+
+
+sorted_times = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=50,
+).map(sorted)
+
+
+@given(sorted_times, st.floats(min_value=0.1, max_value=20.0))
+def test_sliding_window_contents_match_definition(times, width):
+    window = SlidingWindow(width)
+    for ts in times:
+        window.insert(StreamTuple(ts, {"v": ts}))
+    now = times[-1]
+    window.advance(now)
+    expected = [ts for ts in times if ts >= now - width - 1e-9]
+    assert [t.timestamp for t in window] == expected
+
+
+@given(sorted_times, st.floats(min_value=0.1, max_value=20.0))
+def test_sliding_window_monotone_under_advance(times, width):
+    """Advancing time never grows the window."""
+    window = SlidingWindow(width)
+    for ts in times:
+        window.insert(StreamTuple(ts, {}))
+    sizes = []
+    now = times[-1]
+    for step in range(5):
+        window.advance(now + step * width / 2)
+        sizes.append(len(window))
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(sorted_times, st.integers(min_value=1, max_value=10))
+def test_row_window_never_exceeds_capacity(times, capacity):
+    window = RowWindow(capacity)
+    for ts in times:
+        window.insert(StreamTuple(ts, {}))
+        assert len(window) <= capacity
+    kept = [t.timestamp for t in window]
+    assert kept == times[-min(capacity, len(times)):]
+
+
+# -- windowed group-by invariants -------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # group
+            st.integers(min_value=0, max_value=5),  # value id
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=50)
+def test_groupby_partitions_are_exhaustive_and_disjoint(rows):
+    """At one instant, group counts must sum to the number of inputs."""
+    items = [
+        StreamTuple(0.0, {"g": group, "x": value}) for group, value in rows
+    ]
+    op = WindowedGroupByOp(
+        WindowSpec.range_by(10.0),
+        keys=[GroupKey("g")],
+        aggregates=[AggregateSpec("count", output="n")],
+    )
+    out = run_operator(op, items, [0.0])
+    assert sum(t["n"] for t in out) == len(items)
+    groups = [t["g"] for t in out]
+    assert len(groups) == len(set(groups))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+            finite_floats,
+        ),
+        min_size=1,
+        max_size=50,
+    ).map(lambda rows: sorted(rows, key=lambda r: r[0]))
+)
+@settings(max_examples=50)
+def test_groupby_window_average_matches_manual(rows):
+    items = [StreamTuple(ts, {"v": v}) for ts, v in rows]
+    width = 7.0
+    op = WindowedGroupByOp(
+        WindowSpec.range_by(width),
+        keys=[],
+        aggregates=[
+            AggregateSpec("avg", argument=lambda t: t["v"], output="m")
+        ],
+    )
+    now = rows[-1][0]
+    out = run_operator(op, items, [now])
+    expected_values = [v for ts, v in rows if ts >= now - width - 1e-9]
+    assert out, "window holds at least the newest tuple"
+    assert out[-1]["m"] == pytest.approx(
+        sum(expected_values) / len(expected_values)
+    )

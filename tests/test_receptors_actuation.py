@@ -1,0 +1,125 @@
+"""Unit tests for receptor actuation (§5.3.1 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReceptorError
+from repro.receptors.actuation import ActuatableMote, YieldActuationController
+
+
+def make_mote(min_period=60.0, max_period=300.0, **kwargs):
+    defaults = dict(
+        field=lambda now: 20.0,
+        noise_std=0.0,
+        rng=0,
+    )
+    defaults.update(kwargs)
+    return ActuatableMote("m", min_period, max_period, **defaults)
+
+
+class TestActuatableMote:
+    def test_starts_at_base_rate(self):
+        assert make_mote().sample_period == 300.0
+
+    def test_set_period_clamped(self):
+        mote = make_mote()
+        assert mote.set_sample_period(10.0) == 60.0
+        assert mote.set_sample_period(1e6) == 300.0
+        assert mote.set_sample_period(120.0) == 120.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ReceptorError):
+            make_mote(min_period=300.0, max_period=60.0)
+        with pytest.raises(ReceptorError):
+            make_mote(min_period=0.0)
+
+    def test_due_schedule_follows_period(self):
+        mote = make_mote()
+        assert mote.due(0.0)
+        assert mote.sample_if_due(0.0)
+        assert not mote.due(100.0)
+        assert mote.due(300.0)
+
+    def test_schedule_tightens_after_actuation(self):
+        mote = make_mote()
+        mote.sample_if_due(0.0)
+        mote.set_sample_period(60.0)
+        # Next sample was already scheduled at the old rate...
+        assert not mote.due(60.0)
+        # ...but subsequent ones follow the new one.
+        mote.sample_if_due(300.0)
+        assert mote.due(360.0)
+
+    def test_is_still_a_mote(self):
+        readings = make_mote().sample_if_due(0.0)
+        assert readings[0]["temp"] == 20.0
+        assert readings[0]["mote_id"] == "m"
+
+
+class TestController:
+    def test_miss_halves_period(self):
+        mote = make_mote()
+        controller = YieldActuationController()
+        assert controller.observe(mote, delivered=False) == 150.0
+        assert controller.observe(mote, delivered=False) == 75.0
+
+    def test_period_floor(self):
+        mote = make_mote()
+        controller = YieldActuationController()
+        for _ in range(10):
+            controller.observe(mote, delivered=False)
+        assert mote.sample_period == mote.min_period
+
+    def test_relax_after_patience_hits(self):
+        mote = make_mote()
+        mote.set_sample_period(60.0)
+        controller = YieldActuationController(patience=3, relax_step=60.0)
+        controller.observe(mote, delivered=True)
+        controller.observe(mote, delivered=True)
+        assert mote.sample_period == 60.0  # not yet
+        controller.observe(mote, delivered=True)
+        assert mote.sample_period == 120.0
+
+    def test_miss_resets_streak(self):
+        mote = make_mote()
+        mote.set_sample_period(60.0)
+        controller = YieldActuationController(patience=2, relax_step=60.0)
+        controller.observe(mote, delivered=True)
+        controller.observe(mote, delivered=False)  # halve (floor) + reset
+        controller.observe(mote, delivered=True)
+        assert mote.sample_period == 60.0  # streak restarted
+
+    def test_period_ceiling(self):
+        mote = make_mote()
+        controller = YieldActuationController(patience=1, relax_step=1e6)
+        controller.observe(mote, delivered=True)
+        assert mote.sample_period == mote.max_period
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReceptorError):
+            YieldActuationController(patience=0)
+        with pytest.raises(ReceptorError):
+            YieldActuationController(relax_step=0.0)
+
+
+class TestClosedLoopExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.actuation import actuation_comparison
+
+        return actuation_comparison(n_motes=6, granules=150, seed=3)
+
+    def test_actuation_beats_fixed_yield(self, result):
+        assert result["yield"]["actuated"] > result["yield"]["fixed"] + 0.1
+
+    def test_actuation_cheaper_than_always_fast(self, result):
+        assert result["energy"]["actuated"] < result["energy"]["always_fast"]
+
+    def test_always_fast_is_the_yield_ceiling(self, result):
+        assert (
+            result["yield"]["always_fast"]
+            >= result["yield"]["actuated"] - 0.02
+        )
+
+    def test_fixed_energy_is_baseline(self, result):
+        assert result["energy"]["fixed"] == 1.0

@@ -1,0 +1,141 @@
+"""Unit tests for motes, fail-dirty faults and the loss channels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReceptorError
+from repro.receptors.motes import FailDirtyModel, Mote
+from repro.receptors.network import GilbertElliottChannel, PerfectChannel
+
+
+class TestFailDirty:
+    def test_inactive_before_onset(self):
+        fault = FailDirtyModel(onset=100.0, drift_rate=0.01)
+        assert not fault.active(99.9)
+        assert fault.active(100.0)
+
+    def test_drift_from_value_at_failure(self):
+        fault = FailDirtyModel(onset=0.0, drift_rate=1.0)
+        rng = np.random.default_rng(0)
+        assert fault.corrupt(0.0, 20.0, rng) == 20.0
+        assert fault.corrupt(10.0, 25.0, rng) == 30.0  # anchored at 20
+
+    def test_zero_drift_rejected(self):
+        with pytest.raises(ReceptorError):
+            FailDirtyModel(onset=0.0, drift_rate=0.0)
+
+    def test_noise_added_after_failure(self):
+        fault = FailDirtyModel(onset=0.0, drift_rate=1.0, noise_std=5.0)
+        rng = np.random.default_rng(0)
+        values = {fault.corrupt(1.0, 0.0, rng) for _ in range(10)}
+        assert len(values) > 1
+
+
+class TestMote:
+    def test_reading_fields(self):
+        mote = Mote(
+            "mote1",
+            field=lambda now: 20.0,
+            sample_period=300.0,
+            noise_std=0.0,
+            extra_fields={"height_m": 30.0},
+            rng=0,
+        )
+        readings = mote.poll(600.0)
+        assert len(readings) == 1
+        reading = readings[0]
+        assert reading["mote_id"] == "mote1"
+        assert reading["temp"] == 20.0
+        assert reading["epoch"] == 2
+        assert reading["height_m"] == 30.0
+
+    def test_noise_applied(self):
+        mote = Mote("m", field=lambda now: 20.0, noise_std=1.0, rng=0)
+        values = {mote.poll(t * 300.0)[0]["temp"] for t in range(10)}
+        assert len(values) == 10
+        assert all(abs(v - 20.0) < 6.0 for v in values)
+
+    def test_custom_quantity_name(self):
+        mote = Mote(
+            "m", field=lambda now: 500.0, quantity="noise",
+            noise_std=0.0, rng=0,
+        )
+        assert mote.poll(0.0)[0]["noise"] == 500.0
+
+    def test_fail_dirty_overrides_field(self):
+        mote = Mote(
+            "m",
+            field=lambda now: 20.0,
+            noise_std=0.0,
+            fail_dirty=FailDirtyModel(onset=0.0, drift_rate=1.0),
+            rng=0,
+        )
+        assert mote.sense(100.0) == 120.0
+
+    def test_lossy_channel_drops_readings(self):
+        class DropAll:
+            def deliver(self):
+                return False
+
+        mote = Mote("m", field=lambda now: 1.0, channel=DropAll(), rng=0)
+        assert mote.poll(0.0) == []
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ReceptorError):
+            Mote("m", field=lambda now: 1.0, noise_std=-1.0)
+
+
+class TestChannels:
+    def test_perfect_channel(self):
+        channel = PerfectChannel()
+        assert all(channel.deliver() for _ in range(100))
+        assert channel.expected_yield() == 1.0
+
+    def test_gilbert_elliott_long_run_yield(self):
+        channel = GilbertElliottChannel.with_target_yield(
+            0.40, mean_bad_epochs=8.0, rng=123
+        )
+        assert channel.expected_yield() == pytest.approx(0.40, abs=1e-9)
+        delivered = sum(channel.deliver() for _ in range(60000))
+        assert delivered / 60000 == pytest.approx(0.40, abs=0.04)
+
+    def test_burstiness_creates_long_outages(self):
+        channel = GilbertElliottChannel.with_target_yield(
+            0.40, mean_bad_epochs=10.0, rng=7
+        )
+        outcomes = [channel.deliver() for _ in range(5000)]
+        # longest dry spell should far exceed what i.i.d. 40% would give
+        longest, current = 0, 0
+        for ok in outcomes:
+            current = 0 if ok else current + 1
+            longest = max(longest, current)
+        assert longest >= 15
+
+    def test_stationary_fraction(self):
+        channel = GilbertElliottChannel(0.1, 0.3, rng=0)
+        assert channel.stationary_good_fraction() == pytest.approx(0.75)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ReceptorError):
+            GilbertElliottChannel(1.5, 0.5)
+        with pytest.raises(ReceptorError):
+            GilbertElliottChannel(0.0, 0.0)
+
+    def test_unreachable_target_yield(self):
+        with pytest.raises(ReceptorError):
+            GilbertElliottChannel.with_target_yield(
+                0.99, mean_bad_epochs=5.0, deliver_good=0.97
+            )
+
+    def test_infeasible_burst_length(self):
+        with pytest.raises(ReceptorError):
+            GilbertElliottChannel.with_target_yield(
+                0.05, mean_bad_epochs=1.0, deliver_bad=0.02
+            )
+
+    def test_start_state_override(self):
+        channel = GilbertElliottChannel(
+            0.0, 1.0, deliver_good=1.0, deliver_bad=0.0,
+            rng=0, start_good=True,
+        )
+        assert channel.deliver()

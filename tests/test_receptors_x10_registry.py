@@ -1,0 +1,132 @@
+"""Unit tests for X10 detectors and the device registry."""
+
+import pytest
+
+from repro.core.granules import SpatialGranule
+from repro.errors import ReceptorError
+from repro.receptors.base import Receptor, ReceptorKind
+from repro.receptors.registry import DeviceRegistry
+from repro.receptors.rfid import RFIDReader
+from repro.receptors.x10 import X10MotionDetector
+
+
+class TestX10:
+    def test_fires_only_on(self):
+        detector = X10MotionDetector(
+            "x10_1", occupied=lambda now: True,
+            detect_probability=1.0, false_on_probability=0.0, rng=0,
+        )
+        readings = detector.poll(3.0)
+        assert readings[0]["value"] == "ON"
+        assert readings[0]["sensor_id"] == "x10_1"
+
+    def test_silent_when_not_detected(self):
+        detector = X10MotionDetector(
+            "x10_1", occupied=lambda now: True,
+            detect_probability=0.0, false_on_probability=0.0, rng=0,
+        )
+        assert detector.poll(0.0) == []
+
+    def test_miss_rate(self):
+        detector = X10MotionDetector(
+            "x", occupied=lambda now: True,
+            detect_probability=0.3, false_on_probability=0.0, rng=1,
+        )
+        hits = sum(bool(detector.poll(float(t))) for t in range(4000))
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_false_positives_when_empty(self):
+        detector = X10MotionDetector(
+            "x", occupied=lambda now: False,
+            detect_probability=0.9, false_on_probability=0.05, rng=2,
+        )
+        hits = sum(bool(detector.poll(float(t))) for t in range(4000))
+        assert hits / 4000 == pytest.approx(0.05, abs=0.02)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ReceptorError):
+            X10MotionDetector("x", occupied=lambda now: True,
+                              detect_probability=2.0)
+
+
+class TestRegistry:
+    def make(self):
+        registry = DeviceRegistry()
+        office = SpatialGranule("office")
+        registry.add_group("readers", office, receptor_kind="rfid")
+        registry.add_group("x10s", office, receptor_kind="x10")
+        return registry, office
+
+    def reader(self, name="r0"):
+        return RFIDReader(name, shelf="office", tags=[], rng=0)
+
+    def test_assign_and_lookup(self):
+        registry, office = self.make()
+        reader = self.reader()
+        registry.assign(reader, "readers")
+        assert registry.device("r0") is reader
+        assert registry.group_of("r0").name == "readers"
+        assert registry.granule_of("r0") == office
+        assert registry.group_of("r0").members == ["r0"]
+
+    def test_kind_mismatch_rejected(self):
+        registry, _office = self.make()
+        with pytest.raises(ReceptorError) as err:
+            registry.assign(self.reader(), "x10s")
+        assert "rfid" in str(err.value)
+
+    def test_duplicate_device_rejected(self):
+        registry, _office = self.make()
+        registry.assign(self.reader(), "readers")
+        with pytest.raises(ReceptorError):
+            registry.assign(self.reader(), "readers")
+
+    def test_unknown_group_rejected(self):
+        registry, _office = self.make()
+        with pytest.raises(ReceptorError):
+            registry.assign(self.reader(), "nope")
+
+    def test_duplicate_group_rejected(self):
+        registry, office = self.make()
+        with pytest.raises(ReceptorError):
+            registry.add_group("readers", office, receptor_kind="rfid")
+
+    def test_unknown_device_lookups(self):
+        registry, _office = self.make()
+        with pytest.raises(ReceptorError):
+            registry.device("ghost")
+        with pytest.raises(ReceptorError):
+            registry.group_of("ghost")
+
+    def test_granule_idempotent_by_name(self):
+        registry = DeviceRegistry()
+        registry.add_group("g1", SpatialGranule("room"), receptor_kind="mote")
+        registry.add_group("g2", SpatialGranule("room"), receptor_kind="x10")
+        assert len(registry.granules) == 1
+        assert len(registry.groups_for_granule("room")) == 2
+
+    def test_devices_in_group(self):
+        registry, _office = self.make()
+        registry.assign(self.reader("r0"), "readers")
+        registry.assign(self.reader("r1"), "readers")
+        assert {d.receptor_id for d in registry.devices_in_group("readers")} == {
+            "r0",
+            "r1",
+        }
+        with pytest.raises(ReceptorError):
+            registry.devices_in_group("ghost")
+
+
+class TestReceptorBase:
+    def test_poll_abstract(self):
+        receptor = Receptor("x", ReceptorKind.MOTE, sample_period=1.0)
+        with pytest.raises(NotImplementedError):
+            receptor.poll(0.0)
+
+    def test_invalid_sample_period(self):
+        with pytest.raises(ReceptorError):
+            Receptor("x", ReceptorKind.MOTE, sample_period=-1.0)
+
+    def test_repr(self):
+        receptor = Receptor("x", ReceptorKind.X10, sample_period=2.0)
+        assert "x10" in repr(receptor)

@@ -1,0 +1,199 @@
+"""Unit tests for the four ground-truth scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    IntelLabScenario,
+    OfficeScenario,
+    RedwoodScenario,
+    ShelfScenario,
+)
+
+
+class TestShelfScenario:
+    def test_truth_alternates_every_period(self, small_shelf):
+        scenario = small_shelf
+        assert scenario.true_count(0.0, 0) == 15
+        assert scenario.true_count(0.0, 1) == 10
+        assert scenario.true_count(45.0, 0) == 10
+        assert scenario.true_count(45.0, 1) == 15
+        assert scenario.true_count(85.0, 0) == 15
+
+    def test_total_items_conserved(self, small_shelf):
+        for now in np.linspace(0, small_shelf.duration, 50):
+            total = small_shelf.true_count(now, 0) + small_shelf.true_count(
+                now, 1
+            )
+            assert total == 25
+
+    def test_truth_series_shape(self, small_shelf):
+        series = small_shelf.truth_series()
+        ticks = small_shelf.ticks()
+        assert set(series) == {"shelf0", "shelf1"}
+        assert len(series["shelf0"]) == len(ticks)
+
+    def test_recorded_streams_cached(self, small_shelf):
+        assert small_shelf.recorded_streams() is small_shelf.recorded_streams()
+
+    def test_recording_covers_both_readers(self, small_shelf):
+        recorded = small_shelf.recorded_streams()
+        assert set(recorded) == {"reader0", "reader1"}
+        assert all(len(v) > 0 for v in recorded.values())
+
+    def test_strong_antenna_reads_more(self, small_shelf):
+        recorded = small_shelf.recorded_streams()
+        assert len(recorded["reader0"]) > len(recorded["reader1"])
+
+    def test_readings_sorted_by_time(self, small_shelf):
+        for readings in small_shelf.recorded_streams().values():
+            times = [r.timestamp for r in readings]
+            assert times == sorted(times)
+
+    def test_deterministic_given_seed(self):
+        a = ShelfScenario(duration=20.0, seed=3).recorded_streams()
+        b = ShelfScenario(duration=20.0, seed=3).recorded_streams()
+        assert {k: len(v) for k, v in a.items()} == {
+            k: len(v) for k, v in b.items()
+        }
+        assert a["reader0"][0] == b["reader0"][0]
+
+    def test_relocated_shelf_function(self, small_shelf):
+        assert small_shelf.relocated_shelf(0.0) == 0
+        assert small_shelf.relocated_shelf(40.0) == 1
+        assert small_shelf.relocated_shelf(80.0) == 0
+
+
+class TestIntelLabScenario:
+    def test_three_motes_one_group(self, small_intel_lab):
+        registry = small_intel_lab.registry
+        assert len(registry.devices) == 3
+        assert len(registry.groups) == 1
+        assert registry.groups[0].granule.name == "room"
+
+    def test_diurnal_truth_bounded(self, small_intel_lab):
+        temps = [
+            small_intel_lab.room_temperature(t)
+            for t in np.linspace(0, small_intel_lab.duration, 100)
+        ]
+        assert min(temps) > 15.0 and max(temps) < 30.0
+
+    def test_fail_dirty_mote_rises(self, small_intel_lab):
+        recorded = small_intel_lab.recorded_streams()
+        late = [
+            r["temp"]
+            for r in recorded["mote3"]
+            if r.timestamp > small_intel_lab.duration * 0.9
+        ]
+        assert min(late) > 30.0
+
+    def test_functioning_motes_stay_sane(self, small_intel_lab):
+        recorded = small_intel_lab.recorded_streams()
+        for mote_id in ("mote1", "mote2"):
+            temps = [r["temp"] for r in recorded[mote_id]]
+            assert max(temps) < 30.0
+
+    def test_raw_by_mote_shapes(self, small_intel_lab):
+        series = small_intel_lab.raw_by_mote()
+        assert set(series) == {"mote1", "mote2", "mote3"}
+        times, temps = series["mote1"]
+        assert len(times) == len(temps) == len(small_intel_lab.ticks())
+
+
+class TestRedwoodScenario:
+    def test_registry_layout(self, small_redwood):
+        registry = small_redwood.registry
+        assert len(registry.devices) == small_redwood.n_groups * 2
+        assert len(registry.groups) == small_redwood.n_groups
+        for group in registry.groups:
+            assert len(group.members) == 2
+
+    def test_heights_increase_with_group(self, small_redwood):
+        heights = small_redwood.mote_heights
+        assert heights["mote_01_0"] > heights["mote_00_0"]
+        assert heights["mote_00_1"] == pytest.approx(
+            heights["mote_00_0"] + 0.3
+        )
+
+    def test_canopy_swings_harder(self, small_redwood):
+        scenario = small_redwood
+        day = 86400.0
+        low = [scenario.temperature(t, 10.0) for t in np.linspace(0, day, 200)]
+        high = [scenario.temperature(t, 70.0) for t in np.linspace(0, day, 200)]
+        assert max(high) - min(high) > max(low) - min(low)
+
+    def test_logs_complete_despite_loss(self, small_redwood):
+        logs = small_redwood.logs()
+        epochs = small_redwood.epochs()
+        for sensed in logs.values():
+            assert len(sensed) == len(epochs)
+            assert np.all(np.isfinite(sensed))
+
+    def test_delivered_subset_of_epochs(self, small_redwood):
+        recorded = small_redwood.recorded_streams()
+        n_epochs = len(small_redwood.epochs())
+        for readings in recorded.values():
+            assert 0 < len(readings) < n_epochs
+
+    def test_raw_yield_near_target(self, small_redwood):
+        recorded = small_redwood.recorded_streams()
+        n_epochs = len(small_redwood.epochs())
+        total = sum(len(v) for v in recorded.values())
+        observed = total / (n_epochs * len(recorded))
+        assert observed == pytest.approx(small_redwood.target_yield, abs=0.12)
+
+    def test_granule_logs_average_pairs(self, small_redwood):
+        logs = small_redwood.logs()
+        granule_logs = small_redwood.granule_logs()
+        expected = (logs["mote_00_0"] + logs["mote_00_1"]) / 2
+        assert np.allclose(granule_logs["height_00"], expected)
+
+
+class TestOfficeScenario:
+    def test_occupancy_square_wave(self, small_office):
+        assert small_office.occupied(10.0)
+        assert not small_office.occupied(70.0)
+        assert small_office.occupied(130.0)
+
+    def test_registry_has_three_groups(self, small_office):
+        registry = small_office.registry
+        kinds = {g.receptor_kind for g in registry.groups}
+        assert kinds == {"rfid", "mote", "x10"}
+        assert len(registry.devices) == 8
+
+    def test_all_groups_share_office_granule(self, small_office):
+        assert {
+            g.granule.name for g in small_office.registry.groups
+        } == {"office"}
+
+    def test_badge_read_only_when_present(self, small_office):
+        recorded = small_office.recorded_streams()
+        for reader in ("office_reader0", "office_reader1"):
+            for reading in recorded[reader]:
+                if reading["tag_id"].startswith("badge"):
+                    assert small_office.occupied(reading.timestamp)
+
+    def test_errant_tag_only_on_reader1(self, small_office):
+        recorded = small_office.recorded_streams()
+        reader0_tags = {r["tag_id"] for r in recorded["office_reader0"]}
+        reader1_tags = {r["tag_id"] for r in recorded["office_reader1"]}
+        assert "errant_foreign_tag" not in reader0_tags
+        assert "errant_foreign_tag" in reader1_tags
+
+    def test_sound_levels_track_occupancy(self, small_office):
+        recorded = small_office.recorded_streams()
+        occupied_noise, empty_noise = [], []
+        for reading in recorded["sound_mote1"]:
+            target = (
+                occupied_noise
+                if small_office.occupied(reading.timestamp)
+                else empty_noise
+            )
+            target.append(reading["noise"])
+        assert np.mean(occupied_noise) > np.mean(empty_noise) + 50
+
+    def test_truth_series_matches_occupied(self, small_office):
+        truth = small_office.truth_series()
+        ticks = small_office.ticks()
+        for value, tick in zip(truth, ticks):
+            assert bool(value) == small_office.occupied(tick)

@@ -1,0 +1,169 @@
+"""Unit tests for aggregate functions and the registry."""
+
+import math
+
+import pytest
+
+from repro.errors import AggregateError
+from repro.streams.aggregates import (
+    Aggregate,
+    AggregateSpec,
+    Avg,
+    Count,
+    CountDistinct,
+    First,
+    Last,
+    Mad,
+    Max,
+    Median,
+    Min,
+    Stdev,
+    Sum,
+    aggregate_names,
+    get_aggregate,
+    register_aggregate,
+)
+from repro.streams.tuples import StreamTuple
+
+
+class TestBuiltins:
+    def test_count_skips_none(self):
+        assert Count.over([1, None, 2]) == 2
+
+    def test_count_empty(self):
+        assert Count.over([]) == 0
+
+    def test_count_distinct(self):
+        assert CountDistinct.over(["a", "a", "b", None]) == 2
+
+    def test_sum(self):
+        assert Sum.over([1, 2, 3.5]) == 6.5
+
+    def test_sum_empty_is_none(self):
+        assert Sum.over([]) is None
+
+    def test_avg(self):
+        assert Avg.over([1, 2, 3]) == 2.0
+
+    def test_avg_empty_is_none(self):
+        assert Avg.over([None, None]) is None
+
+    def test_stdev_matches_sample_formula(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        mean = sum(values) / len(values)
+        expected = math.sqrt(
+            sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        )
+        assert Stdev.over(values) == pytest.approx(expected)
+
+    def test_stdev_single_value_is_zero(self):
+        assert Stdev.over([5.0]) == 0.0
+
+    def test_stdev_empty_is_none(self):
+        assert Stdev.over([]) is None
+
+    def test_stdev_numerical_stability(self):
+        # Large offset with tiny variance: naive sum-of-squares fails here.
+        base = 1e9
+        values = [base + v for v in (0.0, 0.1, 0.2)]
+        assert Stdev.over(values) == pytest.approx(0.1, rel=1e-6)
+
+    def test_min_max(self):
+        assert Min.over([3, 1, 2]) == 1
+        assert Max.over([3, 1, 2]) == 3
+        assert Min.over([]) is None
+        assert Max.over([None]) is None
+
+    def test_median_odd_even(self):
+        assert Median.over([3, 1, 2]) == 2
+        assert Median.over([4, 1, 2, 3]) == 2.5
+        assert Median.over([]) is None
+
+    def test_mad(self):
+        # values 1,2,3,4,100 -> median 3, deviations 2,1,0,1,97 -> MAD 1
+        assert Mad.over([1, 2, 3, 4, 100]) == 1.0
+        assert Mad.over([]) is None
+
+    def test_first_last(self):
+        assert First.over([None, "a", "b"]) == "a"
+        assert Last.over(["a", "b", None]) == "b"
+        assert First.over([]) is None
+
+
+class TestRegistry:
+    def test_get_by_name_case_insensitive(self):
+        agg = get_aggregate("AVG")
+        agg.add(2)
+        agg.add(4)
+        assert agg.result() == 3.0
+
+    def test_stddev_alias(self):
+        assert isinstance(get_aggregate("stddev"), Stdev)
+
+    def test_unknown_name(self):
+        with pytest.raises(AggregateError) as err:
+            get_aggregate("frobnicate")
+        assert "frobnicate" in str(err.value)
+
+    def test_count_distinct_via_flag(self):
+        agg = get_aggregate("count", distinct=True)
+        for value in ("a", "a", "b"):
+            agg.add(value)
+        assert agg.result() == 2
+
+    def test_distinct_wrapper_on_sum(self):
+        agg = get_aggregate("sum", distinct=True)
+        for value in (2, 2, 3):
+            agg.add(value)
+        assert agg.result() == 5
+
+    def test_register_custom_aggregate(self):
+        class Product(Aggregate):
+            def __init__(self):
+                self._product = 1.0
+                self._any = False
+
+            def add(self, value):
+                if value is not None:
+                    self._product *= value
+                    self._any = True
+
+            def result(self):
+                return self._product if self._any else None
+
+        register_aggregate("product_test", Product)
+        assert "product_test" in aggregate_names()
+        assert get_aggregate("product_test").__class__ is Product
+        assert Product.over([2, 3, 4]) == 24.0
+
+    def test_aggregate_names_contains_builtins(self):
+        names = aggregate_names()
+        assert {"count", "avg", "stdev", "min", "max"} <= names
+
+
+class TestAggregateSpec:
+    def test_evaluate_with_argument(self):
+        rows = [StreamTuple(0, {"x": v}) for v in (1, 2, 3)]
+        spec = AggregateSpec("avg", argument=lambda t: t["x"], output="m")
+        assert spec.evaluate(rows) == 2.0
+        assert spec.output == "m"
+
+    def test_count_star_semantics(self):
+        rows = [StreamTuple(0, {"x": None}), StreamTuple(0, {"x": 1})]
+        spec = AggregateSpec("count")  # argument None = count every row
+        assert spec.evaluate(rows) == 2
+
+    def test_distinct_evaluation(self):
+        rows = [StreamTuple(0, {"x": v}) for v in ("a", "a", "b")]
+        spec = AggregateSpec("count", argument=lambda t: t["x"], distinct=True)
+        assert spec.evaluate(rows) == 2
+
+    def test_default_output_names(self):
+        assert AggregateSpec("count").output == "count_star"
+        assert (
+            AggregateSpec("count", argument=lambda t: 1, distinct=True).output
+            == "count_distinct_expr"
+        )
+
+    def test_repr(self):
+        assert "avg" in repr(AggregateSpec("avg", argument=lambda t: 1))

@@ -1,0 +1,155 @@
+"""Unit tests for the Fjord pipelined executor."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.streams.aggregates import AggregateSpec
+from repro.streams.fjord import Fjord
+from repro.streams.operators import (
+    FilterOp,
+    GroupKey,
+    MapOp,
+    Operator,
+    UnionOp,
+    WindowedGroupByOp,
+)
+from repro.streams.tuples import StreamTuple
+from repro.streams.windows import WindowSpec
+
+
+def tup(ts, stream="s", **fields):
+    return StreamTuple(ts, fields, stream)
+
+
+def ticks(until, period=1.0):
+    return [i * period for i in range(int(until / period) + 1)]
+
+
+class TestWiring:
+    def test_source_to_sink(self):
+        fjord = Fjord()
+        fjord.add_source("src", [tup(0.0, v=1), tup(1.0, v=2)])
+        sink = fjord.add_sink("out", inputs=["src"])
+        fjord.run(ticks(2))
+        assert [t["v"] for t in sink.results] == [1, 2]
+
+    def test_operator_chain(self):
+        fjord = Fjord()
+        fjord.add_source("src", [tup(0.0, v=1), tup(0.0, v=5)])
+        fjord.add_operator("f", FilterOp(lambda t: t["v"] > 2), inputs=["src"])
+        fjord.add_operator(
+            "m", MapOp(lambda t: t.derive(values={"v": t["v"] * 10})),
+            inputs=["f"],
+        )
+        sink = fjord.add_sink("out", inputs=["m"])
+        fjord.run(ticks(1))
+        assert [t["v"] for t in sink.results] == [50]
+
+    def test_merges_sources_by_timestamp(self):
+        fjord = Fjord()
+        fjord.add_source("a", [tup(0.0, v="a0"), tup(2.0, v="a2")])
+        fjord.add_source("b", [tup(1.0, v="b1")])
+        fjord.add_operator("u", UnionOp(), inputs=["a", "b"])
+        sink = fjord.add_sink("out", inputs=["u"])
+        fjord.run(ticks(3))
+        assert [t["v"] for t in sink.results] == ["a0", "b1", "a2"]
+
+    def test_multi_port_inputs(self):
+        class PortRecorder(Operator):
+            def __init__(self):
+                self.seen = []
+
+            def on_tuple(self, item, port=0):
+                self.seen.append((port, item["v"]))
+                return []
+
+        recorder = PortRecorder()
+        fjord = Fjord()
+        fjord.add_source("a", [tup(0.0, v="left")])
+        fjord.add_source("b", [tup(0.0, v="right")])
+        fjord.add_operator("r", recorder, inputs=[("a", 0), ("b", 1)])
+        fjord.run(ticks(1))
+        assert sorted(recorder.seen) == [(0, "left"), (1, "right")]
+
+    def test_duplicate_names_rejected(self):
+        fjord = Fjord()
+        fjord.add_source("x", [])
+        with pytest.raises(OperatorError):
+            fjord.add_source("x", [])
+        fjord.add_operator("op", UnionOp(), inputs=["x"])
+        with pytest.raises(OperatorError):
+            fjord.add_operator("op", UnionOp(), inputs=["x"])
+
+    def test_unknown_upstream_rejected(self):
+        fjord = Fjord()
+        with pytest.raises(OperatorError):
+            fjord.add_operator("op", UnionOp(), inputs=["ghost"])
+
+    def test_cycle_detected(self):
+        fjord = Fjord()
+        fjord.add_source("src", [])
+        a = UnionOp()
+        fjord.add_operator("a", a, inputs=["src"])
+        fjord.add_operator("b", UnionOp(), inputs=["a"])
+        # Manually wire b -> a to close a cycle.
+        fjord._nodes["b"].downstream.append(("a", 0))
+        fjord._order = None
+        with pytest.raises(OperatorError):
+            fjord.run(ticks(1))
+
+
+class TestPunctuationSemantics:
+    def test_same_instant_pipelining(self):
+        """A downstream windowed op must see upstream on_time output at the
+        same tick — the Smooth→Arbitrate requirement of Figure 4."""
+        fjord = Fjord()
+        fjord.add_source("src", [tup(0.0, shelf=0, tag_id="a")])
+        fjord.add_operator(
+            "smooth",
+            WindowedGroupByOp(
+                WindowSpec.range_by(5.0),
+                keys=[GroupKey("tag_id"), GroupKey("shelf")],
+                aggregates=[AggregateSpec("count", output="count")],
+            ),
+            inputs=["src"],
+        )
+        fjord.add_operator(
+            "downstream",
+            WindowedGroupByOp(
+                WindowSpec.now(),
+                keys=[GroupKey("shelf")],
+                aggregates=[AggregateSpec("count", output="n")],
+            ),
+            inputs=["smooth"],
+        )
+        sink = fjord.add_sink("out", inputs=["downstream"])
+        fjord.run([0.0])
+        assert len(sink.results) == 1
+        assert sink.results[0].timestamp == 0.0
+
+    def test_tuples_later_than_final_tick_not_delivered(self):
+        fjord = Fjord()
+        fjord.add_source("src", [tup(0.0, v=1), tup(99.0, v=2)])
+        sink = fjord.add_sink("out", inputs=["src"])
+        fjord.run([0.0, 1.0])
+        assert [t["v"] for t in sink.results] == [1]
+
+    def test_deterministic_across_runs(self):
+        def build():
+            fjord = Fjord()
+            fjord.add_source("a", [tup(0.0, v=1), tup(1.0, v=2)])
+            fjord.add_source("b", [tup(0.0, v=3)])
+            fjord.add_operator("u", UnionOp(), inputs=["a", "b"])
+            sink = fjord.add_sink("out", inputs=["u"])
+            fjord.run(ticks(2))
+            return [t["v"] for t in sink.results]
+
+        assert build() == build()
+
+    def test_fan_out_to_two_sinks(self):
+        fjord = Fjord()
+        fjord.add_source("src", [tup(0.0, v=1)])
+        sink1 = fjord.add_sink("s1", inputs=["src"])
+        sink2 = fjord.add_sink("s2", inputs=["src"])
+        fjord.run([0.0])
+        assert len(sink1.results) == len(sink2.results) == 1

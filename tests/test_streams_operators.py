@@ -1,0 +1,279 @@
+"""Unit tests for the relational stream operators."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.streams.aggregates import AggregateSpec
+from repro.streams.operators import (
+    ChainOp,
+    FilterOp,
+    GroupKey,
+    MapOp,
+    SinkOp,
+    StaticJoinOp,
+    UnionOp,
+    WindowedGroupByOp,
+    WindowJoinOp,
+    run_operator,
+)
+from repro.streams.tuples import StreamTuple
+from repro.streams.windows import WindowSpec
+
+
+def tup(ts, stream="s", **fields):
+    return StreamTuple(ts, fields, stream)
+
+
+class TestFilterMap:
+    def test_filter_keeps_matching(self):
+        op = FilterOp(lambda t: t["v"] > 2)
+        assert op.on_tuple(tup(0, v=3)) == [tup(0, v=3)]
+        assert op.on_tuple(tup(0, v=1)) == []
+
+    def test_filter_on_time_is_empty(self):
+        assert FilterOp(lambda t: True).on_time(1.0) == []
+
+    def test_map_transforms(self):
+        op = MapOp(lambda t: t.derive(values={"v": t["v"] * 2}))
+        assert op.on_tuple(tup(0, v=2))[0]["v"] == 4
+
+    def test_map_none_drops(self):
+        assert MapOp(lambda t: None).on_tuple(tup(0, v=1)) == []
+
+    def test_map_list_fans_out(self):
+        op = MapOp(lambda t: [t, t])
+        assert len(op.on_tuple(tup(0, v=1))) == 2
+
+    def test_union_passthrough(self):
+        assert UnionOp().on_tuple(tup(0, v=1)) == [tup(0, v=1)]
+
+    def test_union_renames_stream(self):
+        out = UnionOp(output_stream="merged").on_tuple(tup(0, stream="a", v=1))
+        assert out[0].stream == "merged"
+
+
+class TestStaticJoin:
+    TABLE = [{"tag_id": "a", "sku": 1}, {"tag_id": "b", "sku": 2}]
+
+    def test_inner_join_enriches(self):
+        op = StaticJoinOp(
+            self.TABLE, on=lambda t, row: t["tag_id"] == row["tag_id"]
+        )
+        out = op.on_tuple(tup(0, tag_id="a"))
+        assert out[0]["sku"] == 1
+
+    def test_inner_join_stream_fields_win(self):
+        op = StaticJoinOp(
+            [{"tag_id": "a", "v": "table"}],
+            on=lambda t, row: t["tag_id"] == row["tag_id"],
+        )
+        out = op.on_tuple(tup(0, tag_id="a", v="stream"))
+        assert out[0]["v"] == "stream"
+
+    def test_semi_join_filters(self):
+        op = StaticJoinOp(
+            self.TABLE,
+            on=lambda t, row: t["tag_id"] == row["tag_id"],
+            how="semi",
+        )
+        assert op.on_tuple(tup(0, tag_id="a")) == [tup(0, tag_id="a")]
+        assert op.on_tuple(tup(0, tag_id="zzz")) == []
+
+    def test_anti_join(self):
+        op = StaticJoinOp(
+            self.TABLE,
+            on=lambda t, row: t["tag_id"] == row["tag_id"],
+            how="anti",
+        )
+        assert op.on_tuple(tup(0, tag_id="a")) == []
+        assert len(op.on_tuple(tup(0, tag_id="zzz"))) == 1
+
+    def test_unknown_mode(self):
+        with pytest.raises(OperatorError):
+            StaticJoinOp([], on=lambda t, r: True, how="outer")
+
+
+class TestWindowedGroupBy:
+    def build(self, **kwargs):
+        defaults = dict(
+            window=WindowSpec.range_by(5.0),
+            keys=[GroupKey("shelf")],
+            aggregates=[
+                AggregateSpec(
+                    "count",
+                    argument=lambda t: t["tag_id"],
+                    distinct=True,
+                    output="n",
+                )
+            ],
+        )
+        defaults.update(kwargs)
+        return WindowedGroupByOp(**defaults)
+
+    def test_counts_distinct_per_group(self):
+        items = [
+            tup(0.0, shelf=0, tag_id="a"),
+            tup(0.0, shelf=0, tag_id="a"),
+            tup(0.0, shelf=1, tag_id="b"),
+        ]
+        out = run_operator(self.build(), items, [0.0])
+        by_shelf = {t["shelf"]: t["n"] for t in out}
+        assert by_shelf == {0: 1, 1: 1}
+
+    def test_window_eviction_reduces_count(self):
+        items = [tup(0.0, shelf=0, tag_id="a"), tup(3.0, shelf=0, tag_id="b")]
+        out = run_operator(self.build(), items, [0.0, 3.0, 6.0])
+        ns = [t["n"] for t in out]
+        assert ns == [1, 2, 1]  # 'a' evicted by t=6
+
+    def test_empty_group_emits_nothing_and_is_dropped(self):
+        op = self.build()
+        out = run_operator(op, [tup(0.0, shelf=0, tag_id="a")], [0.0, 10.0])
+        assert len(out) == 1
+        assert op._windows == {}  # state cleaned up after eviction
+
+    def test_global_aggregate_with_no_keys(self):
+        op = WindowedGroupByOp(
+            WindowSpec.range_by(5.0),
+            keys=[],
+            aggregates=[AggregateSpec("count", output="c")],
+        )
+        out = run_operator(op, [tup(0.0, v=1), tup(0.0, v=2)], [0.0])
+        assert out[0]["c"] == 2
+
+    def test_having_filters_rows(self):
+        op = self.build(having=lambda row, _all: row["n"] >= 2)
+        items = [
+            tup(0.0, shelf=0, tag_id="a"),
+            tup(0.0, shelf=0, tag_id="b"),
+            tup(0.0, shelf=1, tag_id="c"),
+        ]
+        out = run_operator(op, items, [0.0])
+        assert [t["shelf"] for t in out] == [0]
+
+    def test_having_sees_all_rows(self):
+        # keep only the group(s) with the max count — Query 3's pattern
+        op = self.build(
+            having=lambda row, rows: row["n"] >= max(r["n"] for r in rows)
+        )
+        items = [
+            tup(0.0, shelf=0, tag_id="a"),
+            tup(0.0, shelf=0, tag_id="b"),
+            tup(0.0, shelf=1, tag_id="c"),
+        ]
+        out = run_operator(op, items, [0.0])
+        assert [t["shelf"] for t in out] == [0]
+
+    def test_emit_every_suppresses_off_cycle_output(self):
+        op = self.build(emit_every=2.0)
+        items = [tup(0.0, shelf=0, tag_id="a")]
+        out = run_operator(op, items, [0.0, 1.0, 2.0])
+        assert [t.timestamp for t in out] == [0.0, 2.0]
+
+    def test_requires_keys_or_aggregates(self):
+        with pytest.raises(OperatorError):
+            WindowedGroupByOp(WindowSpec.range_by(5.0))
+
+    def test_invalid_emit_every(self):
+        with pytest.raises(OperatorError):
+            self.build(emit_every=0.0)
+
+    def test_output_stream_stamped(self):
+        op = self.build(output_stream="cleaned")
+        out = run_operator(op, [tup(0.0, shelf=0, tag_id="a")], [0.0])
+        assert out[0].stream == "cleaned"
+
+
+class TestWindowJoin:
+    def test_joins_matching_pairs_at_punctuation(self):
+        op = WindowJoinOp(
+            WindowSpec.range_by(5.0),
+            WindowSpec.range_by(5.0),
+            predicate=lambda l, r: l["k"] == r["k"],
+        )
+        op.on_tuple(tup(0.0, k=1, left="L"), port=0)
+        op.on_tuple(tup(0.0, k=1, right="R"), port=1)
+        op.on_tuple(tup(0.0, k=2, right="R2"), port=1)
+        out = op.on_time(0.0)
+        assert len(out) == 1
+        assert out[0]["left"] == "L" and out[0]["right"] == "R"
+
+    def test_left_fields_win_on_conflict(self):
+        op = WindowJoinOp(
+            WindowSpec.now(),
+            WindowSpec.now(),
+            predicate=lambda l, r: True,
+        )
+        op.on_tuple(tup(0.0, v="left"), port=0)
+        op.on_tuple(tup(0.0, v="right"), port=1)
+        assert op.on_time(0.0)[0]["v"] == "left"
+
+    def test_invalid_port(self):
+        op = WindowJoinOp(
+            WindowSpec.now(), WindowSpec.now(), predicate=lambda l, r: True
+        )
+        with pytest.raises(OperatorError):
+            op.on_tuple(tup(0.0), port=2)
+
+    def test_custom_combine(self):
+        op = WindowJoinOp(
+            WindowSpec.now(),
+            WindowSpec.now(),
+            predicate=lambda l, r: True,
+            combine=lambda l, r: StreamTuple(
+                l.timestamp, {"sum": l["v"] + r["v"]}
+            ),
+        )
+        op.on_tuple(tup(0.0, v=1), port=0)
+        op.on_tuple(tup(0.0, v=2), port=1)
+        assert op.on_time(0.0)[0]["sum"] == 3
+
+
+class TestChainAndSink:
+    def test_chain_applies_in_order(self):
+        chain = ChainOp(
+            [
+                MapOp(lambda t: t.derive(values={"v": t["v"] + 1})),
+                FilterOp(lambda t: t["v"] > 1),
+            ]
+        )
+        assert chain.on_tuple(tup(0, v=1))[0]["v"] == 2
+        assert chain.on_tuple(tup(0, v=0)) == []
+
+    def test_chain_on_time_pipes_stage_outputs_forward(self):
+        group = WindowedGroupByOp(
+            WindowSpec.range_by(5.0),
+            keys=[],
+            aggregates=[AggregateSpec("count", output="c")],
+        )
+        chain = ChainOp([group, MapOp(lambda t: t.derive(values={"x": 9}))])
+        chain.on_tuple(tup(0.0, v=1))
+        out = chain.on_time(0.0)
+        assert out[0]["c"] == 1 and out[0]["x"] == 9
+
+    def test_chain_requires_stages(self):
+        with pytest.raises(OperatorError):
+            ChainOp([])
+
+    def test_sink_collects_and_calls_back(self):
+        seen = []
+        sink = SinkOp(callback=seen.append)
+        sink.on_tuple(tup(0, v=1))
+        assert sink.results == [tup(0, v=1)]
+        assert seen == [tup(0, v=1)]
+
+
+class TestRunOperator:
+    def test_delivers_tuples_before_matching_tick(self):
+        op = WindowedGroupByOp(
+            WindowSpec.now(),
+            keys=[],
+            aggregates=[AggregateSpec("count", output="c")],
+        )
+        out = run_operator(op, [tup(1.0, v=1)], [0.0, 1.0])
+        assert [(t.timestamp, t["c"]) for t in out] == [(1.0, 1)]
+
+    def test_sorts_input_by_timestamp(self):
+        op = FilterOp(lambda t: True)
+        out = run_operator(op, [tup(2.0, v=2), tup(1.0, v=1)], [2.0])
+        assert [t.timestamp for t in out] == [1.0, 2.0]

@@ -1,0 +1,178 @@
+"""Tests for the reorder buffer and network delay model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OperatorError, ReceptorError
+from repro.receptors.network import DelayModel
+from repro.streams.reorder import (
+    ReorderBuffer,
+    delayed_arrivals,
+    reorder_arrivals,
+)
+from repro.streams.tuples import StreamTuple
+
+
+def tup(ts, **fields):
+    return StreamTuple(ts, fields or {"v": ts})
+
+
+class TestReorderBuffer:
+    def test_in_order_stream_passes_through(self):
+        buffer = ReorderBuffer(slack=0.0)
+        out = []
+        for ts in (0.0, 1.0, 2.0):
+            out.extend(buffer.push(ts, tup(ts)))
+        assert [t.timestamp for t in out] == [0.0, 1.0, 2.0]
+        assert buffer.dropped == 0
+
+    def test_reorders_within_slack(self):
+        buffer = ReorderBuffer(slack=2.0)
+        released = []
+        # tuple ts=1 arrives after ts=2 (1s late), within slack
+        released.extend(buffer.push(2.0, tup(2.0)))
+        released.extend(buffer.push(2.5, tup(1.0)))
+        released.extend(buffer.push(4.5, tup(3.0)))
+        released.extend(buffer.flush())
+        assert [t.timestamp for t in released] == [1.0, 2.0, 3.0]
+        assert buffer.dropped == 0
+
+    def test_holds_until_horizon(self):
+        buffer = ReorderBuffer(slack=5.0)
+        assert buffer.push(0.0, tup(0.0)) == []  # horizon = -5
+        assert len(buffer) == 1
+        out = buffer.push(5.0, tup(5.0))  # horizon = 0 -> releases ts 0
+        assert [t.timestamp for t in out] == [0.0]
+
+    def test_too_late_tuple_dropped(self):
+        buffer = ReorderBuffer(slack=1.0)
+        buffer.push(0.0, tup(0.0))
+        buffer.push(5.0, tup(5.0))  # releases up to ts 4 -> frontier 0
+        buffer.push(6.1, tup(6.0))  # releases ts 5 -> frontier 5
+        out = buffer.push(7.0, tup(2.0))  # ts 2 < frontier: hopeless
+        assert out == []
+        assert buffer.dropped == 1
+
+    def test_flush_empties_buffer(self):
+        buffer = ReorderBuffer(slack=100.0)
+        buffer.push(0.0, tup(3.0))
+        buffer.push(0.0, tup(1.0))
+        assert [t.timestamp for t in buffer.flush()] == [1.0, 3.0]
+        assert len(buffer) == 0
+
+    def test_stable_for_equal_timestamps(self):
+        buffer = ReorderBuffer(slack=0.0)
+        first, second = tup(1.0, v="first"), tup(1.0, v="second")
+        out = buffer.push(1.0, first) + buffer.push(1.0, second)
+        assert [t["v"] for t in out] == ["first", "second"]
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(OperatorError):
+            ReorderBuffer(slack=-1.0)
+
+    def test_counters(self):
+        buffer = ReorderBuffer(slack=0.0)
+        buffer.push(0.0, tup(0.0))
+        buffer.push(1.0, tup(1.0))
+        assert buffer.released == 2
+
+
+@st.composite
+def arrival_traces(draw):
+    """Sense times plus bounded random delays, in arrival order."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    sense = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    delays = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    pairs = sorted(
+        ((ts + d, tup(ts, idx=i)) for i, (ts, d) in enumerate(zip(sense, delays))),
+        key=lambda pair: pair[0],
+    )
+    return pairs, max(delays)
+
+
+class TestReorderProperties:
+    @given(arrival_traces())
+    @settings(max_examples=60)
+    def test_sufficient_slack_is_lossless_and_sorted(self, trace):
+        pairs, max_delay = trace
+        ordered, dropped = reorder_arrivals(pairs, slack=max_delay + 0.01)
+        assert dropped == 0
+        assert len(ordered) == len(pairs)
+        times = [t.timestamp for t in ordered]
+        assert times == sorted(times)
+
+    @given(arrival_traces(), st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=60)
+    def test_any_slack_output_is_sorted_and_complete_minus_drops(
+        self, trace, slack
+    ):
+        pairs, _max_delay = trace
+        ordered, dropped = reorder_arrivals(pairs, slack=slack)
+        times = [t.timestamp for t in ordered]
+        assert times == sorted(times)
+        assert len(ordered) + dropped == len(pairs)
+
+
+class TestDelayModel:
+    def test_samples_bounded(self):
+        model = DelayModel(mean_delay=2.0, max_delay=10.0, rng=0)
+        draws = [model.sample() for _ in range(2000)]
+        assert all(0.0 <= d <= 10.0 for d in draws)
+        assert np.mean(draws) == pytest.approx(2.0, abs=0.3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReceptorError):
+            DelayModel(mean_delay=0.0, max_delay=1.0)
+        with pytest.raises(ReceptorError):
+            DelayModel(mean_delay=5.0, max_delay=1.0)
+
+    def test_delayed_arrivals_sorted_by_arrival(self):
+        model = DelayModel(mean_delay=1.0, max_delay=5.0, rng=1)
+        readings = [tup(float(i)) for i in range(30)]
+        pairs = list(delayed_arrivals(readings, model))
+        arrivals = [a for a, _t in pairs]
+        assert arrivals == sorted(arrivals)
+        assert all(a >= t.timestamp for a, t in pairs)
+
+
+class TestEndToEndWithDelays:
+    def test_delayed_redwood_trace_cleansable_with_slack(self):
+        """Delayed readings reordered at the gateway feed the engine
+        without violating the window order contract."""
+        from repro.scenarios import RedwoodScenario
+        from repro.pipelines.sensornet import build_redwood_processor
+
+        scenario = RedwoodScenario(duration=86400.0 / 2, n_groups=2, seed=9)
+        recorded = scenario.recorded_streams()
+        model = DelayModel(mean_delay=60.0, max_delay=280.0, rng=4)
+        delayed_sources = {}
+        total_dropped = 0
+        for mote_id, readings in recorded.items():
+            ordered, dropped = reorder_arrivals(
+                delayed_arrivals(readings, model), slack=280.0
+            )
+            delayed_sources[mote_id] = ordered
+            total_dropped += dropped
+        assert total_dropped == 0  # slack >= max delay
+        run = build_redwood_processor(scenario).run(
+            until=scenario.duration,
+            tick=scenario.epoch,
+            sources=delayed_sources,
+        )
+        assert run.output  # pipeline runs cleanly over reordered data

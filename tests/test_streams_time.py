@@ -1,0 +1,121 @@
+"""Unit tests for durations, the simulation clock and epochs."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.streams.time import Duration, SimClock, epoch_of, parse_duration
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("5 sec", 5.0),
+            ("'5 sec'", 5.0),
+            ("0.5 sec", 0.5),
+            ("5 min", 300.0),
+            ("30 min", 1800.0),
+            ("1 hour", 3600.0),
+            ("2 days", 172800.0),
+            ("200 ms", 0.2),
+            ("5s", 5.0),
+            ("5 seconds", 5.0),
+            ("7", 7.0),
+        ],
+    )
+    def test_accepted_spellings(self, text, expected):
+        assert parse_duration(text).seconds == pytest.approx(expected)
+
+    def test_now_is_zero_width(self):
+        assert parse_duration("NOW").is_now
+        assert parse_duration("now").seconds == 0.0
+
+    def test_numeric_input(self):
+        assert parse_duration(2.5).seconds == 2.5
+
+    def test_duration_passthrough(self):
+        d = Duration(3.0)
+        assert parse_duration(d) is d
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(WindowError):
+            parse_duration("5 parsecs")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WindowError):
+            parse_duration("sec 5")
+
+    def test_negative_rejected(self):
+        with pytest.raises(WindowError):
+            Duration(-1.0)
+
+
+class TestDuration:
+    def test_comparisons_with_durations_and_floats(self):
+        assert Duration(5) == Duration(5)
+        assert Duration(5) == 5.0
+        assert Duration(3) < Duration(5)
+        assert Duration(5) <= 5.0
+        assert Duration(6) > 5
+        assert Duration(5) >= Duration(5)
+
+    def test_arithmetic(self):
+        assert (Duration(2) + 3).seconds == 5.0
+        assert (Duration(2) * 3).seconds == 6.0
+        assert (3 * Duration(2)).seconds == 6.0
+
+    def test_float_conversion(self):
+        assert float(Duration(2.5)) == 2.5
+
+    def test_hashable(self):
+        assert len({Duration(5), Duration(5.0), Duration(6)}) == 2
+
+    def test_repr(self):
+        assert "NOW" in repr(Duration(0))
+        assert "5" in repr(Duration(5))
+
+
+class TestSimClock:
+    def test_ticks_inclusive_of_end(self):
+        clock = SimClock(period=0.5)
+        assert list(clock.ticks(until=1.5)) == [0.0, 0.5, 1.0, 1.5]
+
+    def test_ticks_resist_float_drift(self):
+        clock = SimClock(period=0.1)
+        ticks = list(clock.ticks(until=100.0))
+        assert len(ticks) == 1001
+        assert ticks[-1] == pytest.approx(100.0, abs=1e-9)
+
+    def test_tick_count_matches_ticks(self):
+        clock = SimClock(period=0.2)
+        assert clock.tick_count(until=700.0) == len(list(
+            SimClock(period=0.2).ticks(until=700.0)
+        ))
+
+    def test_advance(self):
+        clock = SimClock(period=2.0, start=1.0)
+        assert clock.advance() == 3.0
+        assert clock.now == 3.0
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(WindowError):
+            SimClock(period=0.0)
+
+
+class TestEpochOf:
+    def test_basic_binning(self):
+        assert epoch_of(0.0, 300.0) == 0
+        assert epoch_of(299.9, 300.0) == 0
+        assert epoch_of(300.0, 300.0) == 1
+
+    def test_boundary_tolerance(self):
+        # 0.1*3 accumulates to 0.30000000000000004; binning must not
+        # push a boundary sample into the next epoch's predecessor.
+        assert epoch_of(0.1 * 3, 0.3) == 1
+
+    def test_custom_start(self):
+        assert epoch_of(10.0, 5.0, start=10.0) == 0
+
+    def test_invalid_epoch_length(self):
+        with pytest.raises(WindowError):
+            epoch_of(1.0, 0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for the StreamTuple data model."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streams.tuples import StreamTuple
+
+
+def make(ts=1.0, **fields):
+    return StreamTuple(ts, fields, stream="s")
+
+
+class TestAccess:
+    def test_getitem_returns_value(self):
+        assert make(tag_id="a")["tag_id"] == "a"
+
+    def test_getitem_missing_raises_schema_error(self):
+        with pytest.raises(SchemaError) as err:
+            make(tag_id="a")["nope"]
+        assert "nope" in str(err.value)
+        assert "tag_id" in str(err.value)  # lists available fields
+
+    def test_get_with_default(self):
+        assert make().get("missing", 42) == 42
+
+    def test_get_without_default_returns_none(self):
+        assert make().get("missing") is None
+
+    def test_contains(self):
+        item = make(x=1)
+        assert "x" in item
+        assert "y" not in item
+
+    def test_len_and_iter(self):
+        item = make(a=1, b=2)
+        assert len(item) == 2
+        assert sorted(item) == ["a", "b"]
+
+    def test_keys_items(self):
+        item = make(a=1)
+        assert list(item.keys()) == ["a"]
+        assert list(item.items()) == [("a", 1)]
+
+    def test_as_dict_is_a_copy(self):
+        item = make(a=1)
+        copy = item.as_dict()
+        copy["a"] = 99
+        assert item["a"] == 1
+
+    def test_timestamp_coerced_to_float(self):
+        assert isinstance(StreamTuple(3, {}).timestamp, float)
+
+    def test_empty_values_default(self):
+        assert len(StreamTuple(0.0)) == 0
+
+
+class TestDerive:
+    def test_derive_overrides_fields(self):
+        derived = make(a=1, b=2).derive(values={"b": 3})
+        assert derived["a"] == 1
+        assert derived["b"] == 3
+
+    def test_derive_keeps_original_untouched(self):
+        original = make(a=1)
+        original.derive(values={"a": 2})
+        assert original["a"] == 1
+
+    def test_derive_changes_timestamp(self):
+        assert make(ts=1.0).derive(timestamp=5.0).timestamp == 5.0
+
+    def test_derive_keeps_timestamp_by_default(self):
+        assert make(ts=1.5).derive(values={"x": 1}).timestamp == 1.5
+
+    def test_derive_changes_stream(self):
+        assert make().derive(stream="other").stream == "other"
+
+    def test_derive_keeps_stream_by_default(self):
+        assert make().derive(values={"x": 1}).stream == "s"
+
+    def test_derive_drop_removes_fields(self):
+        derived = make(a=1, b=2).derive(drop=("a",))
+        assert "a" not in derived
+        assert derived["b"] == 2
+
+    def test_derive_drop_missing_field_is_noop(self):
+        derived = make(a=1).derive(drop=("zzz",))
+        assert derived["a"] == 1
+
+    def test_project_keeps_only_named_fields(self):
+        projected = make(a=1, b=2, c=3).project(("a", "c"))
+        assert sorted(projected.keys()) == ["a", "c"]
+
+
+class TestEquality:
+    def test_equal_tuples(self):
+        assert make(a=1) == make(a=1)
+
+    def test_different_fields_not_equal(self):
+        assert make(a=1) != make(a=2)
+
+    def test_different_timestamp_not_equal(self):
+        assert make(ts=1.0, a=1) != make(ts=2.0, a=1)
+
+    def test_different_stream_not_equal(self):
+        assert StreamTuple(0, {"a": 1}, "x") != StreamTuple(0, {"a": 1}, "y")
+
+    def test_hashable_and_consistent(self):
+        assert hash(make(a=1)) == hash(make(a=1))
+        assert len({make(a=1), make(a=1), make(a=2)}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert make() != "not a tuple"
+
+    def test_repr_mentions_fields(self):
+        text = repr(make(tag_id="t7"))
+        assert "tag_id" in text and "t7" in text
