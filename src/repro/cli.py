@@ -126,6 +126,12 @@ def _cmd_paper(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.shards is not None or args.backend is not None:
+        # Every experiment drives ESPProcessor.run internally; the
+        # process-wide execution default is how the flags reach them.
+        from repro.streams.shard import set_default_execution
+
+        set_default_execution(shards=args.shards, backend=args.backend)
     if args.experiment == "all":
         from repro.experiments.runner import format_report, run_all
 
@@ -230,6 +236,13 @@ def _jsonable(value):
     return str(value)
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -250,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump",
         metavar="DIR",
         help="also write the figure's plottable series as CSVs into DIR",
+    )
+    run.add_argument(
+        "--shards",
+        type=_positive_int,
+        metavar="N",
+        help="partition pipeline execution into N shards (default 1)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        help="shard execution backend (default serial)",
     )
     return parser
 

@@ -45,10 +45,27 @@ class EdgeSite:
         self.processor = processor
         self.sources = sources
 
-    def run(self, until: float, tick: float) -> list[StreamTuple]:
+    def run(
+        self,
+        until: float,
+        tick: float,
+        shards: int | None = None,
+        backend: str | None = None,
+    ) -> list[StreamTuple]:
         """Run the site and return its cleaned stream, stamped with the
-        site name and annotated with a ``site`` field."""
-        run = self.processor.run(until=until, tick=tick, sources=self.sources)
+        site name and annotated with a ``site`` field.
+
+        ``shards``/``backend`` select the site's execution mode (see
+        :mod:`repro.streams.shard`); unset values fall back to the
+        process-wide defaults.
+        """
+        run = self.processor.run(
+            until=until,
+            tick=tick,
+            sources=self.sources,
+            shards=shards,
+            backend=backend,
+        )
         return [
             item.derive(values={"site": self.name}, stream=self.name)
             for item in run.output
@@ -64,6 +81,8 @@ def hierarchical_run(
     until: float,
     tick: float,
     parent_tick: float | None = None,
+    shards: int | None = None,
+    backend: str | None = None,
 ) -> list[StreamTuple]:
     """Run edge sites, then the parent operator over their union.
 
@@ -77,6 +96,9 @@ def hierarchical_run(
         parent_tick: Parent punctuation period; defaults to ``tick``.
             A coarser parent tick models the reduced rates higher levels
             of a fan-in hierarchy operate at.
+        shards: Per-site shard count (see :mod:`repro.streams.shard`);
+            each edge site shards its own deployment independently.
+        backend: Per-site shard backend.
 
     Returns:
         The parent's output stream.
@@ -88,7 +110,7 @@ def hierarchical_run(
         raise PipelineError(f"duplicate site names: {names}")
     merged: list[StreamTuple] = []
     for site in sites:
-        merged.extend(site.run(until, tick))
+        merged.extend(site.run(until, tick, shards=shards, backend=backend))
     merged.sort(key=lambda item: item.timestamp)
     step = parent_tick if parent_tick is not None else tick
     if step <= 0:

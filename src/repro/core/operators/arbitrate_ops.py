@@ -74,6 +74,12 @@ class MaxCountArbitrator(Operator):
         self._pending.append(item)
         return []
 
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        self._pending.extend(items)
+        return []
+
     def on_time(self, now: float) -> list[StreamTuple]:
         # Group this instant's claims: (id, granule) -> summed count.
         claims: dict[object, dict[object, float]] = {}

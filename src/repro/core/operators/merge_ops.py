@@ -88,6 +88,22 @@ class _RobustGroupAverage(Operator):
         window.insert(item)
         return []
 
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        windows = self._windows
+        value_field, granule_field = self._value_field, self._granule_field
+        for item in items:
+            if value_field not in item:
+                continue
+            key = item.get(granule_field)
+            window = windows.get(key)
+            if window is None:
+                window = self._window_spec.make_window()
+                windows[key] = window
+            window.insert(item)
+        return []
+
     def _band(self, values: list[float]) -> tuple[float, float]:
         """(center, radius) of the acceptance band for these values."""
         if self._robust:

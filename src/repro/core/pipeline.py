@@ -118,11 +118,15 @@ class ESPRun:
             ``"{receptor_kind}/{tap}"`` where ``tap`` is ``"raw"`` or a
             stage kind value. Only the taps requested at run time are
             present.
+        stats: Per-node flow counters, name → (tuples in, tuples out).
+            For sharded runs the counters are summed across shards, so
+            they match the sequential run's counters exactly.
     """
 
     def __init__(self):
         self.output: list[StreamTuple] = []
         self.taps: dict[str, list[StreamTuple]] = {}
+        self.stats: dict[str, tuple[int, int]] = {}
 
     def tap(self, receptor_kind: str, tap_name: str) -> list[StreamTuple]:
         """A captured intermediate stream (empty if not requested)."""
@@ -197,6 +201,9 @@ class ESPProcessor:
         start: float = 0.0,
         taps: Sequence[str] = (),
         sources: Mapping[str, Sequence[StreamTuple]] | None = None,
+        shards: int | None = None,
+        backend: str | None = None,
+        shard_key: str = "spatial_granule",
     ) -> ESPRun:
         """Execute the deployment from ``start`` through ``until``.
 
@@ -206,16 +213,35 @@ class ESPProcessor:
                 the smallest device sample period.
             start: Simulation start time.
             taps: Intermediate streams to capture: ``"raw"`` and/or stage
-                kind values (``"point"``, ``"smooth"``, ...).
+                kind values (``"point"``, ``"smooth"``, ...). Taps are
+                only available on unsharded runs.
             sources: Optional pre-recorded readings per receptor id,
                 replayed instead of polling the devices. Comparing
                 pipeline *configurations* (the paper's Figure 5) requires
                 every configuration to see the identical raw data, which
                 live stochastic devices cannot provide.
+            shards: Partition the deployment's streams into this many
+                independent sub-pipelines (see
+                :mod:`repro.streams.shard`). Defaults to the process-wide
+                execution default (1 unless the CLI's ``--shards`` set
+                it). Live device streams are recorded once before
+                sharding so every shard count sees identical data.
+            backend: Shard execution backend (``"serial"``,
+                ``"threads"``, ``"processes"``); defaults like
+                ``shards``.
+            shard_key: Field to partition on. ``"spatial_granule"`` and
+                ``"proximity_group"`` partition whole device streams via
+                the registry (raw readings are not yet annotated); any
+                other name is read off each raw tuple (e.g. ``"tag_id"``
+                for Arbitrate pipelines, whose conflict resolution spans
+                spatial granules but never tags).
 
         Returns:
-            An :class:`ESPRun` with the cleaned output and any taps.
+            An :class:`ESPRun` with the cleaned output, flow stats and
+            any taps.
         """
+        from repro.streams.shard import resolve_execution
+
         devices = self.registry.devices
         if not devices:
             raise PipelineError("no devices registered")
@@ -223,9 +249,122 @@ class ESPProcessor:
             tick = min(device.sample_period for device in devices)
         if tick <= 0:
             raise PipelineError(f"tick must be positive, got {tick}")
-        fjord = Fjord()
+        shards, backend = resolve_execution(shards, backend)
+        count = int(round((until - start) / tick))
+        ticks = [start + i * tick for i in range(count + 1)]
+        if shards <= 1 and backend == "serial":
+            return self._run_single(ticks, until, start, taps, sources)
+        if taps:
+            raise PipelineError(
+                "stage taps are not supported on sharded runs; capture "
+                "them with shards=1, backend='serial'"
+            )
+        return self._run_sharded(
+            ticks, until, start, sources, shards, backend, shard_key
+        )
+
+    def _run_single(
+        self,
+        ticks: Sequence[float],
+        until: float,
+        start: float,
+        taps: Sequence[str],
+        sources: Mapping[str, Sequence[StreamTuple]] | None,
+    ) -> ESPRun:
+        """The single-threaded reference execution path."""
         result = ESPRun()
-        tap_set = set(taps)
+        fjord, sink = self._build_dataflow(
+            until, start, set(taps), result, sources
+        )
+        fjord.run(ticks)
+        result.output = sink.results
+        result.stats = fjord.stats()
+        return result
+
+    def _run_sharded(
+        self,
+        ticks: Sequence[float],
+        until: float,
+        start: float,
+        sources: Mapping[str, Sequence[StreamTuple]] | None,
+        shards: int,
+        backend: str,
+        shard_key: str,
+    ) -> ESPRun:
+        """Partition device streams and run one pipeline per shard.
+
+        Every shard wires the full deployment graph but is fed only its
+        slice of the key space, so per-key stateful stages see exactly
+        the tuples they would see sequentially. Shard outputs are merged
+        per tick in shard-key order — byte-identical to the sequential
+        run for pipelines whose terminal stage emits key-sorted (all the
+        ESP Merge/Arbitrate terminals; see :mod:`repro.streams.shard`).
+        """
+        from repro.streams import shard as shard_engine
+
+        feeds = self._record_feeds(until, start, sources)
+        key_fn = self._shard_key_fn(shard_key)
+        shard_feeds = shard_engine.partition_sources(feeds, key_fn, shards)
+
+        def build(slices: Mapping[str, list[StreamTuple]]):
+            return self._build_dataflow(until, start, set(), ESPRun(), slices)
+
+        builders = [
+            (lambda slices=slices: build(slices)) for slices in shard_feeds
+        ]
+        results = shard_engine.run_shard_jobs(builders, ticks, backend=backend)
+        result = ESPRun()
+        result.output = shard_engine.merge_outputs(
+            results,
+            order_key=lambda item, _field=shard_key: str(item.get(_field)),
+        )
+        result.stats = shard_engine.merge_stats(results)
+        return result
+
+    def _record_feeds(
+        self,
+        until: float,
+        start: float,
+        sources: Mapping[str, Sequence[StreamTuple]] | None,
+    ) -> dict[str, list[StreamTuple]]:
+        """Materialize every device's readings once, before sharding."""
+        feeds: dict[str, list[StreamTuple]] = {}
+        for device in self.registry.devices:
+            if sources is not None and device.receptor_id in sources:
+                feeds[device.receptor_id] = list(sources[device.receptor_id])
+            else:
+                feeds[device.receptor_id] = list(
+                    device.stream(until, start=start)
+                )
+        return feeds
+
+    def _shard_key_fn(self, shard_key: str):
+        """Shard-key extractor over (device id, raw tuple) pairs."""
+        if shard_key in ("spatial_granule", "proximity_group"):
+            # Raw readings are not annotated yet; the registry knows each
+            # device's group, and a device's whole stream shares one key.
+            names: dict[str, str] = {}
+            for device in self.registry.devices:
+                group = self.registry.group_of(device.receptor_id)
+                names[device.receptor_id] = (
+                    group.granule.name
+                    if shard_key == "spatial_granule"
+                    else group.name
+                )
+            return lambda source, item: names[source]
+        return lambda source, item: item.get(shard_key)
+
+    def _build_dataflow(
+        self,
+        until: float,
+        start: float,
+        tap_set: set,
+        result: ESPRun,
+        sources: Mapping[str, Sequence[StreamTuple]] | None,
+    ):
+        """Wire the full deployment into a fresh Fjord; returns (fjord, sink)."""
+        devices = self.registry.devices
+        fjord = Fjord()
         kind_outputs: list[str] = []
         for receptor_kind in sorted(
             {device.kind.value for device in devices}
@@ -243,10 +382,7 @@ class ESPProcessor:
             kind_outputs.append(kind_output)
         final = self._wire_virtualize(fjord, kind_outputs)
         sink = fjord.add_sink("__output__", inputs=[final])
-        count = int(round((until - start) / tick))
-        fjord.run(start + i * tick for i in range(count + 1))
-        result.output = sink.results
-        return result
+        return fjord, sink
 
     def _wire_kind(
         self,

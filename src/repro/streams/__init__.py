@@ -14,6 +14,9 @@ HiFi / TelegraphCQ ecosystem:
   (filter, map, windowed group-by, join, union, static-relation join).
 - :mod:`repro.streams.fjord` — a Fjord-style pipelined executor that pushes
   tuples and time punctuations through an operator DAG.
+- :mod:`repro.streams.shard` — a sharded, batch-pipelined execution engine
+  running N independent Fjords (serial, threads or processes backend) with
+  a deterministic time-axis merge.
 """
 
 from repro.streams.aggregates import (
@@ -33,6 +36,13 @@ from repro.streams.operators import (
 )
 from repro.streams.incremental import IncrementalWindowedGroupByOp
 from repro.streams.reorder import ReorderBuffer, reorder_arrivals
+from repro.streams.shard import (
+    BACKENDS,
+    ShardedRun,
+    partition_sources,
+    run_sharded,
+    set_default_execution,
+)
 from repro.streams.time import Duration, SimClock, parse_duration
 from repro.streams.traceio import read_jsonl, write_jsonl
 from repro.streams.tuples import StreamTuple
@@ -41,6 +51,7 @@ from repro.streams.windows import NowWindow, RowWindow, SlidingWindow, WindowSpe
 __all__ = [
     "Aggregate",
     "AggregateSpec",
+    "BACKENDS",
     "Duration",
     "FilterOp",
     "Fjord",
@@ -50,6 +61,7 @@ __all__ = [
     "Operator",
     "ReorderBuffer",
     "RowWindow",
+    "ShardedRun",
     "SimClock",
     "SlidingWindow",
     "StaticJoinOp",
@@ -59,8 +71,11 @@ __all__ = [
     "WindowedGroupByOp",
     "get_aggregate",
     "parse_duration",
+    "partition_sources",
     "read_jsonl",
     "register_aggregate",
     "reorder_arrivals",
+    "run_sharded",
+    "set_default_execution",
     "write_jsonl",
 ]

@@ -13,7 +13,16 @@ the execution style of the Fjord architecture the paper builds on [22]:
   pipeline diagram (Figure 4) requires.
 
 The executor is deliberately single-threaded and deterministic: the
-reproduction's experiments must be bit-for-bit repeatable.
+reproduction's experiments must be bit-for-bit repeatable. Parallelism
+lives one level up, in :mod:`repro.streams.shard`, which runs several
+independent Fjords (one per shard of the key space) and merges their
+outputs deterministically — see that module for the determinism
+guarantee.
+
+Tuples are moved between operators in batches: a node's pending input is
+drained with one :meth:`~repro.streams.operators.Operator.on_batch` call
+per run of same-port tuples rather than one Python call per tuple, which
+is where most of the executor's time used to go.
 """
 
 from __future__ import annotations
@@ -167,58 +176,105 @@ class Fjord:
     # -- execution ---------------------------------------------------------------
 
     def _topological_order(self) -> list[str]:
-        """Topologically sort operator nodes (Kahn's algorithm)."""
+        """Topologically sort operator nodes (Kahn's algorithm).
+
+        Ready nodes are visited in lexicographic name order (a heap, not a
+        FIFO), so the order — and therefore the interleaving of same-tick
+        emissions from parallel per-granule chains — depends only on the
+        node names, never on graph construction order. The sharded
+        executor's deterministic merge relies on this.
+        """
         if self._order is not None:
             return self._order
         indegree = {name: 0 for name in self._nodes}
         for node in self._nodes.values():
             for target, _port in node.downstream:
                 indegree[target] += 1
-        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        heapq.heapify(ready)
         order: list[str] = []
         while ready:
-            name = ready.pop(0)
+            name = heapq.heappop(ready)
             order.append(name)
             for target, _port in self._nodes[name].downstream:
                 indegree[target] -= 1
                 if indegree[target] == 0:
-                    ready.append(target)
+                    heapq.heappush(ready, target)
         if len(order) != len(self._nodes):
             cyclic = sorted(set(self._nodes) - set(order))
             raise OperatorError(f"operator graph has a cycle involving {cyclic}")
         self._order = order
         return order
 
+    def _checked(self, name: str, items: Iterable[StreamTuple]) -> Iterator[StreamTuple]:
+        """Yield a source's tuples, rejecting timestamp regressions.
+
+        The executor's injection loop and every windowed operator assume
+        sources are sorted by timestamp; a violation used to be silently
+        accepted and produced quietly wrong windows downstream.
+        """
+        last: float | None = None
+        for item in items:
+            if last is not None and item.timestamp < last - 1e-9:
+                raise OperatorError(
+                    f"source {name!r} is out of order: timestamp "
+                    f"{item.timestamp:g} arrived after {last:g}"
+                )
+            last = item.timestamp
+            yield item
+
     def _merged_source(self) -> Iterator[tuple[StreamTuple, str]]:
-        """Merge all sources into one timestamp-ordered iterator."""
-        heap: list[tuple[float, int, int, StreamTuple, str]] = []
-        iterators = {name: iter(items) for name, items in self._sources.items()}
-        sequence = 0
+        """Merge all sources into one timestamp-ordered iterator.
+
+        Equal timestamps across sources tie-break on the source *name* —
+        a pure function of the data, never of consumption history — so
+        that restricting every source to a subset (as sharded execution
+        does) cannot reorder the surviving tuples. Within one source,
+        arrival order is preserved (at most one heap entry per source).
+        """
+        heap: list[tuple[float, str, StreamTuple]] = []
+        iterators = {
+            name: self._checked(name, items)
+            for name, items in self._sources.items()
+        }
         for name in sorted(iterators):
             first = next(iterators[name], None)
             if first is not None:
-                heapq.heappush(heap, (first.timestamp, sequence, 0, first, name))
-                sequence += 1
+                heapq.heappush(heap, (first.timestamp, name, first))
         while heap:
-            _ts, _seq, _tie, item, name = heapq.heappop(heap)
+            _ts, name, item = heapq.heappop(heap)
             yield item, name
             nxt = next(iterators[name], None)
             if nxt is not None:
-                heapq.heappush(heap, (nxt.timestamp, sequence, 0, nxt, name))
-                sequence += 1
+                heapq.heappush(heap, (nxt.timestamp, name, nxt))
 
     def _deliver(self, item: StreamTuple, target: str, port: int) -> None:
         self._nodes[target].pending.append((item, port))
 
     def _drain_node(self, node: _Node) -> None:
-        """Process a node's pending tuples, fanning outputs downstream."""
+        """Process a node's pending tuples, fanning outputs downstream.
+
+        Pending input is consumed in maximal runs of same-port tuples, one
+        :meth:`on_batch` call per run; output order is identical to
+        tuple-at-a-time delivery because ``on_batch`` concatenates
+        per-tuple outputs in input order.
+        """
         while node.pending:
-            item, port = node.pending.pop(0)
-            node.tuples_in += 1
-            for out in node.op.on_tuple(item, port):
-                node.tuples_out += 1
+            batch, node.pending = node.pending, []
+            start = 0
+            while start < len(batch):
+                port = batch[start][1]
+                stop = start + 1
+                while stop < len(batch) and batch[stop][1] == port:
+                    stop += 1
+                run = [item for item, _port in batch[start:stop]]
+                node.tuples_in += len(run)
+                out = node.op.on_batch(run, port)
+                node.tuples_out += len(out)
                 for target, tport in node.downstream:
-                    self._deliver(out, target, tport)
+                    for item in out:
+                        self._deliver(item, target, tport)
+                start = stop
 
     def run(self, ticks: Iterable[float]) -> None:
         """Execute the dataflow over the given punctuation times.
@@ -226,6 +282,20 @@ class Fjord:
         All source tuples with timestamp ``<= tick`` are injected before
         that tick's punctuation sweep. Source tuples later than the final
         tick are not delivered.
+
+        Raises:
+            OperatorError: If a source yields out-of-order timestamps.
+        """
+        for _now in self.run_stepped(ticks):
+            pass
+
+    def run_stepped(self, ticks: Iterable[float]) -> Iterator[float]:
+        """Like :meth:`run`, but yield after each punctuation sweep.
+
+        Yields the punctuation time just processed, with every emission
+        for that instant already delivered to the sinks — callers can
+        observe (or tag) per-tick output incrementally, which is how the
+        sharded executor attributes each shard's output to its tick.
         """
         order = self._topological_order()
         feed = self._merged_source()
@@ -242,12 +312,14 @@ class Fjord:
             for name in order:
                 node = self._nodes[name]
                 self._drain_node(node)
-                for out in node.op.on_time(now):
-                    node.tuples_out += 1
-                    for target, tport in node.downstream:
-                        self._deliver(out, target, tport)
+                out = node.op.on_time(now)
+                node.tuples_out += len(out)
+                for target, tport in node.downstream:
+                    for item in out:
+                        self._deliver(item, target, tport)
             # 3. Drain anything a final-node emission produced (defensive:
             #    topological order makes this a no-op, but user callbacks may
             #    inject tuples).
             for name in order:
                 self._drain_node(self._nodes[name])
+            yield now

@@ -142,7 +142,13 @@ class IncrementalWindowedGroupByOp(Operator):
         out: list[StreamTuple] = []
         cutoff = now - self._range
         empty: list[tuple] = []
-        for key, state in self._states.items():
+        # Component-wise sorted key order, matching WindowedGroupByOp: the
+        # emission order must be a function of the data alone so sharded
+        # execution can reproduce it (repro.streams.shard).
+        for key, state in sorted(
+            self._states.items(),
+            key=lambda kv: tuple(str(c) for c in kv[0]),
+        ):
             while state.buffer and state.buffer[0][0] < cutoff - 1e-9:
                 _ts, _item, arguments = state.buffer.popleft()
                 state.count -= 1

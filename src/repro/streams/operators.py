@@ -37,6 +37,22 @@ class Operator:
         """Handle one input tuple on ``port``; return output tuples."""
         raise NotImplementedError
 
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        """Handle a batch of input tuples that arrived on ``port``.
+
+        Semantically identical to calling :meth:`on_tuple` per item and
+        concatenating the outputs in input order — which is exactly what
+        this default does. Hot operators override it to amortize the
+        per-tuple Python call overhead; the executor delivers pending
+        input through this method.
+        """
+        out: list[StreamTuple] = []
+        for item in items:
+            out.extend(self.on_tuple(item, port))
+        return out
+
     def on_time(self, now: float) -> list[StreamTuple]:
         """Handle a time punctuation; return output tuples for ``now``."""
         return []
@@ -60,6 +76,12 @@ class FilterOp(Operator):
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         return [item] if self._predicate(item) else []
 
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        predicate = self._predicate
+        return [item for item in items if predicate(item)]
+
 
 class MapOp(Operator):
     """Transform each tuple (projection, field conversion, annotation).
@@ -80,6 +102,21 @@ class MapOp(Operator):
             return [out]
         return list(out)
 
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        fn = self._fn
+        out: list[StreamTuple] = []
+        for item in items:
+            result = fn(item)
+            if result is None:
+                continue
+            if isinstance(result, StreamTuple):
+                out.append(result)
+            else:
+                out.extend(result)
+        return out
+
 
 class UnionOp(Operator):
     """Merge any number of input streams into one (bag union).
@@ -96,6 +133,14 @@ class UnionOp(Operator):
         if self._output_stream is None:
             return [item]
         return [item.derive(stream=self._output_stream)]
+
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        if self._output_stream is None:
+            return list(items)
+        stream = self._output_stream
+        return [item.derive(stream=stream) for item in items]
 
 
 class StaticJoinOp(Operator):
@@ -212,6 +257,20 @@ class WindowedGroupByOp(Operator):
         window.insert(item)
         return []
 
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        extractors = [k.extractor for k in self._keys]
+        windows = self._windows
+        for item in items:
+            key = tuple(extract(item) for extract in extractors)
+            window = windows.get(key)
+            if window is None:
+                window = self._window_spec.make_window()
+                windows[key] = window
+            window.insert(item)
+        return []
+
     def on_time(self, now: float) -> list[StreamTuple]:
         if self._emit_every is not None:
             # Emit only on slide boundaries (within float tolerance).
@@ -222,7 +281,13 @@ class WindowedGroupByOp(Operator):
                 return []
         rows: list[StreamTuple] = []
         empty_keys = []
-        for key, window in self._windows.items():
+        # Emit groups in component-wise sorted key order, not insertion
+        # order: the output order must be a function of the data alone so
+        # sharded execution can reproduce it (repro.streams.shard).
+        for key, window in sorted(
+            self._windows.items(),
+            key=lambda kv: tuple(str(c) for c in kv[0]),
+        ):
             window.advance(now)
             contents = window.contents()
             if not contents:
@@ -314,6 +379,15 @@ class SinkOp(Operator):
             self._callback(item)
         return []
 
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        self.results.extend(items)
+        if self._callback is not None:
+            for item in items:
+                self._callback(item)
+        return []
+
 
 class ChainOp(Operator):
     """Run several operators as one sequential mini-pipeline.
@@ -346,12 +420,21 @@ class ChainOp(Operator):
                 return []
         return pending
 
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        pending = list(items)
+        for stage in self._stages:
+            pending = stage.on_batch(pending, port)
+            port = 0  # only the first stage sees the original port
+            if not pending:
+                return []
+        return pending
+
     def on_time(self, now: float) -> list[StreamTuple]:
         carried: list[StreamTuple] = []
         for stage in self._stages:
-            produced: list[StreamTuple] = []
-            for tup in carried:
-                produced.extend(stage.on_tuple(tup, 0))
+            produced = stage.on_batch(carried, 0) if carried else []
             produced.extend(stage.on_time(now))
             carried = produced
         return carried
@@ -379,8 +462,10 @@ def run_operator(
     pending = sorted(items, key=lambda t: t.timestamp)
     index = 0
     for tick in ticks:
+        start = index
         while index < len(pending) and pending[index].timestamp <= tick + 1e-9:
-            out.extend(op.on_tuple(pending[index]))
             index += 1
+        if index > start:
+            out.extend(op.on_batch(pending[start:index]))
         out.extend(op.on_time(tick))
     return out

@@ -1,0 +1,114 @@
+"""Golden-trace regression tests.
+
+The cleaned output of two small scenario pipelines — one RFID shelf
+deployment, one mote deployment — is pinned byte-for-byte to JSONL
+files checked in under ``tests/golden/``. Any change to pipeline
+semantics, operator numerics, emission order or serialization shows up
+here as a diff against a reviewable artifact.
+
+Regenerate (after an *intentional* semantic change) with::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --regenerate
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.streams.traceio import read_jsonl, write_jsonl
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _shelf_run(**kwargs):
+    from repro.pipelines.rfid_shelf import build_shelf_processor
+    from repro.scenarios.shelf import ShelfScenario
+
+    scenario = ShelfScenario(duration=12.0, seed=3)
+    processor = build_shelf_processor(scenario, "smooth+arbitrate")
+    return processor.run(
+        until=scenario.duration,
+        tick=scenario.poll_period,
+        sources=scenario.recorded_streams(),
+        **kwargs,
+    )
+
+
+def _redwood_run(**kwargs):
+    from repro.pipelines.sensornet import build_redwood_processor
+    from repro.scenarios.redwood import RedwoodScenario
+
+    scenario = RedwoodScenario(
+        duration=0.05 * 86400.0, n_groups=2, seed=3
+    )
+    processor = build_redwood_processor(scenario)
+    return processor.run(
+        until=scenario.duration,
+        sources=scenario.recorded_streams(),
+        **kwargs,
+    )
+
+
+CASES = {
+    "rfid_shelf_smooth_arbitrate": _shelf_run,
+    "redwood_smooth_merge": _redwood_run,
+}
+
+
+def _serialize(run, path: Path) -> None:
+    write_jsonl(run.output, path)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+class TestGoldenTraces:
+    def test_output_matches_golden(self, case, tmp_path):
+        golden = GOLDEN_DIR / f"{case}.jsonl"
+        assert golden.exists(), (
+            f"missing golden file {golden}; regenerate with "
+            f"PYTHONPATH=src python {__file__} --regenerate"
+        )
+        fresh = tmp_path / "fresh.jsonl"
+        _serialize(CASES[case](), fresh)
+        assert fresh.read_bytes() == golden.read_bytes(), (
+            f"cleaned output of {case!r} drifted from the golden trace; "
+            f"if the change is intentional, regenerate and review the diff"
+        )
+
+    def test_sharded_output_matches_golden(self, case, tmp_path):
+        """The determinism guarantee, pinned against the same artifact."""
+        golden = GOLDEN_DIR / f"{case}.jsonl"
+        shard_key = "tag_id" if case.startswith("rfid") else "spatial_granule"
+        fresh = tmp_path / "sharded.jsonl"
+        _serialize(
+            CASES[case](shards=3, backend="threads", shard_key=shard_key),
+            fresh,
+        )
+        assert fresh.read_bytes() == golden.read_bytes()
+
+    def test_golden_roundtrips(self, case):
+        """The checked-in artifact itself parses back losslessly."""
+        golden = GOLDEN_DIR / f"{case}.jsonl"
+        items = read_jsonl(golden)
+        assert items, f"golden trace {case!r} is empty"
+        assert all(
+            a.timestamp <= b.timestamp for a, b in zip(items, items[1:])
+        )
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for case, run in CASES.items():
+        path = GOLDEN_DIR / f"{case}.jsonl"
+        count = write_jsonl(run().output, path)
+        print(f"wrote {count} tuples to {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

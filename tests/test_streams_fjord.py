@@ -153,3 +153,44 @@ class TestPunctuationSemantics:
         sink2 = fjord.add_sink("s2", inputs=["src"])
         fjord.run([0.0])
         assert len(sink1.results) == len(sink2.results) == 1
+
+
+class TestSourceOrderValidation:
+    """Out-of-order source tuples fail fast with a precise diagnostic."""
+
+    def test_out_of_order_source_raises(self):
+        fjord = Fjord()
+        fjord.add_source("mote3", [tup(0.0, v=1), tup(5.0, v=2), tup(2.0, v=3)])
+        fjord.add_sink("out", inputs=["mote3"])
+        with pytest.raises(OperatorError) as excinfo:
+            fjord.run(ticks(6))
+        message = str(excinfo.value)
+        assert "mote3" in message
+        assert "2" in message and "5" in message
+        assert message == (
+            "source 'mote3' is out of order: timestamp 2 arrived after 5"
+        )
+
+    def test_regression_in_second_source_named_correctly(self):
+        fjord = Fjord()
+        fjord.add_source("clean", [tup(0.0, v=1), tup(1.0, v=2)])
+        fjord.add_source("dirty", [tup(0.0, v=3), tup(3.0, v=4), tup(1.0, v=5)])
+        fjord.add_sink("out", inputs=["clean", "dirty"])
+        with pytest.raises(OperatorError, match="source 'dirty' is out of order"):
+            fjord.run(ticks(4))
+
+    def test_duplicate_timestamps_are_in_order(self):
+        fjord = Fjord()
+        fjord.add_source("src", [tup(1.0, v=1), tup(1.0, v=2), tup(1.0, v=3)])
+        sink = fjord.add_sink("out", inputs=["src"])
+        fjord.run(ticks(2))
+        assert [t["v"] for t in sink.results] == [1, 2, 3]
+
+    def test_tuples_before_regression_are_delivered(self):
+        """The check fires lazily, at the pull that meets the bad tuple."""
+        fjord = Fjord()
+        fjord.add_source("src", [tup(0.0, v=1), tup(4.0, v=2), tup(3.0, v=3)])
+        sink = fjord.add_sink("out", inputs=["src"])
+        with pytest.raises(OperatorError, match="out of order"):
+            fjord.run(ticks(5))
+        assert [t["v"] for t in sink.results] == [1]
