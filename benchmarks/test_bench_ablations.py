@@ -17,7 +17,6 @@ from repro.core.granules import TemporalGranule
 from repro.experiments.office import threshold_sweep
 from repro.experiments.redwood import section52
 from repro.experiments.rfid import shelf_error
-from repro.metrics import epoch_yield
 from repro.pipelines.rfid_shelf import query1_counts
 from repro.pipelines.sensornet import build_outlier_processor
 from repro.scenarios.redwood import RedwoodScenario

@@ -126,6 +126,46 @@ def _cmd_paper(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    instrument = args.stats or args.trace_out is not None
+    if not instrument:
+        return _run_experiment(args)
+    # Experiments drive ESPProcessor.run internally; the process-wide
+    # default collector is how --stats/--trace-out reach those calls
+    # (the same route --shards/--backend take below).
+    from repro.streams.telemetry import (
+        InMemoryCollector,
+        format_table,
+        set_default_telemetry,
+    )
+
+    collector = InMemoryCollector()
+    previous = set_default_telemetry(collector)
+    try:
+        status = _run_experiment(args)
+    finally:
+        set_default_telemetry(previous)
+    if status != 0:
+        return status
+    snapshot = collector.snapshot()
+    if args.stats:
+        from repro.core.pipeline import stage_rollups
+
+        print(
+            format_table(snapshot, rollups=stage_rollups(snapshot)),
+            file=sys.stderr,
+        )
+    if args.trace_out is not None:
+        from repro.streams.traceio import write_trace_events
+
+        count = write_trace_events(snapshot["events"], args.trace_out)
+        print(
+            f"wrote {count} trace events to {args.trace_out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
     if args.shards is not None or args.backend is not None:
         # Every experiment drives ESPProcessor.run internally; the
         # process-wide execution default is how the flags reach them.
@@ -274,6 +314,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=("serial", "threads", "processes"),
         help="shard execution backend (default serial)",
+    )
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a per-operator telemetry table to stderr after the run",
+    )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the run's telemetry trace events to PATH as JSONL",
     )
     return parser
 

@@ -19,6 +19,7 @@ from typing import Mapping, Sequence
 from repro.core.pipeline import ESPProcessor
 from repro.errors import PipelineError
 from repro.streams.operators import Operator
+from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
 from repro.streams.tuples import StreamTuple
 
 
@@ -51,13 +52,15 @@ class EdgeSite:
         tick: float,
         shards: int | None = None,
         backend: str | None = None,
+        telemetry: TelemetryCollector | None = None,
     ) -> list[StreamTuple]:
         """Run the site and return its cleaned stream, stamped with the
         site name and annotated with a ``site`` field.
 
         ``shards``/``backend`` select the site's execution mode (see
         :mod:`repro.streams.shard`); unset values fall back to the
-        process-wide defaults.
+        process-wide defaults, as does ``telemetry`` (see
+        :mod:`repro.streams.telemetry`).
         """
         run = self.processor.run(
             until=until,
@@ -65,6 +68,7 @@ class EdgeSite:
             sources=self.sources,
             shards=shards,
             backend=backend,
+            telemetry=telemetry,
         )
         return [
             item.derive(values={"site": self.name}, stream=self.name)
@@ -83,6 +87,7 @@ def hierarchical_run(
     parent_tick: float | None = None,
     shards: int | None = None,
     backend: str | None = None,
+    telemetry: TelemetryCollector | None = None,
 ) -> list[StreamTuple]:
     """Run edge sites, then the parent operator over their union.
 
@@ -99,6 +104,10 @@ def hierarchical_run(
         shards: Per-site shard count (see :mod:`repro.streams.shard`);
             each edge site shards its own deployment independently.
         backend: Per-site shard backend.
+        telemetry: Shared collector for every site's run (see
+            :mod:`repro.streams.telemetry`); a ``site_run`` trace event
+            marks each site's contribution. Defaults to the
+            process-wide default collector.
 
     Returns:
         The parent's output stream.
@@ -108,9 +117,15 @@ def hierarchical_run(
     names = [site.name for site in sites]
     if len(set(names)) != len(names):
         raise PipelineError(f"duplicate site names: {names}")
+    collector = resolve_telemetry(telemetry)
     merged: list[StreamTuple] = []
     for site in sites:
-        merged.extend(site.run(until, tick, shards=shards, backend=backend))
+        cleaned = site.run(
+            until, tick, shards=shards, backend=backend, telemetry=collector
+        )
+        if collector.enabled:
+            collector.event("site_run", site=site.name, tuples=len(cleaned))
+        merged.extend(cleaned)
     merged.sort(key=lambda item: item.timestamp)
     step = parent_tick if parent_tick is not None else tick
     if step <= 0:

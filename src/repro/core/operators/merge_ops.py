@@ -9,7 +9,6 @@ group's receptor streams.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.core.stages import Stage, StageContext, StageKind

@@ -21,7 +21,7 @@ The processor performs the plumbing the paper attributes to ESP itself:
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.core.granules import TemporalGranule
 from repro.core.stages import Stage, StageContext, StageKind
@@ -30,6 +30,7 @@ from repro.receptors.base import Receptor
 from repro.receptors.registry import DeviceRegistry
 from repro.streams.fjord import Fjord
 from repro.streams.operators import MapOp, UnionOp
+from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
 from repro.streams.tuples import StreamTuple
 
 #: Scope hierarchy, narrowest to widest.
@@ -108,6 +109,83 @@ def _as_stage_list(arg: "Stage | Sequence[Stage] | None") -> list[Stage]:
     return list(arg)
 
 
+#: Rollup keys for nodes the processor itself wires around the stages.
+_PLUMBING_STAGES = {"annot": "ingest", "kindout": "union", "tap": "output"}
+
+#: Presentation order of rollup rows: the ESP cascade, then plumbing.
+_ROLLUP_ORDER = (
+    "ingest", "point", "smooth", "merge", "arbitrate", "virtualize",
+    "union", "output", "other",
+)
+
+
+def classify_node(name: str) -> str:
+    """Map a processor-wired DAG node name to its pipeline-stage label.
+
+    The processor's node-naming scheme encodes the stage kind
+    (``{kind}:{position}:{stage}:{label}``, with ``annot:``/``kindout:``
+    /``virtualize:``/``tap:`` prefixes for its own plumbing); this is
+    the inverse, used to roll per-operator telemetry up to the paper's
+    Point/Smooth/Merge/Arbitrate/Virtualize vocabulary. Unknown names
+    (hand-wired Fjords) classify as ``"other"``.
+    """
+    head, _sep, _rest = name.partition(":")
+    if head in _PLUMBING_STAGES:
+        return _PLUMBING_STAGES[head]
+    if head == "virtualize" or name == "__merge_kinds__":
+        return "virtualize"
+    if name == "__output__":
+        return "output"
+    parts = name.split(":")
+    if len(parts) >= 3:
+        if parts[2] in StageKind._value2member_map_:
+            return parts[2]
+        if parts[2] == "union":
+            return "union"
+    return "other"
+
+
+def stage_rollups(
+    snapshot: Mapping[str, Any],
+) -> dict[str, dict[str, int]]:
+    """Aggregate a telemetry snapshot's per-operator metrics by stage.
+
+    Args:
+        snapshot: A collector snapshot (see
+            :func:`repro.streams.telemetry.empty_snapshot`) taken from a
+            processor run.
+
+    Returns:
+        Stage label → summed counters (``tuples_in``, ``tuples_out``,
+        ``batches``, ``punctuations``, ``busy_ns``) plus the max queue
+        depth across the stage's operators, in pipeline order.
+    """
+    totals: dict[str, dict[str, int]] = {}
+    for name, entry in snapshot.get("operators", {}).items():
+        stage = classify_node(name)
+        target = totals.setdefault(
+            stage,
+            {
+                "tuples_in": 0,
+                "tuples_out": 0,
+                "batches": 0,
+                "punctuations": 0,
+                "busy_ns": 0,
+                "max_queue_depth": 0,
+            },
+        )
+        for field in (
+            "tuples_in", "tuples_out", "batches", "punctuations", "busy_ns",
+        ):
+            target[field] += entry[field]
+        target["max_queue_depth"] = max(
+            target["max_queue_depth"], entry["max_queue_depth"]
+        )
+    ordered = [stage for stage in _ROLLUP_ORDER if stage in totals]
+    ordered += sorted(set(totals) - set(_ROLLUP_ORDER))
+    return {stage: totals[stage] for stage in ordered}
+
+
 class ESPRun:
     """The result of one :meth:`ESPProcessor.run`.
 
@@ -121,16 +199,27 @@ class ESPRun:
         stats: Per-node flow counters, name → (tuples in, tuples out).
             For sharded runs the counters are summed across shards, so
             they match the sequential run's counters exactly.
+        telemetry: The run's telemetry snapshot (see
+            :func:`repro.streams.telemetry.empty_snapshot`), taken from
+            the collector after the run; empty when the run was
+            uninstrumented. For sharded runs this holds the per-shard
+            collectors merged in shard order.
     """
 
     def __init__(self):
         self.output: list[StreamTuple] = []
         self.taps: dict[str, list[StreamTuple]] = {}
         self.stats: dict[str, tuple[int, int]] = {}
+        self.telemetry: dict[str, Any] = {}
 
     def tap(self, receptor_kind: str, tap_name: str) -> list[StreamTuple]:
         """A captured intermediate stream (empty if not requested)."""
         return self.taps.get(f"{receptor_kind}/{tap_name}", [])
+
+    def stage_rollup(self) -> dict[str, dict[str, int]]:
+        """Telemetry rolled up by pipeline stage (see
+        :func:`stage_rollups`); empty for uninstrumented runs."""
+        return stage_rollups(self.telemetry)
 
     def __repr__(self):
         return (
@@ -204,6 +293,7 @@ class ESPProcessor:
         shards: int | None = None,
         backend: str | None = None,
         shard_key: str = "spatial_granule",
+        telemetry: TelemetryCollector | None = None,
     ) -> ESPRun:
         """Execute the deployment from ``start`` through ``until``.
 
@@ -235,6 +325,11 @@ class ESPProcessor:
                 other name is read off each raw tuple (e.g. ``"tag_id"``
                 for Arbitrate pipelines, whose conflict resolution spans
                 spatial granules but never tags).
+            telemetry: Collector receiving per-operator metrics and
+                trace events (see :mod:`repro.streams.telemetry`);
+                defaults to the process-wide default (a no-op unless the
+                CLI's ``--stats``/``--trace-out`` installed one). The
+                snapshot lands on :attr:`ESPRun.telemetry`.
 
         Returns:
             An :class:`ESPRun` with the cleaned output, flow stats and
@@ -250,17 +345,21 @@ class ESPProcessor:
         if tick <= 0:
             raise PipelineError(f"tick must be positive, got {tick}")
         shards, backend = resolve_execution(shards, backend)
+        collector = resolve_telemetry(telemetry)
         count = int(round((until - start) / tick))
         ticks = [start + i * tick for i in range(count + 1)]
         if shards <= 1 and backend == "serial":
-            return self._run_single(ticks, until, start, taps, sources)
+            return self._run_single(
+                ticks, until, start, taps, sources, collector
+            )
         if taps:
             raise PipelineError(
                 "stage taps are not supported on sharded runs; capture "
                 "them with shards=1, backend='serial'"
             )
         return self._run_sharded(
-            ticks, until, start, sources, shards, backend, shard_key
+            ticks, until, start, sources, shards, backend, shard_key,
+            collector,
         )
 
     def _run_single(
@@ -270,15 +369,18 @@ class ESPProcessor:
         start: float,
         taps: Sequence[str],
         sources: Mapping[str, Sequence[StreamTuple]] | None,
+        collector: TelemetryCollector,
     ) -> ESPRun:
         """The single-threaded reference execution path."""
         result = ESPRun()
         fjord, sink = self._build_dataflow(
             until, start, set(taps), result, sources
         )
-        fjord.run(ticks)
+        fjord.run(ticks, telemetry=collector)
         result.output = sink.results
         result.stats = fjord.stats()
+        if collector.enabled:
+            result.telemetry = collector.snapshot()
         return result
 
     def _run_sharded(
@@ -290,6 +392,7 @@ class ESPProcessor:
         shards: int,
         backend: str,
         shard_key: str,
+        collector: TelemetryCollector,
     ) -> ESPRun:
         """Partition device streams and run one pipeline per shard.
 
@@ -305,6 +408,17 @@ class ESPProcessor:
         feeds = self._record_feeds(until, start, sources)
         key_fn = self._shard_key_fn(shard_key)
         shard_feeds = shard_engine.partition_sources(feeds, key_fn, shards)
+        if collector.enabled:
+            collector.event(
+                "shard_partition",
+                shards=shards,
+                backend=backend,
+                shard_key=shard_key,
+                per_shard=[
+                    sum(len(items) for items in slices.values())
+                    for slices in shard_feeds
+                ],
+            )
 
         def build(slices: Mapping[str, list[StreamTuple]]):
             return self._build_dataflow(until, start, set(), ESPRun(), slices)
@@ -312,13 +426,20 @@ class ESPProcessor:
         builders = [
             (lambda slices=slices: build(slices)) for slices in shard_feeds
         ]
-        results = shard_engine.run_shard_jobs(builders, ticks, backend=backend)
+        results = shard_engine.run_shard_jobs(
+            builders, ticks, backend=backend, telemetry=collector
+        )
         result = ESPRun()
         result.output = shard_engine.merge_outputs(
             results,
             order_key=lambda item, _field=shard_key: str(item.get(_field)),
         )
         result.stats = shard_engine.merge_stats(results)
+        if collector.enabled:
+            collector.event(
+                "shard_merge", shards=shards, tuples=len(result.output)
+            )
+            result.telemetry = collector.snapshot()
         return result
 
     def _record_feeds(

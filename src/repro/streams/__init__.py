@@ -17,6 +17,9 @@ HiFi / TelegraphCQ ecosystem:
 - :mod:`repro.streams.shard` — a sharded, batch-pipelined execution engine
   running N independent Fjords (serial, threads or processes backend) with
   a deterministic time-axis merge.
+- :mod:`repro.streams.telemetry` — zero-dependency runtime instrumentation:
+  per-operator metrics, latency/batch-size histograms, queue-depth gauges
+  and a structured trace-event log, with shard-aware snapshot merging.
 """
 
 from repro.streams.aggregates import (
@@ -43,8 +46,22 @@ from repro.streams.shard import (
     run_sharded,
     set_default_execution,
 )
+from repro.streams.telemetry import (
+    Histogram,
+    InMemoryCollector,
+    TelemetryCollector,
+    empty_snapshot,
+    format_table,
+    merge_snapshots,
+    set_default_telemetry,
+)
 from repro.streams.time import Duration, SimClock, parse_duration
-from repro.streams.traceio import read_jsonl, write_jsonl
+from repro.streams.traceio import (
+    read_jsonl,
+    read_trace_events,
+    write_jsonl,
+    write_trace_events,
+)
 from repro.streams.tuples import StreamTuple
 from repro.streams.windows import NowWindow, RowWindow, SlidingWindow, WindowSpec
 
@@ -55,6 +72,8 @@ __all__ = [
     "Duration",
     "FilterOp",
     "Fjord",
+    "Histogram",
+    "InMemoryCollector",
     "IncrementalWindowedGroupByOp",
     "MapOp",
     "NowWindow",
@@ -66,16 +85,23 @@ __all__ = [
     "SlidingWindow",
     "StaticJoinOp",
     "StreamTuple",
+    "TelemetryCollector",
     "UnionOp",
     "WindowSpec",
     "WindowedGroupByOp",
+    "empty_snapshot",
+    "format_table",
     "get_aggregate",
+    "merge_snapshots",
     "parse_duration",
     "partition_sources",
     "read_jsonl",
+    "read_trace_events",
     "register_aggregate",
     "reorder_arrivals",
     "run_sharded",
     "set_default_execution",
+    "set_default_telemetry",
     "write_jsonl",
+    "write_trace_events",
 ]

@@ -32,6 +32,12 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.errors import OperatorError
 from repro.streams.operators import Operator, SinkOp
+from repro.streams.telemetry import (
+    NULL_COLLECTOR,
+    TelemetryCollector,
+    clock_ns,
+    resolve_telemetry,
+)
 from repro.streams.tuples import StreamTuple
 
 
@@ -206,16 +212,29 @@ class Fjord:
         self._order = order
         return order
 
-    def _checked(self, name: str, items: Iterable[StreamTuple]) -> Iterator[StreamTuple]:
+    def _checked(
+        self,
+        name: str,
+        items: Iterable[StreamTuple],
+        collector: TelemetryCollector = NULL_COLLECTOR,
+    ) -> Iterator[StreamTuple]:
         """Yield a source's tuples, rejecting timestamp regressions.
 
         The executor's injection loop and every windowed operator assume
         sources are sorted by timestamp; a violation used to be silently
-        accepted and produced quietly wrong windows downstream.
+        accepted and produced quietly wrong windows downstream. The
+        rejection is recorded as a ``source_out_of_order`` trace event
+        before the raise, so post-mortem trace logs carry the failure.
         """
         last: float | None = None
         for item in items:
             if last is not None and item.timestamp < last - 1e-9:
+                collector.event(
+                    "source_out_of_order",
+                    source=name,
+                    timestamp=item.timestamp,
+                    previous=last,
+                )
                 raise OperatorError(
                     f"source {name!r} is out of order: timestamp "
                     f"{item.timestamp:g} arrived after {last:g}"
@@ -223,7 +242,9 @@ class Fjord:
             last = item.timestamp
             yield item
 
-    def _merged_source(self) -> Iterator[tuple[StreamTuple, str]]:
+    def _merged_source(
+        self, collector: TelemetryCollector = NULL_COLLECTOR
+    ) -> Iterator[tuple[StreamTuple, str]]:
         """Merge all sources into one timestamp-ordered iterator.
 
         Equal timestamps across sources tie-break on the source *name* —
@@ -234,7 +255,7 @@ class Fjord:
         """
         heap: list[tuple[float, str, StreamTuple]] = []
         iterators = {
-            name: self._checked(name, items)
+            name: self._checked(name, items, collector)
             for name, items in self._sources.items()
         }
         for name in sorted(iterators):
@@ -251,14 +272,23 @@ class Fjord:
     def _deliver(self, item: StreamTuple, target: str, port: int) -> None:
         self._nodes[target].pending.append((item, port))
 
-    def _drain_node(self, node: _Node) -> None:
+    def _drain_node(
+        self,
+        node: _Node,
+        collector: TelemetryCollector = NULL_COLLECTOR,
+        now: float = 0.0,
+    ) -> None:
         """Process a node's pending tuples, fanning outputs downstream.
 
         Pending input is consumed in maximal runs of same-port tuples, one
         :meth:`on_batch` call per run; output order is identical to
         tuple-at-a-time delivery because ``on_batch`` concatenates
-        per-tuple outputs in input order.
+        per-tuple outputs in input order. Flow counters account each run
+        by its length, so batched and tuple-at-a-time delivery produce
+        identical counters by construction; when telemetry is enabled the
+        same run lengths feed the collector's batch-size histograms.
         """
+        enabled = collector.enabled
         while node.pending:
             batch, node.pending = node.pending, []
             start = 0
@@ -269,50 +299,116 @@ class Fjord:
                     stop += 1
                 run = [item for item, _port in batch[start:stop]]
                 node.tuples_in += len(run)
-                out = node.op.on_batch(run, port)
+                if enabled:
+                    began = clock_ns()
+                    out = node.op.on_batch(run, port)
+                    collector.record_batch(
+                        node.name, len(run), len(out), clock_ns() - began
+                    )
+                    collector.event(
+                        "batch_drain",
+                        node=node.name,
+                        t=now,
+                        n_in=len(run),
+                        n_out=len(out),
+                    )
+                else:
+                    out = node.op.on_batch(run, port)
                 node.tuples_out += len(out)
                 for target, tport in node.downstream:
                     for item in out:
                         self._deliver(item, target, tport)
                 start = stop
 
-    def run(self, ticks: Iterable[float]) -> None:
+    def run(
+        self,
+        ticks: Iterable[float],
+        telemetry: TelemetryCollector | None = None,
+    ) -> None:
         """Execute the dataflow over the given punctuation times.
 
         All source tuples with timestamp ``<= tick`` are injected before
         that tick's punctuation sweep. Source tuples later than the final
         tick are not delivered.
 
+        Args:
+            ticks: Punctuation times, ascending.
+            telemetry: Instrumentation sink (see
+                :mod:`repro.streams.telemetry`); ``None`` uses the
+                process-wide default, which is a no-op unless installed.
+
         Raises:
             OperatorError: If a source yields out-of-order timestamps.
         """
-        for _now in self.run_stepped(ticks):
+        for _now in self.run_stepped(ticks, telemetry=telemetry):
             pass
 
-    def run_stepped(self, ticks: Iterable[float]) -> Iterator[float]:
+    def run_stepped(
+        self,
+        ticks: Iterable[float],
+        telemetry: TelemetryCollector | None = None,
+    ) -> Iterator[float]:
         """Like :meth:`run`, but yield after each punctuation sweep.
 
         Yields the punctuation time just processed, with every emission
         for that instant already delivered to the sinks — callers can
         observe (or tag) per-tick output incrementally, which is how the
         sharded executor attributes each shard's output to its tick.
+
+        When telemetry is enabled, every ``on_batch``/``on_time`` call is
+        timed into per-operator histograms, and tick boundaries sample
+        each node's pending-queue depth (the backpressure gauge) plus
+        each source's watermark lag (tick time minus the newest injected
+        timestamp). The no-op collector skips all of it behind one flag
+        check per call site.
         """
+        collector = resolve_telemetry(telemetry)
+        enabled = collector.enabled
         order = self._topological_order()
-        feed = self._merged_source()
+        if enabled:
+            collector.event(
+                "run_start", nodes=len(order), sources=len(self._sources)
+            )
+            for name in order:
+                collector.event(
+                    "operator_start",
+                    node=name,
+                    op=type(self._nodes[name].op).__name__,
+                )
+        feed = self._merged_source(collector)
         lookahead: tuple[StreamTuple, str] | None = next(feed, None)
+        newest: dict[str, float] = {}  # per-source newest injected stamp
+        tick_count = 0
         for now in ticks:
             # 1. Inject all due source tuples.
             while lookahead is not None and lookahead[0].timestamp <= now + 1e-9:
                 item, source = lookahead
                 for target, port in self._source_edges[source]:
                     self._deliver(item, target, port)
+                if enabled:
+                    collector.count_source(source)
+                    newest[source] = item.timestamp
                 lookahead = next(feed, None)
+            if enabled:
+                for source, stamp in newest.items():
+                    collector.sample_watermark(source, now - stamp)
+                for name in order:
+                    depth = len(self._nodes[name].pending)
+                    if depth:
+                        collector.sample_queue_depth(name, depth)
             # 2. Punctuation sweep in topological order: drain inputs, then
             #    slide windows; emissions feed later nodes in the same sweep.
             for name in order:
                 node = self._nodes[name]
-                self._drain_node(node)
-                out = node.op.on_time(now)
+                self._drain_node(node, collector, now)
+                if enabled:
+                    began = clock_ns()
+                    out = node.op.on_time(now)
+                    collector.record_punctuation(
+                        name, len(out), clock_ns() - began
+                    )
+                else:
+                    out = node.op.on_time(now)
                 node.tuples_out += len(out)
                 for target, tport in node.downstream:
                     for item in out:
@@ -321,5 +417,18 @@ class Fjord:
             #    topological order makes this a no-op, but user callbacks may
             #    inject tuples).
             for name in order:
-                self._drain_node(self._nodes[name])
+                self._drain_node(self._nodes[name], collector, now)
+            if enabled:
+                collector.count_tick()
+            tick_count += 1
             yield now
+        if enabled:
+            for name in order:
+                node = self._nodes[name]
+                collector.event(
+                    "operator_stop",
+                    node=name,
+                    tuples_in=node.tuples_in,
+                    tuples_out=node.tuples_out,
+                )
+            collector.event("run_end", ticks=tick_count)

@@ -21,7 +21,7 @@ Equivalence with the recompute operator is pinned by property tests.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 from repro.errors import OperatorError
 from repro.streams.aggregates import AggregateSpec

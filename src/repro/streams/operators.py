@@ -47,6 +47,14 @@ class Operator:
         this default does. Hot operators override it to amortize the
         per-tuple Python call overhead; the executor delivers pending
         input through this method.
+
+        The executor accounts flow counters and telemetry (batch-size
+        histograms, per-call latency) by the lengths of the input and
+        output sequences, so an override must emit exactly the
+        concatenation of the per-tuple outputs — a fast path that drops,
+        adds or reorders tuples would skew every counter downstream.
+        ``tests/test_observability.py`` pins this equivalence
+        differentially for the overriding operators.
         """
         out: list[StreamTuple] = []
         for item in items:
@@ -180,6 +188,28 @@ class StaticJoinOp(Operator):
         return [
             item.derive(values={**row, **item.as_dict()}) for row in matches
         ]
+
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        table = self._table
+        on = self._on
+        how = self._how
+        out: list[StreamTuple] = []
+        for item in items:
+            matches = [row for row in table if on(item, row)]
+            if how == "semi":
+                if matches:
+                    out.append(item)
+            elif how == "anti":
+                if not matches:
+                    out.append(item)
+            else:
+                out.extend(
+                    item.derive(values={**row, **item.as_dict()})
+                    for row in matches
+                )
+        return out
 
 
 class GroupKey:

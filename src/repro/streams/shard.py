@@ -47,6 +47,12 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from repro.errors import OperatorError
 from repro.streams.fjord import Fjord
 from repro.streams.operators import SinkOp
+from repro.streams.telemetry import (
+    NULL_COLLECTOR,
+    TelemetryCollector,
+    default_telemetry,
+    resolve_telemetry,
+)
 from repro.streams.tuples import StreamTuple
 
 #: Supported execution backends, in increasing order of parallelism.
@@ -77,10 +83,12 @@ def set_default_execution(
     """
     if shards is not None:
         if int(shards) < 1:
+            _invalid_execution("shards", shards)
             raise OperatorError(f"shards must be >= 1, got {shards}")
         _DEFAULT_EXECUTION["shards"] = int(shards)
     if backend is not None:
         if backend not in BACKENDS:
+            _invalid_execution("backend", backend)
             raise OperatorError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
@@ -92,6 +100,18 @@ def default_execution() -> tuple[int, str]:
     return _DEFAULT_EXECUTION["shards"], _DEFAULT_EXECUTION["backend"]
 
 
+def _invalid_execution(option: str, value: Any) -> None:
+    """Record a shard/backend validation failure as a trace event.
+
+    Emitted to the process-wide default collector just before the
+    matching :class:`OperatorError` is raised, so post-mortem trace
+    logs show rejected CLI/API execution options alongside the run.
+    """
+    default_telemetry().event(
+        "validation_error", option=option, value=str(value)
+    )
+
+
 def resolve_execution(
     shards: int | None, backend: str | None
 ) -> tuple[int, str]:
@@ -100,8 +120,10 @@ def resolve_execution(
     shards = default_shards if shards is None else int(shards)
     backend = default_backend if backend is None else backend
     if shards < 1:
+        _invalid_execution("shards", shards)
         raise OperatorError(f"shards must be >= 1, got {shards}")
     if backend not in BACKENDS:
+        _invalid_execution("backend", backend)
         raise OperatorError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
@@ -162,55 +184,80 @@ def partition_sources(
 
 
 class ShardResult:
-    """One shard's run: per-tick output plus its Fjord's flow counters."""
+    """One shard's run: per-tick output, flow counters, telemetry.
 
-    __slots__ = ("per_tick", "stats")
+    ``telemetry`` is the shard collector's snapshot dict (see
+    :func:`repro.streams.telemetry.empty_snapshot`), or ``None`` when
+    the run was uninstrumented. Snapshots are plain data, so they cross
+    the worker-process pipe unchanged.
+    """
+
+    __slots__ = ("per_tick", "stats", "telemetry")
 
     def __init__(
         self,
         per_tick: list[list[StreamTuple]],
         stats: dict[str, tuple[int, int]],
+        telemetry: "dict[str, Any] | None" = None,
     ):
         self.per_tick = per_tick
         self.stats = stats
+        self.telemetry = telemetry
 
 
 def _run_shard(
     build: Callable[[], "tuple[Fjord, SinkOp]"],
     ticks: Sequence[float],
+    telemetry: TelemetryCollector = NULL_COLLECTOR,
 ) -> ShardResult:
-    """Build and run one shard, attributing sink output to its tick."""
+    """Build and run one shard, attributing sink output to its tick.
+
+    Each shard gets a *fresh* collector (``telemetry.spawn()``) so that
+    concurrent shards never contend on shared accumulators; the parent
+    absorbs the per-shard snapshots afterwards, in shard order.
+    """
+    child = telemetry.spawn() if telemetry.enabled else NULL_COLLECTOR
     fjord, sink = build()
     per_tick: list[list[StreamTuple]] = []
     mark = 0
-    for _now in fjord.run_stepped(ticks):
+    for _now in fjord.run_stepped(ticks, telemetry=child):
         results = sink.results
         per_tick.append(results[mark:])
         mark = len(results)
-    return ShardResult(per_tick, fjord.stats())
+    return ShardResult(
+        per_tick,
+        fjord.stats(),
+        child.snapshot() if child.enabled else None,
+    )
 
 
-def _run_serial(builders, ticks) -> list[ShardResult]:
-    return [_run_shard(build, ticks) for build in builders]
+def _run_serial(builders, ticks, telemetry) -> list[ShardResult]:
+    return [_run_shard(build, ticks, telemetry) for build in builders]
 
 
-def _run_threads(builders, ticks) -> list[ShardResult]:
+def _run_threads(builders, ticks, telemetry) -> list[ShardResult]:
     from concurrent.futures import ThreadPoolExecutor
 
     with ThreadPoolExecutor(max_workers=len(builders)) as pool:
-        futures = [pool.submit(_run_shard, build, ticks) for build in builders]
+        futures = [
+            pool.submit(_run_shard, build, ticks, telemetry)
+            for build in builders
+        ]
         return [future.result() for future in futures]
 
 
-def _process_worker(connection, build, ticks, batch_size) -> None:
+def _process_worker(connection, build, ticks, batch_size, telemetry) -> None:
     """Forked worker: run one shard, stream results back in batches.
 
     Transport protocol (one tuple per message): ``("batch", [(tick_index,
-    [tuples...]), ...])`` chunks of at least ``batch_size`` tuples,
-    then ``("done", stats)`` — or ``("error", formatted_traceback)``.
+    [tuples...]), ...])`` chunks of at least ``batch_size`` tuples, then
+    ``("done", (stats, telemetry_snapshot))`` — or ``("error",
+    formatted_traceback)``. The telemetry snapshot rides the final
+    message: counters are tiny next to the tuple payload, and sending
+    them once avoids interleaving metrics with data batches.
     """
     try:
-        result = _run_shard(build, ticks)
+        result = _run_shard(build, ticks, telemetry)
         chunk: list[tuple[int, list[StreamTuple]]] = []
         pending = 0
         for tick_index, tuples in enumerate(result.per_tick):
@@ -223,7 +270,7 @@ def _process_worker(connection, build, ticks, batch_size) -> None:
                 chunk, pending = [], 0
         if chunk:
             connection.send(("batch", chunk))
-        connection.send(("done", result.stats))
+        connection.send(("done", (result.stats, result.telemetry)))
     except BaseException:
         try:
             connection.send(("error", traceback.format_exc()))
@@ -233,7 +280,7 @@ def _process_worker(connection, build, ticks, batch_size) -> None:
         connection.close()
 
 
-def _run_processes(builders, ticks, batch_size) -> list[ShardResult]:
+def _run_processes(builders, ticks, batch_size, telemetry) -> list[ShardResult]:
     import multiprocessing
 
     if "fork" not in multiprocessing.get_all_start_methods():
@@ -247,7 +294,8 @@ def _run_processes(builders, ticks, batch_size) -> list[ShardResult]:
     for build in builders:
         receiver, sender = context.Pipe(duplex=False)
         process = context.Process(
-            target=_process_worker, args=(sender, build, ticks, batch_size)
+            target=_process_worker,
+            args=(sender, build, ticks, batch_size, telemetry),
         )
         process.start()
         sender.close()
@@ -257,6 +305,7 @@ def _run_processes(builders, ticks, batch_size) -> list[ShardResult]:
     for process, receiver in workers:
         per_tick: list[list[StreamTuple]] = [[] for _ in ticks]
         stats: dict[str, tuple[int, int]] = {}
+        shard_telemetry: "dict[str, Any] | None" = None
         try:
             while True:
                 kind, payload = receiver.recv()
@@ -264,7 +313,7 @@ def _run_processes(builders, ticks, batch_size) -> list[ShardResult]:
                     for tick_index, tuples in payload:
                         per_tick[tick_index].extend(tuples)
                 elif kind == "done":
-                    stats = payload
+                    stats, shard_telemetry = payload
                     break
                 else:  # "error"
                     failure = failure or payload
@@ -275,7 +324,7 @@ def _run_processes(builders, ticks, batch_size) -> list[ShardResult]:
             )
         finally:
             receiver.close()
-        results.append(ShardResult(per_tick, stats))
+        results.append(ShardResult(per_tick, stats, shard_telemetry))
     for process, _receiver in workers:
         process.join()
     if failure is not None:
@@ -288,6 +337,7 @@ def run_shard_jobs(
     ticks: Sequence[float],
     backend: str = "serial",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    telemetry: TelemetryCollector | None = None,
 ) -> list[ShardResult]:
     """Run pre-partitioned shard builders on the chosen backend.
 
@@ -295,8 +345,16 @@ def run_shard_jobs(
     (e.g. :class:`~repro.core.pipeline.ESPProcessor`) construct one
     zero-argument builder per shard and merge the results themselves
     with :func:`merge_outputs` / :func:`merge_stats`.
+
+    When telemetry is enabled, every shard runs under a freshly spawned
+    collector and the per-shard snapshots are absorbed back into
+    ``telemetry`` *in shard order* — on every backend — so the merged
+    metrics are deterministic and their tuple totals equal a sequential
+    run's (the same argument as :func:`merge_stats`).
     """
+    collector = resolve_telemetry(telemetry)
     if backend not in BACKENDS:
+        _invalid_execution("backend", backend)
         raise OperatorError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
@@ -304,10 +362,16 @@ def run_shard_jobs(
         raise OperatorError(f"batch_size must be >= 1, got {batch_size}")
     ticks = list(ticks)
     if backend == "threads":
-        return _run_threads(builders, ticks)
-    if backend == "processes":
-        return _run_processes(builders, ticks, batch_size)
-    return _run_serial(builders, ticks)
+        results = _run_threads(builders, ticks, collector)
+    elif backend == "processes":
+        results = _run_processes(builders, ticks, batch_size, collector)
+    else:
+        results = _run_serial(builders, ticks, collector)
+    if collector.enabled:
+        for index, result in enumerate(results):
+            if result.telemetry is not None:
+                collector.absorb(result.telemetry, shard=index)
+    return results
 
 
 # -- merging -------------------------------------------------------------------
@@ -401,6 +465,7 @@ def run_sharded(
     backend: str = "serial",
     batch_size: int = DEFAULT_BATCH_SIZE,
     order_key: Callable[[StreamTuple], Any] | None = None,
+    telemetry: TelemetryCollector | None = None,
 ) -> ShardedRun:
     """Partition, execute and merge one sharded dataflow run.
 
@@ -417,10 +482,15 @@ def run_sharded(
         batch_size: Tuples per transport batch (``processes`` backend).
         order_key: Override for the merge order; defaults to the string
             form of the shard key read off each output tuple.
+        telemetry: Instrumentation sink; ``None`` uses the process-wide
+            default. The partition and the final merge are recorded as
+            ``shard_partition`` / ``shard_merge`` trace events, and
+            per-shard collector snapshots are absorbed in shard order.
 
     Returns:
         A :class:`ShardedRun`.
     """
+    collector = resolve_telemetry(telemetry)
     shard_sources = partition_sources(sources, key, shards)
     if order_key is None:
         if callable(key):
@@ -429,19 +499,34 @@ def run_sharded(
                 "merge (output tuples have no source name to apply it to)"
             )
         order_key = lambda item, _field=key: str(item.get(_field))  # noqa: E731
+    tuples_per_shard = [
+        sum(len(items) for items in slices.values())
+        for slices in shard_sources
+    ]
+    if collector.enabled:
+        collector.event(
+            "shard_partition",
+            shards=shards,
+            backend=backend,
+            per_shard=tuples_per_shard,
+        )
     builders = [
         (lambda slices=slices: build(slices)) for slices in shard_sources
     ]
     results = run_shard_jobs(
-        builders, list(ticks), backend=backend, batch_size=batch_size
+        builders,
+        list(ticks),
+        backend=backend,
+        batch_size=batch_size,
+        telemetry=collector,
     )
+    output = merge_outputs(results, order_key)
+    if collector.enabled:
+        collector.event("shard_merge", shards=shards, tuples=len(output))
     return ShardedRun(
-        output=merge_outputs(results, order_key),
+        output=output,
         stats=merge_stats(results),
         shards=shards,
         backend=backend,
-        tuples_per_shard=[
-            sum(len(items) for items in slices.values())
-            for slices in shard_sources
-        ],
+        tuples_per_shard=tuples_per_shard,
     )

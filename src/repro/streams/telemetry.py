@@ -1,0 +1,580 @@
+"""Runtime telemetry: per-operator metrics, gauges and trace events.
+
+Production stream cleaners instrument every processing step; this module
+is that layer for the ESP engine. It answers, for any run, the questions
+the end-result metrics (detection accuracy, epoch yield) cannot: where
+did the time go, where do tuples pile up, which stage collapses the data
+volume, and what did the engine *do* (in event order) while doing it.
+
+Three design rules keep the instrumentation honest:
+
+- **Zero-dependency and low-overhead.** The pluggable
+  :class:`TelemetryCollector` base class is itself the no-op default;
+  the executor consults a single ``enabled`` flag and performs no clock
+  reads, allocations or method calls on the uninstrumented hot path.
+  The overhead budget (≤ 5 % on the sharding benchmark's throughput) is
+  pinned by ``benchmarks/test_bench_telemetry.py``.
+- **Integer arithmetic everywhere.** Busy time is accumulated in
+  nanoseconds (``time.perf_counter_ns``) and histograms hold integer
+  bucket counts, so merging per-shard snapshots is *associative* —
+  float summation order can never make two merge trees disagree. The
+  property harness in ``tests/test_telemetry.py`` pins associativity.
+- **Deterministic trace events.** Events carry simulation time, node
+  names and tuple counts — never wall-clock readings — so a recorded
+  event log is a pure function of the input data and can be pinned as a
+  golden artifact (``tests/golden/rfid_shelf_trace_events.jsonl``).
+  Wall-clock durations live only in the histograms and busy counters.
+
+Snapshots are plain JSON-friendly dicts (see :func:`empty_snapshot` for
+the schema), which is also what crosses the process boundary from forked
+shard workers back to the parent's collector.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "Histogram",
+    "InMemoryCollector",
+    "LATENCY_BUCKETS_NS",
+    "NULL_COLLECTOR",
+    "TelemetryCollector",
+    "default_telemetry",
+    "empty_snapshot",
+    "format_table",
+    "merge_snapshots",
+    "resolve_telemetry",
+    "set_default_telemetry",
+]
+
+#: Fixed latency bucket upper edges, in nanoseconds: 1-2-5 decades from
+#: 1 µs to 10 s. Fixed (rather than adaptive) edges are what make
+#: per-shard histogram merges exact — every collector bins identically.
+LATENCY_BUCKETS_NS: tuple[int, ...] = tuple(
+    mantissa * 10**exponent
+    for exponent in range(3, 10)  # 1 µs .. 10 s
+    for mantissa in (1, 2, 5)
+)
+
+#: Fixed batch-size bucket upper edges: powers of two up to 64 Ki tuples.
+BATCH_SIZE_BUCKETS: tuple[int, ...] = tuple(2**i for i in range(17))
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact, associative merges.
+
+    Bucket ``i`` counts values ``v`` with ``edges[i-1] < v <= edges[i]``
+    (the first bucket has no lower bound); one extra overflow bucket
+    counts values above the last edge. Only integer counts are stored,
+    so merging histograms with identical edges is exact.
+
+    Args:
+        edges: Ascending bucket upper edges.
+        counts: Optional pre-existing counts (``len(edges) + 1`` entries,
+            the last being the overflow bucket).
+    """
+
+    __slots__ = ("edges", "counts", "total")
+
+    def __init__(
+        self,
+        edges: Sequence[int],
+        counts: Sequence[int] | None = None,
+    ):
+        self.edges = tuple(edges)
+        if any(a >= b for a, b in zip(self.edges, self.edges[1:])):
+            raise ReproError(f"histogram edges must ascend: {edges}")
+        if counts is None:
+            self.counts = [0] * (len(self.edges) + 1)
+        else:
+            if len(counts) != len(self.edges) + 1:
+                raise ReproError(
+                    f"expected {len(self.edges) + 1} counts "
+                    f"(one per bucket plus overflow), got {len(counts)}"
+                )
+            self.counts = [int(c) for c in counts]
+        self.total = sum(self.counts)
+
+    def record(self, value: float) -> None:
+        """Count one observation."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Add ``other``'s counts into this histogram (same edges only)."""
+        if other.edges != self.edges:
+            raise ReproError(
+                "cannot merge histograms with different bucket edges"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+
+    def percentile(self, fraction: float) -> float:
+        """Upper edge of the bucket containing the given quantile.
+
+        Returns 0 for an empty histogram and ``inf`` when the quantile
+        falls in the overflow bucket — a sentinel loud enough that an
+        undersized last edge cannot be mistaken for a measurement.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ReproError(f"fraction must be in [0, 1], got {fraction}")
+        if self.total == 0:
+            return 0.0
+        rank = fraction * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                if index == len(self.edges):
+                    return float("inf")
+                return float(self.edges[index])
+        return float("inf")  # pragma: no cover - loop always returns
+
+    def __repr__(self) -> str:
+        return f"Histogram(total={self.total}, buckets={len(self.counts)})"
+
+
+# -- snapshot schema -----------------------------------------------------------
+
+
+def empty_snapshot() -> dict[str, Any]:
+    """The identity element of :func:`merge_snapshots`.
+
+    Schema::
+
+        {
+          "operators": {name: {
+              "tuples_in", "tuples_out", "batches", "punctuations",
+              "busy_ns",                    # ints, summed on merge
+              "latency_ns", "batch_sizes",  # histogram counts, summed
+              "max_queue_depth",            # int, max'ed on merge
+          }},
+          "sources": {name: {
+              "tuples",                     # int, summed
+              "max_watermark_lag",          # float seconds, max'ed
+          }},
+          "counters": {"ticks", "runs", "shards_merged"},  # ints, summed
+          "events": [ {"seq", "kind", ...}, ... ],         # concatenated
+        }
+    """
+    return {"operators": {}, "sources": {}, "counters": {}, "events": []}
+
+
+def _empty_operator_entry() -> dict[str, Any]:
+    return {
+        "tuples_in": 0,
+        "tuples_out": 0,
+        "batches": 0,
+        "punctuations": 0,
+        "busy_ns": 0,
+        "latency_ns": [0] * (len(LATENCY_BUCKETS_NS) + 1),
+        "batch_sizes": [0] * (len(BATCH_SIZE_BUCKETS) + 1),
+        "max_queue_depth": 0,
+    }
+
+
+_SUMMED_OP_FIELDS = (
+    "tuples_in", "tuples_out", "batches", "punctuations", "busy_ns",
+)
+
+
+def merge_snapshots(*snapshots: Mapping[str, Any]) -> dict[str, Any]:
+    """Merge collector snapshots into one (associative, pure).
+
+    Counters and histogram buckets are summed, gauges (queue depth,
+    watermark lag) are max'ed, and event lists are concatenated in
+    argument order and re-sequenced. Because every summed quantity is an
+    integer, any merge tree over the same snapshots yields the identical
+    result — the property the sharded engine's deterministic aggregation
+    relies on.
+    """
+    out = empty_snapshot()
+    for snapshot in snapshots:
+        for name, entry in snapshot.get("operators", {}).items():
+            target = out["operators"].setdefault(
+                name, _empty_operator_entry()
+            )
+            for field in _SUMMED_OP_FIELDS:
+                target[field] += entry[field]
+            for field in ("latency_ns", "batch_sizes"):
+                counts = entry[field]
+                merged = target[field]
+                for index, count in enumerate(counts):
+                    merged[index] += count
+            target["max_queue_depth"] = max(
+                target["max_queue_depth"], entry["max_queue_depth"]
+            )
+        for name, entry in snapshot.get("sources", {}).items():
+            target = out["sources"].setdefault(
+                name, {"tuples": 0, "max_watermark_lag": 0.0}
+            )
+            target["tuples"] += entry["tuples"]
+            target["max_watermark_lag"] = max(
+                target["max_watermark_lag"], entry["max_watermark_lag"]
+            )
+        for key, value in snapshot.get("counters", {}).items():
+            out["counters"][key] = out["counters"].get(key, 0) + value
+        out["events"].extend(
+            dict(event) for event in snapshot.get("events", [])
+        )
+    for seq, event in enumerate(out["events"]):
+        event["seq"] = seq
+    return out
+
+
+# -- collectors ----------------------------------------------------------------
+
+
+class TelemetryCollector:
+    """Pluggable instrumentation sink; this base class is the no-op.
+
+    The executor calls these hooks on every batch drain, punctuation
+    sweep and tick boundary — but only after checking :attr:`enabled`,
+    so the base class's empty bodies are never on the hot path. Custom
+    collectors (exporters to a metrics daemon, samplers, ring buffers)
+    subclass this and set ``enabled = True``.
+    """
+
+    #: When False the executor skips clock reads and sampling entirely.
+    enabled: bool = False
+
+    def record_batch(
+        self, name: str, n_in: int, n_out: int, elapsed_ns: int
+    ) -> None:
+        """One ``on_batch`` call on operator ``name`` finished."""
+
+    def record_punctuation(
+        self, name: str, n_out: int, elapsed_ns: int
+    ) -> None:
+        """One ``on_time`` call on operator ``name`` finished."""
+
+    def sample_queue_depth(self, name: str, depth: int) -> None:
+        """Pending-input depth of ``name`` observed at a tick boundary."""
+
+    def sample_watermark(self, source: str, lag: float) -> None:
+        """Source's watermark lag (tick time minus newest injected
+        timestamp) observed at a tick boundary."""
+
+    def count_source(self, source: str, n: int = 1) -> None:
+        """``n`` tuples were injected from ``source``."""
+
+    def count_tick(self) -> None:
+        """One punctuation sweep completed."""
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Append a structured trace event (deterministic fields only)."""
+
+    def spawn(self) -> "TelemetryCollector":
+        """A fresh same-kind collector for an isolated unit of work
+        (one shard); its snapshot is later passed to :meth:`absorb`."""
+        return self
+
+    def absorb(
+        self, snapshot: Mapping[str, Any], shard: int | None = None
+    ) -> None:
+        """Merge a spawned collector's snapshot back into this one."""
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of everything collected (see
+        :func:`empty_snapshot` for the schema)."""
+        return empty_snapshot()
+
+
+#: The shared no-op collector (stateless, so one instance serves all).
+NULL_COLLECTOR = TelemetryCollector()
+
+
+class _OpMetrics:
+    """Mutable per-operator accumulators (one per DAG node)."""
+
+    __slots__ = (
+        "tuples_in", "tuples_out", "batches", "punctuations", "busy_ns",
+        "latency", "batch_sizes", "max_queue_depth",
+    )
+
+    def __init__(self) -> None:
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.batches = 0
+        self.punctuations = 0
+        self.busy_ns = 0
+        self.latency = Histogram(LATENCY_BUCKETS_NS)
+        self.batch_sizes = Histogram(BATCH_SIZE_BUCKETS)
+        self.max_queue_depth = 0
+
+
+class InMemoryCollector(TelemetryCollector):
+    """The standard collector: accumulates everything in memory.
+
+    One instance may span several runs (the CLI reuses one collector
+    across an experiment's internal ``ESPProcessor.run`` calls); use
+    :meth:`snapshot` to read the accumulated state at any point.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._ops: dict[str, _OpMetrics] = {}
+        self._sources: dict[str, dict[str, Any]] = {}
+        self._counters: dict[str, int] = {}
+        self._events: list[dict[str, Any]] = []
+
+    # -- executor hooks --------------------------------------------------------
+
+    def _op(self, name: str) -> _OpMetrics:
+        metrics = self._ops.get(name)
+        if metrics is None:
+            metrics = self._ops[name] = _OpMetrics()
+        return metrics
+
+    def record_batch(
+        self, name: str, n_in: int, n_out: int, elapsed_ns: int
+    ) -> None:
+        metrics = self._op(name)
+        metrics.tuples_in += n_in
+        metrics.tuples_out += n_out
+        metrics.batches += 1
+        metrics.busy_ns += elapsed_ns
+        metrics.latency.record(elapsed_ns)
+        metrics.batch_sizes.record(n_in)
+
+    def record_punctuation(
+        self, name: str, n_out: int, elapsed_ns: int
+    ) -> None:
+        metrics = self._op(name)
+        metrics.tuples_out += n_out
+        metrics.punctuations += 1
+        metrics.busy_ns += elapsed_ns
+        metrics.latency.record(elapsed_ns)
+
+    def sample_queue_depth(self, name: str, depth: int) -> None:
+        metrics = self._op(name)
+        if depth > metrics.max_queue_depth:
+            metrics.max_queue_depth = depth
+
+    def sample_watermark(self, source: str, lag: float) -> None:
+        entry = self._source(source)
+        if lag > entry["max_watermark_lag"]:
+            entry["max_watermark_lag"] = lag
+
+    def _source(self, source: str) -> dict[str, Any]:
+        entry = self._sources.get(source)
+        if entry is None:
+            entry = self._sources[source] = {
+                "tuples": 0, "max_watermark_lag": 0.0,
+            }
+        return entry
+
+    def count_source(self, source: str, n: int = 1) -> None:
+        self._source(source)["tuples"] += n
+
+    def count_tick(self) -> None:
+        self._counters["ticks"] = self._counters.get("ticks", 0) + 1
+
+    def event(self, kind: str, **fields: Any) -> None:
+        record = {"seq": len(self._events), "kind": kind, **fields}
+        self._events.append(record)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def spawn(self) -> "InMemoryCollector":
+        return InMemoryCollector()
+
+    def absorb(
+        self, snapshot: Mapping[str, Any], shard: int | None = None
+    ) -> None:
+        """Merge a shard's snapshot, tagging its events with the shard.
+
+        Shards are absorbed in shard order by the engine, so the merged
+        event log — like everything else here — depends only on the data
+        and the shard count, never on the backend.
+        """
+        if shard is not None:
+            snapshot = dict(snapshot)
+            snapshot["events"] = [
+                {**event, "shard": shard}
+                for event in snapshot.get("events", [])
+            ]
+        merged = merge_snapshots(self.snapshot(), snapshot)
+        self._load(merged)
+
+    def _load(self, snapshot: Mapping[str, Any]) -> None:
+        self._ops = {}
+        for name, entry in snapshot["operators"].items():
+            metrics = self._op(name)
+            metrics.tuples_in = entry["tuples_in"]
+            metrics.tuples_out = entry["tuples_out"]
+            metrics.batches = entry["batches"]
+            metrics.punctuations = entry["punctuations"]
+            metrics.busy_ns = entry["busy_ns"]
+            metrics.latency = Histogram(
+                LATENCY_BUCKETS_NS, entry["latency_ns"]
+            )
+            metrics.batch_sizes = Histogram(
+                BATCH_SIZE_BUCKETS, entry["batch_sizes"]
+            )
+            metrics.max_queue_depth = entry["max_queue_depth"]
+        self._sources = {
+            name: dict(entry)
+            for name, entry in snapshot["sources"].items()
+        }
+        self._counters = dict(snapshot["counters"])
+        self._events = [dict(event) for event in snapshot["events"]]
+
+    def snapshot(self) -> dict[str, Any]:
+        out = empty_snapshot()
+        for name, metrics in self._ops.items():
+            out["operators"][name] = {
+                "tuples_in": metrics.tuples_in,
+                "tuples_out": metrics.tuples_out,
+                "batches": metrics.batches,
+                "punctuations": metrics.punctuations,
+                "busy_ns": metrics.busy_ns,
+                "latency_ns": list(metrics.latency.counts),
+                "batch_sizes": list(metrics.batch_sizes.counts),
+                "max_queue_depth": metrics.max_queue_depth,
+            }
+        out["sources"] = {
+            name: dict(entry) for name, entry in self._sources.items()
+        }
+        out["counters"] = dict(self._counters)
+        out["events"] = [dict(event) for event in self._events]
+        return out
+
+
+# -- timing helper -------------------------------------------------------------
+
+#: Monotonic nanosecond clock used by the executor's timed sections.
+clock_ns = time.perf_counter_ns
+
+
+# -- process-wide default ------------------------------------------------------
+
+_DEFAULT: TelemetryCollector = NULL_COLLECTOR
+
+
+def set_default_telemetry(
+    collector: TelemetryCollector | None,
+) -> TelemetryCollector:
+    """Install the process-wide default collector; returns the previous.
+
+    The CLI's ``--stats``/``--trace-out`` flags install an
+    :class:`InMemoryCollector` here so that every experiment's internal
+    ``ESPProcessor.run`` reports into it without each experiment
+    threading a collector through. Pass ``None`` to restore the no-op.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = NULL_COLLECTOR if collector is None else collector
+    return previous
+
+
+def default_telemetry() -> TelemetryCollector:
+    """The current process-wide default collector."""
+    return _DEFAULT
+
+
+def resolve_telemetry(
+    collector: TelemetryCollector | None,
+) -> TelemetryCollector:
+    """An explicit collector, or the process-wide default when None."""
+    return _DEFAULT if collector is None else collector
+
+
+# -- presentation --------------------------------------------------------------
+
+
+def _format_row(columns: Iterable[Any], widths: Sequence[int]) -> str:
+    cells = []
+    for index, (column, width) in enumerate(zip(columns, widths)):
+        text = str(column)
+        cells.append(text.ljust(width) if index == 0 else text.rjust(width))
+    return "  ".join(cells).rstrip()
+
+
+def _percentile_us(counts: Sequence[int], fraction: float) -> str:
+    hist = Histogram(LATENCY_BUCKETS_NS, counts)
+    value = hist.percentile(fraction)
+    if value == 0.0:
+        return "-"
+    if value == float("inf"):
+        return ">10s"
+    return f"{value / 1e3:g}"
+
+
+def format_table(
+    snapshot: Mapping[str, Any],
+    rollups: Mapping[str, Mapping[str, Any]] | None = None,
+) -> str:
+    """Render a snapshot as the ``--stats`` end-of-run table.
+
+    One row per operator (sorted by busy time, busiest first) with the
+    tuple/batch counters, busy milliseconds, p50/p95 per-call latency
+    (µs, upper bucket edges) and the max pending-queue depth; then the
+    source watermark gauges; then, when given, per-stage rollups.
+    """
+    lines: list[str] = []
+    header = (
+        "operator", "tuples_in", "tuples_out", "batches",
+        "busy_ms", "p50_us", "p95_us", "max_queue",
+    )
+    operators = snapshot.get("operators", {})
+    rows = []
+    for name, entry in sorted(
+        operators.items(), key=lambda kv: (-kv[1]["busy_ns"], kv[0])
+    ):
+        rows.append((
+            name,
+            entry["tuples_in"],
+            entry["tuples_out"],
+            entry["batches"],
+            f"{entry['busy_ns'] / 1e6:.2f}",
+            _percentile_us(entry["latency_ns"], 0.50),
+            _percentile_us(entry["latency_ns"], 0.95),
+            entry["max_queue_depth"],
+        ))
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines.append(_format_row(header, widths))
+    lines.append(_format_row(("-" * w for w in widths), widths))
+    for row in rows:
+        lines.append(_format_row(row, widths))
+    sources = snapshot.get("sources", {})
+    if sources:
+        lines.append("")
+        lines.append("source            tuples  max_watermark_lag_s")
+        for name, entry in sorted(sources.items()):
+            lines.append(
+                f"{name:<16s}  {entry['tuples']:>6d}"
+                f"  {entry['max_watermark_lag']:>19.3f}"
+            )
+    if rollups:
+        lines.append("")
+        lines.append(
+            "stage        tuples_in  tuples_out  batches     busy_ms"
+        )
+        for stage, entry in rollups.items():
+            lines.append(
+                f"{stage:<11s}  {entry['tuples_in']:>9d}"
+                f"  {entry['tuples_out']:>10d}  {entry['batches']:>7d}"
+                f"  {entry['busy_ns'] / 1e6:>10.2f}"
+            )
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(
+            "counters: " + "  ".join(
+                f"{key}={value}" for key, value in sorted(counters.items())
+            )
+        )
+    return "\n".join(lines)

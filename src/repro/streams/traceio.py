@@ -167,6 +167,52 @@ def read_csv(
     return tuples
 
 
+def write_trace_events(
+    events: Iterable[Mapping[str, Any]],
+    path: "str | Path",
+) -> int:
+    """Write telemetry trace events as JSON lines; returns the count.
+
+    Events come from a telemetry snapshot's ``"events"`` list (see
+    :mod:`repro.streams.telemetry`). Keys are sorted so the output is
+    byte-stable for deterministic event streams.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(dict(event), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace_events(path: "str | Path") -> list[dict[str, Any]]:
+    """Read trace events written by :func:`write_trace_events`.
+
+    Raises:
+        ReproError: On malformed lines or events lacking a ``kind``
+            field, with the offending line number.
+    """
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"{path}:{line_number}: invalid JSON: {error}"
+                ) from None
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ReproError(
+                    f"{path}:{line_number}: trace event lacks a 'kind' field"
+                )
+            events.append(event)
+    return events
+
+
 def save_recording(
     recording: Mapping[str, Sequence[StreamTuple]],
     directory: "str | Path",

@@ -1,6 +1,5 @@
 """Unit tests for the adaptive (self-sizing window) smoother."""
 
-import numpy as np
 import pytest
 
 from repro.core.operators.adaptive_ops import AdaptiveSmoother, adaptive_smoother

@@ -1,13 +1,12 @@
 """Unit tests for ESPPipeline assembly and the ESPProcessor wiring."""
 
-import numpy as np
 import pytest
 
 from repro.core.granules import SpatialGranule, TemporalGranule
 from repro.core.operators.arbitrate_ops import max_count_arbitrate
 from repro.core.operators.merge_ops import spatial_average
 from repro.core.operators.point_ops import range_filter
-from repro.core.operators.smooth_ops import presence_smoother, sliding_average
+from repro.core.operators.smooth_ops import presence_smoother
 from repro.core.operators.virtualize_ops import voting_detector
 from repro.core.pipeline import ESPPipeline, ESPProcessor
 from repro.core.stages import Stage, StageKind

@@ -13,7 +13,7 @@ from repro.core.stages import (
     VirtualizeStage,
 )
 from repro.errors import PipelineError
-from repro.streams.operators import FilterOp, Operator
+from repro.streams.operators import FilterOp
 from repro.streams.tuples import StreamTuple
 
 

@@ -256,7 +256,6 @@ class TestUnion:
 
 class TestPlanErrors:
     def test_from_required(self):
-        from repro.cql import parse
         from repro.cql.ast import Select
 
         with pytest.raises(PlanError):

@@ -5,7 +5,6 @@ stays fast; the full-scale numbers live in the benchmark harness and
 EXPERIMENTS.md.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.intel_lab import figure7

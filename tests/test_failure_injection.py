@@ -6,9 +6,7 @@ values) degrade gracefully — rows are skipped or errors are precise,
 never silent corruption.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.core.operators.arbitrate_ops import MaxCountArbitrator

@@ -1,6 +1,5 @@
 """Coverage of small API surfaces: reprs, exports, edge paths."""
 
-import pytest
 
 import repro
 from repro.core.granules import SpatialGranule, TemporalGranule

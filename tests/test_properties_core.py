@@ -1,8 +1,7 @@
 """Property-based tests for ESP core invariants."""
 
-import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.operators.arbitrate_ops import MaxCountArbitrator

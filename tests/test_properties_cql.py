@@ -6,7 +6,6 @@ pins the whole lexer→parser→planner→operator path, not just the paths
 the paper's six queries exercise.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Unit tests for receptor actuation (§5.3.1 future work)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ReceptorError

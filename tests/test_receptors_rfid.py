@@ -1,6 +1,5 @@
 """Unit tests for the RFID reader simulator."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ReceptorError

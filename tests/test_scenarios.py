@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.scenarios import (
-    IntelLabScenario,
-    OfficeScenario,
-    RedwoodScenario,
-    ShelfScenario,
-)
+from repro.scenarios import ShelfScenario
 
 
 class TestShelfScenario:

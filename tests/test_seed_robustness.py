@@ -6,7 +6,6 @@ stay fast; the per-seed effect sizes are large enough that three seeds
 give meaningful evidence.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.rfid import figure5, shelf_error

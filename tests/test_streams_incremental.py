@@ -1,6 +1,5 @@
 """Tests: incremental group-by is equivalent to the recompute operator."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -189,7 +189,7 @@ class TestWindowJoin:
         op = WindowJoinOp(
             WindowSpec.range_by(5.0),
             WindowSpec.range_by(5.0),
-            predicate=lambda l, r: l["k"] == r["k"],
+            predicate=lambda lhs, rhs: lhs["k"] == rhs["k"],
         )
         op.on_tuple(tup(0.0, k=1, left="L"), port=0)
         op.on_tuple(tup(0.0, k=1, right="R"), port=1)
@@ -202,7 +202,7 @@ class TestWindowJoin:
         op = WindowJoinOp(
             WindowSpec.now(),
             WindowSpec.now(),
-            predicate=lambda l, r: True,
+            predicate=lambda lhs, rhs: True,
         )
         op.on_tuple(tup(0.0, v="left"), port=0)
         op.on_tuple(tup(0.0, v="right"), port=1)
@@ -210,7 +210,7 @@ class TestWindowJoin:
 
     def test_invalid_port(self):
         op = WindowJoinOp(
-            WindowSpec.now(), WindowSpec.now(), predicate=lambda l, r: True
+            WindowSpec.now(), WindowSpec.now(), predicate=lambda lhs, rhs: True
         )
         with pytest.raises(OperatorError):
             op.on_tuple(tup(0.0), port=2)
@@ -219,9 +219,9 @@ class TestWindowJoin:
         op = WindowJoinOp(
             WindowSpec.now(),
             WindowSpec.now(),
-            predicate=lambda l, r: True,
-            combine=lambda l, r: StreamTuple(
-                l.timestamp, {"sum": l["v"] + r["v"]}
+            predicate=lambda lhs, rhs: True,
+            combine=lambda lhs, rhs: StreamTuple(
+                lhs.timestamp, {"sum": lhs["v"] + rhs["v"]}
             ),
         )
         op.on_tuple(tup(0.0, v=1), port=0)
