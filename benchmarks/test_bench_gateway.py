@@ -1,0 +1,88 @@
+"""Ingestion gateway soak benchmark: loopback tuples/second.
+
+Times the full wire path — feeder schedule, frame encode, TCP loopback,
+frame decode, bounded queue, reorder buffer, streaming pipeline session
+— for the RFID shelf scenario, and records sustained throughput in the
+CI benchmark artifact via ``extra_info["tuples_per_sec"]``. A second
+case isolates protocol codec throughput so a regression can be placed
+on the wire layer vs the gateway proper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.net import protocol
+from repro.net.feeder import ReplayFeeder
+from repro.net.gateway import IngestGateway
+from repro.net.protocol import FrameDecoder, encode_frame
+from repro.pipelines.rfid_shelf import build_shelf_processor
+from repro.scenarios import ShelfScenario
+from repro.streams.tuples import StreamTuple
+
+
+def _soak_once(scenario, streams):
+    async def run():
+        session = build_shelf_processor(
+            scenario, "smooth+arbitrate"
+        ).open_session(until=scenario.duration, tick=scenario.poll_period)
+        gateway = IngestGateway(
+            session, slack=0.0, policy="block", queue_bound=256
+        )
+        host, port = await gateway.start()
+        feeder = ReplayFeeder(host, port, streams)
+        await feeder.run()
+        await gateway.run_until_drained()
+        run_result = await gateway.close()
+        return len(run_result.output), gateway.stats()
+
+    return asyncio.run(run())
+
+
+def test_gateway_loopback_soak(benchmark):
+    """Sustained end-to-end ingest rate over a real loopback socket."""
+    scenario = ShelfScenario(duration=60.0, seed=3)
+    streams = scenario.recorded_streams()
+    n_tuples = sum(len(items) for items in streams.values())
+    _soak_once(scenario, streams)  # warm caches / import costs
+
+    emitted, stats = benchmark(lambda: _soak_once(scenario, streams))
+    assert emitted > 0
+    assert all(
+        s["dropped_late"] == 0 and s["dropped_overload"] == 0
+        for s in stats["sources"].values()
+    )
+    benchmark.extra_info["n_tuples"] = n_tuples
+    benchmark.extra_info["tuples_per_sec"] = round(
+        n_tuples / benchmark.stats["mean"]
+    )
+
+
+def test_wire_codec_throughput(benchmark):
+    """Encode + decode rate for data frames, the hot wire-path codec."""
+    frames = [
+        encode_frame(
+            protocol.data_frame(
+                "reader0",
+                seq,
+                seq * 0.25,
+                StreamTuple(
+                    seq * 0.25,
+                    {"tag_id": f"s0_{seq % 40:02d}", "count": 3},
+                    stream="rfid",
+                ),
+            )
+        )
+        for seq in range(2000)
+    ]
+    wire = b"".join(frames)
+
+    def codec_pass():
+        return len(FrameDecoder().feed(wire))
+
+    decoded = benchmark(codec_pass)
+    assert decoded == len(frames)
+    benchmark.extra_info["n_tuples"] = len(frames)
+    benchmark.extra_info["tuples_per_sec"] = round(
+        len(frames) / benchmark.stats["mean"]
+    )

@@ -6,6 +6,8 @@ Usage::
     python -m repro run all [--fast]     # everything + summary report
     python -m repro run fig5             # one artifact
     python -m repro paper                # show the paper's reference values
+    python -m repro serve shelf          # ingestion gateway for a scenario
+    python -m repro feed shelf           # replay the scenario into it
 """
 
 from __future__ import annotations
@@ -263,6 +265,61 @@ def _dump_series(experiment: str, fast: bool, directory: str) -> list:
     return written
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.service import serve_scenario
+
+    def ready(host: str, port: int) -> None:
+        print(f"listening on {host}:{port}", file=sys.stderr)
+
+    summary = asyncio.run(
+        serve_scenario(
+            args.scenario,
+            args.host,
+            args.port,
+            slack=args.slack,
+            policy=args.policy,
+            queue_bound=args.queue_bound,
+            duration=args.duration,
+            seed=args.seed,
+            liveness_timeout=args.liveness_timeout,
+            liveness_interval=(
+                args.liveness_timeout / 2.0
+                if args.liveness_timeout is not None
+                else None
+            ),
+            ready=ready,
+        )
+    )
+    print(json.dumps(summary, indent=2, default=_jsonable))
+    return 0
+
+
+def _cmd_feed(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.service import feed_scenario
+
+    report = asyncio.run(
+        feed_scenario(
+            args.scenario,
+            args.host,
+            args.port,
+            duration=args.duration,
+            seed=args.seed,
+            mean_delay=args.mean_delay,
+            max_delay=args.max_delay,
+            loss_yield=args.loss_yield,
+            burst=args.burst,
+            rate=args.rate,
+            delay_seed=args.delay_seed,
+        )
+    )
+    print(json.dumps(report, indent=2, default=_jsonable))
+    return 0
+
+
 def _jsonable(value):
     try:
         import numpy as np
@@ -285,9 +342,16 @@ def _positive_int(text: str) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run the ESP reproduction's experiments.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
     commands.add_parser("list", help="list available experiments")
@@ -325,13 +389,105 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the run's telemetry trace events to PATH as JSONL",
     )
+
+    serve = commands.add_parser(
+        "serve", help="run the ingestion gateway for a scenario pipeline"
+    )
+    serve.add_argument(
+        "scenario", help="scenario name (see repro.net.service.SCENARIOS)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7007, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--slack",
+        type=float,
+        default=1.5,
+        help="reorder slack in simulation seconds (cover the feeder's "
+        "max delay)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("block", "drop-oldest", "drop-newest"),
+        default="block",
+        help="ingress overload policy",
+    )
+    serve.add_argument(
+        "--queue-bound",
+        type=_positive_int,
+        default=64,
+        help="per-source ingress queue capacity",
+    )
+    serve.add_argument(
+        "--duration", type=float, help="scenario duration override, seconds"
+    )
+    serve.add_argument("--seed", type=int, help="scenario seed override")
+    serve.add_argument(
+        "--liveness-timeout",
+        type=float,
+        help="evict sources silent for this many wall seconds",
+    )
+
+    feed = commands.add_parser(
+        "feed", help="replay a scenario's recording into a gateway"
+    )
+    feed.add_argument(
+        "scenario", help="scenario name (must match the server's)"
+    )
+    feed.add_argument("--host", default="127.0.0.1", help="gateway host")
+    feed.add_argument("--port", type=int, default=7007, help="gateway port")
+    feed.add_argument(
+        "--duration", type=float, help="scenario duration override, seconds"
+    )
+    feed.add_argument("--seed", type=int, help="scenario seed override")
+    feed.add_argument(
+        "--mean-delay",
+        type=float,
+        default=0.0,
+        help="mean simulated network delay, seconds (0 = none)",
+    )
+    feed.add_argument(
+        "--max-delay",
+        type=float,
+        help="delay cap, seconds (default 4x the mean)",
+    )
+    feed.add_argument(
+        "--loss-yield",
+        type=float,
+        help="bursty-loss channel long-run delivery fraction (e.g. 0.8)",
+    )
+    feed.add_argument(
+        "--burst",
+        type=float,
+        default=8.0,
+        help="mean loss-burst length, in readings",
+    )
+    feed.add_argument(
+        "--rate",
+        type=float,
+        help="replay speed as a multiple of simulation time "
+        "(default: as fast as the gateway accepts)",
+    )
+    feed.add_argument(
+        "--delay-seed",
+        type=int,
+        default=0,
+        help="RNG seed for the delay/loss models",
+    )
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {"list": _cmd_list, "paper": _cmd_paper, "run": _cmd_run}
+    handlers = {
+        "list": _cmd_list,
+        "paper": _cmd_paper,
+        "run": _cmd_run,
+        "serve": _cmd_serve,
+        "feed": _cmd_feed,
+    }
     return handlers[args.command](args)
 
 

@@ -228,6 +228,82 @@ class ESPRun:
         )
 
 
+class ESPStreamSession:
+    """A live ESP run fed incrementally (push mode).
+
+    Opened by :meth:`ESPProcessor.open_session`; the network ingestion
+    gateway (:mod:`repro.net`) is the canonical driver. Push raw device
+    readings with :meth:`push` (annotation and the stage cascade happen
+    inside the dataflow exactly as in a batch run), advance punctuation
+    time with :meth:`advance` as the ingress watermark moves, then
+    :meth:`close` to flush the remaining ticks and collect the
+    :class:`ESPRun`.
+
+    The output equals a batch :meth:`ESPProcessor.run` over the same
+    readings whenever every reading is pushed before its punctuation
+    tick is swept — the :class:`~repro.streams.fjord.FjordSession`
+    equivalence guarantee, which the gateway upholds by gating
+    :meth:`advance` on its reorder buffers' watermark.
+    """
+
+    def __init__(
+        self,
+        fjord_session,
+        sink,
+        fjord,
+        result: ESPRun,
+        source_names: Mapping[str, str],
+        collector: TelemetryCollector,
+    ):
+        self._session = fjord_session
+        self._sink = sink
+        self._fjord = fjord
+        self._result = result
+        self._source_names = dict(source_names)
+        self._collector = collector
+
+    @property
+    def receptor_ids(self) -> tuple[str, ...]:
+        """The receptor ids this session accepts pushes for."""
+        return tuple(sorted(self._source_names))
+
+    @property
+    def safe_time(self) -> float:
+        """Last punctuation time swept (see
+        :attr:`repro.streams.fjord.FjordSession.safe_time`)."""
+        return self._session.safe_time
+
+    def push(self, receptor_id: str, item: StreamTuple) -> None:
+        """Feed one raw reading from the named receptor.
+
+        Raises:
+            PipelineError: For an unknown receptor id.
+            OperatorError: On timestamp regressions or pushes behind the
+                punctuation cursor (see :meth:`FjordSession.push`).
+        """
+        source = self._source_names.get(receptor_id)
+        if source is None:
+            raise PipelineError(
+                f"unknown receptor {receptor_id!r}; session sources: "
+                f"{self.receptor_ids}"
+            )
+        self._session.push(source, item)
+
+    def advance(self, watermark: float) -> list[float]:
+        """Sweep every pending tick strictly below ``watermark``."""
+        return self._session.advance(watermark)
+
+    def close(self) -> ESPRun:
+        """Flush remaining ticks; return the completed run. Idempotent."""
+        self._session.close()
+        result = self._result
+        result.output = self._sink.results
+        result.stats = self._fjord.stats()
+        if self._collector.enabled and not result.telemetry:
+            result.telemetry = self._collector.snapshot()
+        return result
+
+
 class ESPProcessor:
     """Wires receptor streams through ESP pipelines and runs them.
 
@@ -360,6 +436,55 @@ class ESPProcessor:
         return self._run_sharded(
             ticks, until, start, sources, shards, backend, shard_key,
             collector,
+        )
+
+    def open_session(
+        self,
+        until: float,
+        tick: float | None = None,
+        start: float = 0.0,
+        telemetry: TelemetryCollector | None = None,
+    ) -> ESPStreamSession:
+        """Open an incremental-push run over ``[start, until]``.
+
+        The deployment dataflow is wired exactly as for a batch
+        :meth:`run`, but with empty source feeds: readings are pushed in
+        from outside (see :class:`ESPStreamSession`) — the entry point
+        the live ingestion gateway (:mod:`repro.net.gateway`) drives.
+        Streaming sessions execute unsharded; a sharded network
+        deployment runs one gateway+session per process behind a
+        partitioning front instead.
+
+        Args:
+            until: End of simulation time (inclusive).
+            tick: Punctuation period; defaults to the smallest device
+                sample period, as in :meth:`run`.
+            start: Simulation start time.
+            telemetry: Collector for the session's metrics and events;
+                defaults like :meth:`run`.
+        """
+        devices = self.registry.devices
+        if not devices:
+            raise PipelineError("no devices registered")
+        if tick is None:
+            tick = min(device.sample_period for device in devices)
+        if tick <= 0:
+            raise PipelineError(f"tick must be positive, got {tick}")
+        collector = resolve_telemetry(telemetry)
+        count = int(round((until - start) / tick))
+        ticks = [start + i * tick for i in range(count + 1)]
+        result = ESPRun()
+        empty: dict[str, list[StreamTuple]] = {
+            device.receptor_id: [] for device in devices
+        }
+        fjord, sink = self._build_dataflow(until, start, set(), result, empty)
+        session = fjord.open_session(ticks, telemetry=collector)
+        source_names = {
+            device.receptor_id: f"src:{device.receptor_id}"
+            for device in devices
+        }
+        return ESPStreamSession(
+            session, sink, fjord, result, source_names, collector
         )
 
     def _run_single(

@@ -51,3 +51,11 @@ class ReceptorError(ReproError):
 
 class PipelineError(ReproError):
     """An ESP pipeline was assembled or executed incorrectly."""
+
+
+class NetError(ReproError):
+    """The ingestion gateway or replay feeder failed."""
+
+
+class ProtocolError(NetError):
+    """A wire frame was malformed or violated the handshake contract."""

@@ -1,0 +1,40 @@
+"""Live ingestion over the network: gateway server and replay feeder.
+
+The paper's ESP pipelines assume receptor streams simply *arrive* at the
+Fjord executor. This package supplies the missing network boundary —
+what HiFi calls the edge of the fan-in — so a pipeline can be fed by
+remote receptors over TCP instead of in-memory traces:
+
+- :mod:`repro.net.protocol` — the length-prefixed JSON wire format
+  (versioned hello/ack, data frames, heartbeats, credits, clean close);
+- :mod:`repro.net.overload` — the bounded per-source ingress queue with
+  pluggable overload policies (``block``, ``drop-oldest``,
+  ``drop-newest``), every outcome counted;
+- :mod:`repro.net.gateway` — :class:`IngestGateway`, the asyncio TCP
+  server that feeds arrivals through per-source
+  :class:`~repro.streams.reorder.ReorderBuffer` instances into a
+  streaming :class:`~repro.core.pipeline.ESPStreamSession`;
+- :mod:`repro.net.feeder` — :class:`ReplayFeeder`, the client that
+  replays any scenario trace over the wire with the
+  :mod:`repro.receptors.network` delay/loss models applied;
+- :mod:`repro.net.service` — scenario plumbing shared by the
+  ``repro serve`` / ``repro feed`` CLI subcommands and the test suite.
+
+The end-to-end guarantee: with reorder slack at least the maximum
+network delay and a lossless channel, the cleaned output of a
+network-fed pipeline is byte-identical to the in-memory batch run of
+the same scenario (pinned by the loopback differential tests).
+"""
+
+from repro.net.feeder import ReplayFeeder
+from repro.net.gateway import IngestGateway
+from repro.net.overload import BoundedIngressQueue, OVERLOAD_POLICIES
+from repro.net.protocol import PROTOCOL_VERSION
+
+__all__ = [
+    "BoundedIngressQueue",
+    "IngestGateway",
+    "OVERLOAD_POLICIES",
+    "PROTOCOL_VERSION",
+    "ReplayFeeder",
+]

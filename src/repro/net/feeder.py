@@ -1,0 +1,296 @@
+"""Replay a recorded scenario over the wire, network warts included.
+
+:class:`ReplayFeeder` is the client half of the ingestion loop: it takes
+a scenario recording (receptor id → sense-time readings), pushes it
+through the :mod:`repro.receptors.network` impairment models — bursty
+loss via a Gilbert–Elliott channel, delivery delay via the truncated
+exponential — and streams the surviving readings to an
+:class:`~repro.net.gateway.IngestGateway` in *arrival* order, each data
+frame stamped with its simulated arrival time and per-source sequence
+number (the gateway's reorder buffers use both to reconstruct the
+original stream, ties included).
+
+Robustness mirrors a field data-collection agent: exponential-backoff
+reconnection when the gateway drops mid-stream (at-least-once resend of
+the in-doubt frame), credit-gated sending under the gateway's ``block``
+policy, optional heartbeats, and a clean per-source ``bye`` handshake.
+The event-loop primitives (``sleep``, ``clock``) are injectable so the
+test suite replays instantly with a fake clock — no real sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Awaitable, Callable, Mapping, Sequence
+
+from repro.errors import NetError
+from repro.net import protocol
+from repro.net.protocol import read_frame, write_frame
+from repro.streams.tuples import StreamTuple
+
+
+class ReplayFeeder:
+    """Stream a recording to a gateway with simulated network effects.
+
+    Args:
+        host: Gateway host.
+        port: Gateway port.
+        streams: Receptor id → readings in sense-time order (a scenario
+            ``recorded_streams()`` mapping).
+        delay_model: Optional ``sample() -> float`` delay source
+            (:class:`~repro.receptors.network.DelayModel`); without one
+            readings "arrive" at their own timestamps.
+        channel: Optional ``deliver() -> bool`` loss process
+            (:class:`~repro.receptors.network.GilbertElliottChannel`);
+            lost readings are counted per source, their sequence
+            numbers consumed (gaps on the wire are normal).
+        rate: Replay speed as a multiple of simulation time — ``2.0``
+            replays a 60 s trace in ~30 s of wall time. ``None``
+            (default) replays as fast as the gateway accepts.
+        heartbeat_interval: Wall seconds between heartbeat frames;
+            ``None`` sends none (loopback replays don't idle).
+        max_attempts: Consecutive failed connection attempts tolerated
+            before :meth:`run` raises.
+        backoff_base: First reconnection delay, seconds; doubles per
+            consecutive failure.
+        backoff_cap: Upper bound on the reconnection delay.
+        sleep: Injectable ``async sleep(seconds)``; defaults to
+            :func:`asyncio.sleep`.
+        clock: Injectable wall clock for pacing; defaults to
+            :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        streams: Mapping[str, Sequence[StreamTuple]],
+        *,
+        delay_model: Any = None,
+        channel: Any = None,
+        rate: "float | None" = None,
+        heartbeat_interval: "float | None" = None,
+        max_attempts: int = 6,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        sleep: "Callable[[float], Awaitable[None]] | None" = None,
+        clock: "Callable[[], float] | None" = None,
+    ):
+        if not streams:
+            raise NetError("feeder needs at least one source stream")
+        if rate is not None and rate <= 0:
+            raise NetError(f"rate must be positive, got {rate}")
+        if max_attempts < 1:
+            raise NetError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.host = host
+        self.port = port
+        self.streams = {name: list(items) for name, items in streams.items()}
+        self.delay_model = delay_model
+        self.channel = channel
+        self.rate = rate
+        self.heartbeat_interval = heartbeat_interval
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._clock = clock if clock is not None else time.monotonic
+        # accounting
+        self.sent = {name: 0 for name in self.streams}
+        self.lost = {name: 0 for name in self.streams}
+        self.reconnects = 0
+        self.blocked_waits = 0
+        self.credit_frames = 0
+        # per-connection shared state (sender ⇄ read loop)
+        self._credits: "dict[str, int] | None" = None
+        self._credit_event = asyncio.Event()
+        self._acked: set[str] = set()
+        self._dead = False
+        self._error: "str | None" = None
+
+    # -- schedule -------------------------------------------------------------
+
+    def _build_schedule(self) -> list[tuple[float, str, int, StreamTuple]]:
+        """Apply loss and delay; return arrivals sorted for replay.
+
+        The sort key ``(arrival, source, seq)`` makes the wire order a
+        pure function of the impairment draws — reruns with the same
+        seeds replay byte-identically.
+        """
+        schedule: list[tuple[float, str, int, StreamTuple]] = []
+        for name in sorted(self.streams):
+            for seq, item in enumerate(self.streams[name]):
+                if self.channel is not None and not self.channel.deliver():
+                    self.lost[name] += 1
+                    continue
+                delay = (
+                    float(self.delay_model.sample())
+                    if self.delay_model is not None
+                    else 0.0
+                )
+                schedule.append((item.timestamp + delay, name, seq, item))
+        schedule.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        return schedule
+
+    # -- the replay loop ------------------------------------------------------
+
+    async def run(self) -> dict[str, Any]:
+        """Replay the whole recording; returns the delivery report.
+
+        Raises:
+            NetError: After ``max_attempts`` consecutive connection
+                failures, or when the gateway rejects the handshake.
+        """
+        schedule = self._build_schedule()
+        index = 0
+        attempts = 0
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+            except OSError:
+                attempts += 1
+                if attempts >= self.max_attempts:
+                    raise NetError(
+                        f"gateway {self.host}:{self.port} unreachable "
+                        f"after {attempts} attempts"
+                    ) from None
+                await self._sleep(self._backoff(attempts))
+                continue
+            attempts = 0
+            tasks: list[asyncio.Task] = []
+            try:
+                await self._handshake(reader, writer)
+                tasks.append(asyncio.ensure_future(self._read_loop(reader)))
+                if self.heartbeat_interval is not None:
+                    tasks.append(
+                        asyncio.ensure_future(self._heartbeat_loop(writer))
+                    )
+                index = await self._send_from(writer, schedule, index)
+                await self._finish(writer)
+                return self.report()
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                self.reconnects += 1
+            finally:
+                for task in tasks:
+                    task.cancel()
+                # Wait the cancellations out before touching shared
+                # state: a merely-requested cancel lets the old read
+                # loop's ``finally`` run a cycle later and re-poison
+                # ``_dead`` under the next connection.
+                await asyncio.gather(*tasks, return_exceptions=True)
+                writer.close()
+                self._credits = None
+                self._dead = False
+
+    def _backoff(self, attempts: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * 2 ** (attempts - 1))
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await write_frame(writer, protocol.hello(self.streams))
+        ack = await read_frame(reader)
+        if ack is None:
+            raise ConnectionResetError("gateway closed during handshake")
+        if ack.get("type") == "error":
+            raise NetError(f"gateway rejected session: {ack.get('reason')}")
+        if ack.get("type") != "hello_ack":
+            raise NetError(f"expected hello_ack, got {ack.get('type')!r}")
+        credits = ack.get("credits")
+        self._credits = dict(credits) if credits is not None else None
+        self._acked = set()
+        self._error = None
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "credit":
+                    self.credit_frames += 1
+                    if self._credits is not None:
+                        source = frame.get("source")
+                        self._credits[source] = (
+                            self._credits.get(source, 0)
+                            + int(frame.get("credits", 0))
+                        )
+                    self._credit_event.set()
+                elif kind == "bye_ack":
+                    self._acked.add(frame.get("source"))
+                    self._credit_event.set()
+                elif kind == "error":
+                    self._error = str(frame.get("reason"))
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, NetError):
+            pass
+        finally:
+            self._dead = True
+            self._credit_event.set()
+
+    async def _heartbeat_loop(self, writer: asyncio.StreamWriter) -> None:
+        while True:
+            await self._sleep(self.heartbeat_interval)
+            await write_frame(writer, protocol.heartbeat(self.streams))
+
+    async def _send_from(
+        self,
+        writer: asyncio.StreamWriter,
+        schedule: list[tuple[float, str, int, StreamTuple]],
+        index: int,
+    ) -> int:
+        wall_start = self._clock()
+        sim_start = schedule[index][0] if index < len(schedule) else 0.0
+        while index < len(schedule):
+            arrival, source, seq, item = schedule[index]
+            if self.rate is not None:
+                target = wall_start + (arrival - sim_start) / self.rate
+                pause = target - self._clock()
+                if pause > 0:
+                    await self._sleep(pause)
+            await self._acquire_credit(source)
+            await write_frame(
+                writer, protocol.data_frame(source, seq, arrival, item)
+            )
+            self.sent[source] += 1
+            index += 1
+        return index
+
+    async def _acquire_credit(self, source: str) -> None:
+        if self._credits is None:
+            return
+        while self._credits.get(source, 0) <= 0:
+            if self._dead:
+                if self._error is not None:
+                    raise NetError(f"gateway error: {self._error}")
+                raise ConnectionResetError("gateway closed mid-stream")
+            self.blocked_waits += 1
+            self._credit_event.clear()
+            await self._credit_event.wait()
+        self._credits[source] -= 1
+
+    async def _finish(self, writer: asyncio.StreamWriter) -> None:
+        """Send per-source byes and wait for every acknowledgement."""
+        for name in sorted(self.streams):
+            if name not in self._acked:
+                await write_frame(writer, protocol.bye(name))
+        while not set(self.streams) <= self._acked:
+            if self._dead:
+                if self._error is not None:
+                    raise NetError(f"gateway error: {self._error}")
+                raise ConnectionResetError("gateway closed before bye_ack")
+            self._credit_event.clear()
+            await self._credit_event.wait()
+
+    def report(self) -> dict[str, Any]:
+        """Delivery accounting for the replay so far."""
+        return {
+            "sent": dict(self.sent),
+            "lost": dict(self.lost),
+            "reconnects": self.reconnects,
+            "blocked_waits": self.blocked_waits,
+            "credit_frames": self.credit_frames,
+        }

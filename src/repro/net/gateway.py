@@ -1,0 +1,488 @@
+"""The ingestion gateway: a TCP front door for a streaming pipeline.
+
+:class:`IngestGateway` is the network boundary the paper leaves
+implicit: an asyncio server that accepts receptor connections speaking
+the :mod:`repro.net.protocol` wire format and feeds their readings into
+a live :class:`~repro.core.pipeline.ESPStreamSession`. Per source it
+maintains:
+
+- a :class:`~repro.net.overload.BoundedIngressQueue` (pluggable
+  overload policy — ``block`` propagates backpressure to the sender via
+  credit frames; the drop policies shed with exact accounting);
+- a :class:`~repro.streams.reorder.ReorderBuffer` with configurable
+  slack, restoring timestamp order from network-delayed arrivals;
+- liveness state (last frame seen, wall clock) so stale receptors can
+  be evicted rather than stalling punctuation forever.
+
+**Time.** Two independent axes, never mixed: *simulation* time rides on
+the wire (data frames carry the arrival stamps the feeder's delay model
+produced; ordering, slack and punctuation all live here), while *wall*
+time exists only for liveness (an injectable ``clock`` so tests never
+sleep). Punctuation advances by the watermark rule: a tick is swept
+only once every non-final source's reorder-buffer watermark has passed
+it, which is exactly the promise that makes the network-fed output
+byte-identical to the in-memory batch run.
+
+**Lifecycle.** ``await start()`` → feeders connect, stream, and say
+``bye`` per source (or go silent and get evicted via
+:meth:`check_liveness`) → ``await run_until_drained()`` resolves once
+every expected source is final and drained → ``await close()`` flushes
+and returns the completed :class:`~repro.core.pipeline.ESPRun`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Awaitable, Callable, Iterable
+
+from repro.errors import NetError, ProtocolError
+from repro.net import protocol
+from repro.net.overload import BLOCKED, BoundedIngressQueue, OVERLOAD_POLICIES
+from repro.net.protocol import read_frame, write_frame
+from repro.streams.reorder import ReorderBuffer
+from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
+from repro.streams.tuples import StreamTuple
+
+
+class _SourceState:
+    """Everything the gateway tracks about one receptor id."""
+
+    __slots__ = (
+        "name", "queue", "reorder", "last_seen", "owner",
+        "final_requested", "final", "evicted", "space",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        queue: BoundedIngressQueue,
+        reorder: ReorderBuffer,
+        last_seen: float,
+    ):
+        self.name = name
+        self.queue = queue
+        self.reorder = reorder
+        self.last_seen = last_seen
+        self.owner: "asyncio.StreamWriter | None" = None
+        self.final_requested = False
+        self.final = False
+        self.evicted = False
+        self.space = asyncio.Event()
+
+
+class IngestGateway:
+    """Serve a streaming pipeline session over TCP.
+
+    Args:
+        session: The push-mode pipeline run to feed — anything with the
+            :class:`~repro.core.pipeline.ESPStreamSession` surface
+            (``receptor_ids``, ``push``, ``advance``, ``safe_time``,
+            ``close``).
+        sources: Receptor ids the gateway expects; defaults to the
+            session's. Completion requires every one of them to finish
+            (clean ``bye`` or liveness eviction).
+        slack: Reorder slack, simulation seconds. Size it at or above
+            the feeder's maximum network delay for zero late drops.
+        policy: Overload policy for every per-source ingress queue
+            (see :mod:`repro.net.overload`).
+        queue_bound: Per-source ingress queue capacity.
+        telemetry: Collector for depth/drop/lag metrics; defaults to
+            the process-wide default.
+        clock: Wall-clock source for liveness, ``time.monotonic`` by
+            default. Injectable so tests control time.
+        liveness_timeout: Seconds of silence after which a source is
+            eviction-eligible; ``None`` disables eviction.
+        liveness_interval: Period of the background eviction sweep.
+            ``None`` (default) starts no background task — callers
+            drive :meth:`check_liveness` explicitly (how the tests
+            stay sleep-free).
+        throttle: Optional awaitable hook invoked before each item is
+            drained — a test affordance for making the pipeline slower
+            than the feeder without wall-clock sleeps.
+    """
+
+    def __init__(
+        self,
+        session: Any,
+        sources: "Iterable[str] | None" = None,
+        *,
+        slack: float = 0.0,
+        policy: str = "block",
+        queue_bound: int = 64,
+        telemetry: "TelemetryCollector | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+        liveness_timeout: "float | None" = None,
+        liveness_interval: "float | None" = None,
+        throttle: "Callable[[], Awaitable[None]] | None" = None,
+    ):
+        if policy not in OVERLOAD_POLICIES:
+            raise NetError(
+                f"unknown overload policy {policy!r}; "
+                f"expected one of {OVERLOAD_POLICIES}"
+            )
+        self._session = session
+        self._expected = tuple(
+            sorted(sources) if sources is not None else session.receptor_ids
+        )
+        if not self._expected:
+            raise NetError("gateway needs at least one expected source")
+        self.slack = float(slack)
+        self.policy = policy
+        self.queue_bound = int(queue_bound)
+        self.liveness_timeout = liveness_timeout
+        self._liveness_interval = liveness_interval
+        self._collector = resolve_telemetry(telemetry)
+        self._clock = clock
+        self._throttle = throttle
+        self._states: dict[str, _SourceState] = {}
+        self._server: "asyncio.base_events.Server | None" = None
+        self._drainer: "asyncio.Task | None" = None
+        self._watchdog: "asyncio.Task | None" = None
+        self._work = asyncio.Event()
+        self._complete = asyncio.Event()
+        self._ever_connected = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        ``port=0`` picks a free ephemeral port (how the loopback tests
+        avoid collisions).
+        """
+        if self._server is not None:
+            raise NetError("gateway already started")
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self._drainer = asyncio.ensure_future(self._drain_loop())
+        if self.liveness_timeout is not None and self._liveness_interval:
+            self._watchdog = asyncio.ensure_future(self._watch_loop())
+        bound_host, bound_port = self._server.sockets[0].getsockname()[:2]
+        return bound_host, bound_port
+
+    async def run_until_drained(self) -> None:
+        """Resolve once every expected source is final and drained."""
+        await self._complete.wait()
+
+    async def close(self) -> Any:
+        """Stop serving, flush, and return the session's completed run.
+
+        Idempotent; safe to call before every source finished (whatever
+        arrived is flushed through the pipeline's remaining ticks).
+        """
+        if self._closed:
+            return self._session.close()
+        self._closed = True
+        for task in (self._drainer, self._watchdog):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drain_once()  # leftovers enqueued since the last pass
+        return self._session.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        owned: list[_SourceState] = []
+        try:
+            owned = await self._handshake(reader, writer)
+            if owned is None:
+                return
+            await self._serve_frames(reader, writer, owned)
+        except ProtocolError as error:
+            await self._bail(writer, str(error))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished; liveness eviction covers the fallout
+        finally:
+            for state in owned or ():
+                if state.owner is writer:
+                    state.owner = None
+            writer.close()
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> "list[_SourceState] | None":
+        frame = await read_frame(reader)
+        if frame is None:
+            return None
+        if frame.get("type") != "hello":
+            await self._bail(
+                writer, f"expected hello, got {frame.get('type')!r}"
+            )
+            return None
+        version = frame.get("version")
+        if version != protocol.PROTOCOL_VERSION:
+            self._count("net.gateway.version_mismatch")
+            await self._bail(
+                writer,
+                f"protocol version {version!r} unsupported; this gateway "
+                f"speaks {protocol.PROTOCOL_VERSION}",
+            )
+            return None
+        names = frame.get("sources") or []
+        unknown = [n for n in names if n not in self._expected]
+        if unknown or not names:
+            self._count("net.gateway.bad_hello")
+            await self._bail(
+                writer,
+                f"unknown sources {unknown!r}; expected a non-empty subset "
+                f"of {list(self._expected)!r}",
+            )
+            return None
+        now = self._clock()
+        owned: list[_SourceState] = []
+        for name in names:
+            state = self._states.get(name)
+            if state is None:
+                state = _SourceState(
+                    name,
+                    BoundedIngressQueue(
+                        self.queue_bound, self.policy, label=name,
+                        telemetry=self._collector,
+                    ),
+                    ReorderBuffer(self.slack),
+                    now,
+                )
+                self._states[name] = state
+            elif state.owner is not None:
+                await self._bail(
+                    writer, f"source {name!r} is already connected"
+                )
+                return None
+            state.owner = writer
+            state.last_seen = now
+            owned.append(state)
+        self._ever_connected = True
+        credits = None
+        if self.policy == "block":
+            # A reconnecting source's queue may still hold items; only
+            # the remaining room is granted, so in-flight + queued can
+            # never exceed the bound.
+            credits = {
+                state.name: self.queue_bound - len(state.queue)
+                for state in owned
+            }
+        await write_frame(writer, protocol.hello_ack(credits))
+        return owned
+
+    async def _serve_frames(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        owned: list[_SourceState],
+    ) -> None:
+        states = {state.name: state for state in owned}
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                # EOF without bye: the source stays open — the feeder
+                # may reconnect, or liveness eviction will finish it.
+                return
+            kind = frame.get("type")
+            if kind == "data":
+                state = states.get(frame.get("source"))
+                if state is None:
+                    raise ProtocolError(
+                        f"data frame for source {frame.get('source')!r} "
+                        f"not declared in this connection's hello"
+                    )
+                state.last_seen = self._clock()
+                item = protocol.record_to_tuple(frame.get("record") or {})
+                entry = (
+                    int(frame.get("seq", 0)),
+                    float(frame.get("arrival", item.timestamp)),
+                    item,
+                )
+                await self._offer(state, entry)
+            elif kind == "heartbeat":
+                now = self._clock()
+                for name in frame.get("sources") or states:
+                    if name in states:
+                        states[name].last_seen = now
+            elif kind == "bye":
+                state = states.get(frame.get("source"))
+                if state is None:
+                    raise ProtocolError(
+                        f"bye for source {frame.get('source')!r} not owned "
+                        f"by this connection"
+                    )
+                state.final_requested = True
+                self._work.set()
+                await write_frame(writer, protocol.bye_ack(state.name))
+            else:
+                raise ProtocolError(f"unexpected frame type {kind!r}")
+
+    async def _offer(self, state: _SourceState, entry: tuple) -> None:
+        while True:
+            outcome = state.queue.offer(entry)
+            if outcome != BLOCKED:
+                break
+            # Queue full under the block policy (a well-behaved sender
+            # never gets here — credits stop it first). Stalling this
+            # read loop is the enforcement: TCP backpressure reaches a
+            # sender that ignores credits.
+            state.space.clear()
+            self._work.set()
+            await state.space.wait()
+        self._work.set()
+
+    async def _bail(self, writer: asyncio.StreamWriter, reason: str) -> None:
+        try:
+            await write_frame(writer, protocol.error_frame(reason))
+        except (ConnectionError, RuntimeError):
+            pass
+
+    # -- draining into the pipeline ------------------------------------------
+
+    async def _drain_loop(self) -> None:
+        while True:
+            await self._work.wait()
+            self._work.clear()
+            await self._drain_once()
+            self._check_complete()
+
+    async def _drain_once(self) -> None:
+        granted: dict[str, int] = {}
+        for name in sorted(self._states):
+            state = self._states[name]
+            while len(state.queue):
+                if self._throttle is not None:
+                    await self._throttle()
+                seq, arrival, item = state.queue.take()
+                state.space.set()
+                self._inject(state, arrival, item, seq)
+                granted[name] = granted.get(name, 0) + 1
+            if state.final_requested and not state.final:
+                for released in state.reorder.flush():
+                    self._session.push(name, released)
+                state.final = True
+        self._advance()
+        if self.policy == "block":
+            await self._grant_credits(granted)
+
+    def _inject(
+        self, state: _SourceState, arrival: float, item: StreamTuple, seq: int
+    ) -> None:
+        for released in state.reorder.push(arrival, item, sequence=seq):
+            self._session.push(state.name, released)
+
+    def _advance(self) -> None:
+        watermark = float("inf")
+        for name in self._expected:
+            state = self._states.get(name)
+            if state is None:
+                return  # a source has never connected: hold punctuation
+            if state.final:
+                continue
+            watermark = min(watermark, state.reorder.watermark)
+        self._session.advance(watermark)
+        if self._collector.enabled:
+            safe = self._session.safe_time
+            for name, state in self._states.items():
+                mark = state.reorder.watermark
+                if mark == float("-inf") or mark == float("inf"):
+                    continue
+                lag = max(0.0, mark - max(safe, 0.0))
+                self._collector.sample_watermark(f"net:{name}", lag)
+
+    async def _grant_credits(self, granted: dict[str, int]) -> None:
+        for name, amount in granted.items():
+            state = self._states[name]
+            writer = state.owner
+            if writer is None:
+                continue
+            try:
+                await write_frame(
+                    writer, protocol.credit_frame(name, amount)
+                )
+            except (ConnectionError, RuntimeError):
+                pass  # connection died; reconnect re-grants from room
+
+    # -- liveness -------------------------------------------------------------
+
+    def check_liveness(self, now: "float | None" = None) -> list[str]:
+        """Evict sources silent for longer than ``liveness_timeout``.
+
+        Args:
+            now: Wall-clock reading; defaults to the gateway's clock.
+
+        Returns:
+            The names evicted by this sweep. Eviction finalizes the
+            source — its buffered readings are flushed through the
+            pipeline and punctuation stops waiting on it — and is
+            counted on ``net.<source>.evicted``.
+        """
+        if self.liveness_timeout is None:
+            return []
+        now = self._clock() if now is None else now
+        evicted: list[str] = []
+        for name, state in self._states.items():
+            if state.final or state.final_requested:
+                continue
+            if now - state.last_seen > self.liveness_timeout:
+                state.final_requested = True
+                state.evicted = True
+                self._count(f"net.{name}.evicted")
+                if self._collector.enabled:
+                    self._collector.event(
+                        "net_evicted", source=name,
+                        silent_for=now - state.last_seen,
+                    )
+                evicted.append(name)
+        if evicted:
+            self._work.set()
+        return evicted
+
+    async def _watch_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._liveness_interval)
+            self.check_liveness()
+
+    # -- accounting -----------------------------------------------------------
+
+    def _count(self, key: str) -> None:
+        if self._collector.enabled:
+            self._collector.count(key)
+
+    def _check_complete(self) -> None:
+        if not self._ever_connected:
+            return
+        for name in self._expected:
+            state = self._states.get(name)
+            if state is None or not state.final or len(state.queue):
+                return
+        self._complete.set()
+
+    def stats(self) -> dict[str, Any]:
+        """Per-source ingestion accounting (plain data, JSON-friendly)."""
+        sources = {}
+        for name in sorted(self._states):
+            state = self._states[name]
+            sources[name] = {
+                "offered": state.queue.offered,
+                "delivered": state.queue.delivered,
+                "dropped_overload": state.queue.dropped,
+                "blocked": state.queue.blocked,
+                "max_depth": state.queue.max_depth,
+                "dropped_late": state.reorder.dropped,
+                "released": state.reorder.released,
+                "final": state.final,
+                "evicted": state.evicted,
+            }
+        return {
+            "policy": self.policy,
+            "queue_bound": self.queue_bound,
+            "slack": self.slack,
+            "sources": sources,
+        }

@@ -1,0 +1,157 @@
+"""Bounded ingress queues with pluggable overload policies.
+
+A gateway that buffers without bound turns a rate spike into an OOM;
+one that sheds silently turns it into a data-quality mystery. Bleach's
+ingestion lesson applies: the queue must be bounded, the policy
+explicit, and every shed tuple counted. Three policies:
+
+- ``block`` — admit nothing beyond the bound; the caller propagates
+  backpressure to the sender (the gateway's credit frames). The queue
+  *never* drops.
+- ``drop-oldest`` — evict the head to admit the newcomer: bounded
+  staleness, keeps the freshest data (right for monitoring feeds).
+- ``drop-newest`` — refuse the newcomer: keeps the oldest data,
+  cheapest to apply (right when earlier readings anchor windows).
+
+The accounting invariant — checked by a hypothesis property test —
+holds at every instant for every policy::
+
+    offered == delivered + dropped + len(queue)
+
+(a ``block`` refusal counts as *blocked*, not offered: the item was
+never admitted into the queue's custody and the caller still owns it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import NetError
+from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
+
+#: The recognised overload policy names.
+OVERLOAD_POLICIES = ("block", "drop-oldest", "drop-newest")
+
+#: :meth:`BoundedIngressQueue.offer` outcomes.
+QUEUED = "queued"
+DROPPED = "dropped"
+BLOCKED = "blocked"
+
+
+class BoundedIngressQueue:
+    """A FIFO of at most ``bound`` items with an explicit shed policy.
+
+    Args:
+        bound: Maximum queued items; must be >= 1.
+        policy: One of :data:`OVERLOAD_POLICIES`.
+        label: Telemetry namespace — counters land on
+            ``net.<label>.offered`` / ``.delivered`` / ``.dropped`` /
+            ``.blocked`` and the depth gauge on operator
+            ``net:<label>``.
+        telemetry: Collector for the counters; defaults to the
+            process-wide default (usually a no-op).
+
+    Attributes:
+        offered: Items admitted into the queue (queued now or later
+            delivered/dropped). Blocked offers are *not* counted here.
+        delivered: Items handed to the consumer via :meth:`take`.
+        dropped: Items shed by a drop policy — either the evicted head
+            (``drop-oldest``) or the refused newcomer (``drop-newest``).
+        blocked: Offers refused under ``block`` (the caller retries).
+        max_depth: High-watermark of the queue depth.
+    """
+
+    def __init__(
+        self,
+        bound: int,
+        policy: str = "block",
+        label: str = "ingress",
+        telemetry: "TelemetryCollector | None" = None,
+    ):
+        if bound < 1:
+            raise NetError(f"queue bound must be >= 1, got {bound}")
+        if policy not in OVERLOAD_POLICIES:
+            raise NetError(
+                f"unknown overload policy {policy!r}; "
+                f"expected one of {OVERLOAD_POLICIES}"
+            )
+        self.bound = int(bound)
+        self.policy = policy
+        self.label = label
+        self.offered = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.blocked = 0
+        self.max_depth = 0
+        self._items: deque[Any] = deque()
+        self._collector = resolve_telemetry(telemetry)
+
+    def offer(self, item: Any) -> str:
+        """Submit one item; returns the outcome.
+
+        Returns:
+            :data:`QUEUED` when admitted, :data:`DROPPED` when the item
+            (or the evicted head, under ``drop-oldest``) was shed, or
+            :data:`BLOCKED` when the ``block`` policy refused it — the
+            caller keeps ownership and re-offers once :meth:`take` has
+            made room.
+        """
+        collector = self._collector
+        if len(self._items) >= self.bound:
+            if self.policy == "block":
+                self.blocked += 1
+                if collector.enabled:
+                    collector.count(f"net.{self.label}.blocked")
+                return BLOCKED
+            if self.policy == "drop-newest":
+                self.offered += 1
+                self.dropped += 1
+                if collector.enabled:
+                    collector.count(f"net.{self.label}.offered")
+                    collector.count(f"net.{self.label}.dropped")
+                return DROPPED
+            # drop-oldest: the newcomer is admitted, the head is shed.
+            self._items.popleft()
+            self.offered += 1
+            self.dropped += 1
+            self._items.append(item)
+            if collector.enabled:
+                collector.count(f"net.{self.label}.offered")
+                collector.count(f"net.{self.label}.dropped")
+            return QUEUED
+        self.offered += 1
+        self._items.append(item)
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+        if collector.enabled:
+            collector.count(f"net.{self.label}.offered")
+            collector.sample_queue_depth(
+                f"net:{self.label}", len(self._items)
+            )
+        return QUEUED
+
+    def take(self) -> Any:
+        """Remove and return the head item.
+
+        Raises:
+            NetError: When the queue is empty.
+        """
+        if not self._items:
+            raise NetError(f"take from empty ingress queue {self.label!r}")
+        item = self._items.popleft()
+        self.delivered += 1
+        if self._collector.enabled:
+            self._collector.count(f"net.{self.label}.delivered")
+        return item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedIngressQueue({self.label!r}, policy={self.policy!r}, "
+            f"depth={len(self._items)}/{self.bound}, "
+            f"offered={self.offered}, delivered={self.delivered}, "
+            f"dropped={self.dropped}, blocked={self.blocked})"
+        )

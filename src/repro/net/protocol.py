@@ -1,0 +1,251 @@
+"""The ingestion wire protocol: length-prefixed JSON frames.
+
+Every frame on the wire is a UTF-8 JSON object preceded by a 4-byte
+big-endian byte length. JSON keeps the protocol debuggable (``nc`` plus
+eyeballs suffices) and reuses the trace interchange format of
+:mod:`repro.streams.traceio` for the tuple payload; the binary length
+prefix makes framing unambiguous without scanning for newlines.
+
+Frame types (all carry a ``"type"`` key):
+
+========== ========== ==================================================
+type       direction  meaning
+========== ========== ==================================================
+hello      client →   opens a session: protocol ``version`` plus the
+                      ``sources`` (receptor ids) this connection feeds
+hello_ack  → client   accepts: server ``version`` and, under the
+                      ``block`` overload policy, the initial per-source
+                      ``credits`` (``null`` means uncredited)
+data       client →   one reading: ``source``, per-source ``seq``,
+                      simulated ``arrival`` time, and the ``record``
+                      (:func:`tuple_to_record` encoding)
+heartbeat  client →   liveness signal for ``sources`` between readings
+credit     → client   grants ``credits`` more in-flight frames for
+                      ``source`` (backpressure release)
+error      → client   terminal protocol failure; ``reason`` explains
+bye        client →   no more data for ``source`` (clean close)
+bye_ack    → client   acknowledges the ``bye`` for ``source``
+========== ========== ==================================================
+
+Wire times are *simulation-axis* seconds: the feeder stamps each data
+frame with the arrival time its delay model produced, and the gateway
+orders on those stamps. Wall-clock time appears nowhere on the wire —
+that is what makes loopback replays deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ProtocolError
+from repro.streams.traceio import STREAM_COLUMN, TIMESTAMP_COLUMN
+from repro.streams.tuples import StreamTuple
+
+#: Protocol revision spoken by this build; hellos must match exactly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame's JSON payload, in bytes. A length
+#: prefix above this is treated as a framing error rather than an
+#: allocation request — garbage bytes must not OOM the gateway.
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(frame: Mapping[str, Any]) -> bytes:
+    """Serialize one frame: 4-byte big-endian length + JSON payload."""
+    payload = json.dumps(frame, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed arbitrary chunks (TCP segments split frames wherever they
+    like); complete frames come back in order. State between calls is
+    the undecoded remainder.
+
+    Example:
+        >>> decoder = FrameDecoder()
+        >>> data = encode_frame({"type": "heartbeat", "sources": []})
+        >>> decoder.feed(data[:3])
+        []
+        >>> decoder.feed(data[3:])[0]["type"]
+        'heartbeat'
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Absorb ``data``; return every frame completed by it.
+
+        Raises:
+            ProtocolError: On an oversized length prefix or a payload
+                that is not a JSON object.
+        """
+        self._buffer.extend(data)
+        frames: list[dict[str, Any]] = []
+        while len(self._buffer) >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length {length} exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte limit"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            payload = bytes(
+                self._buffer[_HEADER.size:_HEADER.size + length]
+            )
+            del self._buffer[:_HEADER.size + length]
+            frames.append(_parse_payload(payload))
+        return frames
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+def _parse_payload(payload: bytes) -> dict[str, Any]:
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame payload: {error}") from None
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise ProtocolError(
+            f"frame must be a JSON object with a 'type' key, got "
+            f"{frame!r:.80}"
+        )
+    return frame
+
+
+async def read_frame(reader: asyncio.StreamReader) -> "dict[str, Any] | None":
+    """Read one frame from ``reader``; ``None`` on clean EOF.
+
+    Raises:
+        ProtocolError: On a truncated frame, oversized length, or
+            undecodable payload.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(error.partial)} of "
+            f"{_HEADER.size} bytes)"
+        ) from None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{length} bytes)"
+        ) from None
+    return _parse_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, frame: Mapping[str, Any]
+) -> None:
+    """Encode ``frame``, write it, and drain the transport."""
+    writer.write(encode_frame(frame))
+    await writer.drain()
+
+
+# -- frame constructors -----------------------------------------------------
+
+
+def hello(sources: Iterable[str], version: int = PROTOCOL_VERSION) -> dict:
+    """Session-opening frame declaring the sources this connection feeds."""
+    return {"type": "hello", "version": version, "sources": sorted(sources)}
+
+
+def hello_ack(
+    credits: "Mapping[str, int] | None", version: int = PROTOCOL_VERSION
+) -> dict:
+    """Handshake acceptance; ``credits`` is per-source or ``None``."""
+    return {
+        "type": "hello_ack",
+        "version": version,
+        "credits": dict(credits) if credits is not None else None,
+    }
+
+
+def data_frame(
+    source: str, seq: int, arrival: float, item: StreamTuple
+) -> dict:
+    """One reading: who sent it, its rank, and when it 'arrived'."""
+    return {
+        "type": "data",
+        "source": source,
+        "seq": int(seq),
+        "arrival": float(arrival),
+        "record": tuple_to_record(item),
+    }
+
+
+def heartbeat(sources: Iterable[str]) -> dict:
+    """Liveness signal covering ``sources``."""
+    return {"type": "heartbeat", "sources": sorted(sources)}
+
+
+def credit_frame(source: str, credits: int) -> dict:
+    """Grant ``credits`` more in-flight data frames for ``source``."""
+    return {"type": "credit", "source": source, "credits": int(credits)}
+
+
+def error_frame(reason: str) -> dict:
+    """Terminal failure notice; the sender closes after this."""
+    return {"type": "error", "reason": reason}
+
+
+def bye(source: str) -> dict:
+    """Clean end-of-stream for ``source``."""
+    return {"type": "bye", "source": source}
+
+
+def bye_ack(source: str) -> dict:
+    """Acknowledge the ``bye`` for ``source``."""
+    return {"type": "bye_ack", "source": source}
+
+
+# -- tuple payload encoding -------------------------------------------------
+
+
+def tuple_to_record(item: StreamTuple) -> dict[str, Any]:
+    """Encode a tuple as the traceio JSONL record convention."""
+    return {
+        TIMESTAMP_COLUMN: item.timestamp,
+        STREAM_COLUMN: item.stream,
+        **item.as_dict(),
+    }
+
+
+def record_to_tuple(record: Mapping[str, Any]) -> StreamTuple:
+    """Decode a :func:`tuple_to_record` payload.
+
+    Raises:
+        ProtocolError: When the reserved timestamp column is absent.
+    """
+    values = dict(record)
+    if TIMESTAMP_COLUMN not in values:
+        raise ProtocolError(
+            f"data record lacks the {TIMESTAMP_COLUMN!r} column"
+        )
+    timestamp = values.pop(TIMESTAMP_COLUMN)
+    stream = values.pop(STREAM_COLUMN, "")
+    return StreamTuple(float(timestamp), values, str(stream))

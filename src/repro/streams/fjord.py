@@ -28,7 +28,7 @@ is where most of the executor's time used to go.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import OperatorError
 from repro.streams.operators import Operator, SinkOp
@@ -343,6 +343,25 @@ class Fjord:
         for _now in self.run_stepped(ticks, telemetry=telemetry):
             pass
 
+    def open_session(
+        self,
+        ticks: Iterable[float],
+        telemetry: TelemetryCollector | None = None,
+    ) -> "FjordSession":
+        """Open an incremental-push execution session over ``ticks``.
+
+        Where :meth:`run` pulls whole source iterables, a session is fed
+        tuple-by-tuple from outside (a network gateway, a live device
+        poller) via :meth:`FjordSession.push` and advances punctuation
+        time only as far as the caller's watermark allows — see
+        :class:`FjordSession` for the exact equivalence guarantee with
+        the pull-based run.
+
+        Sources must already be registered (with empty feeds, typically)
+        so their edges exist; pushes are routed by source name.
+        """
+        return FjordSession(self, ticks, resolve_telemetry(telemetry))
+
     def run_stepped(
         self,
         ticks: Iterable[float],
@@ -366,15 +385,7 @@ class Fjord:
         enabled = collector.enabled
         order = self._topological_order()
         if enabled:
-            collector.event(
-                "run_start", nodes=len(order), sources=len(self._sources)
-            )
-            for name in order:
-                collector.event(
-                    "operator_start",
-                    node=name,
-                    op=type(self._nodes[name].op).__name__,
-                )
+            self._emit_run_start(order, collector)
         feed = self._merged_source(collector)
         lookahead: tuple[StreamTuple, str] | None = next(feed, None)
         newest: dict[str, float] = {}  # per-source newest injected stamp
@@ -390,45 +401,258 @@ class Fjord:
                     newest[source] = item.timestamp
                 lookahead = next(feed, None)
             if enabled:
-                for source, stamp in newest.items():
-                    collector.sample_watermark(source, now - stamp)
-                for name in order:
-                    depth = len(self._nodes[name].pending)
-                    if depth:
-                        collector.sample_queue_depth(name, depth)
-            # 2. Punctuation sweep in topological order: drain inputs, then
-            #    slide windows; emissions feed later nodes in the same sweep.
-            for name in order:
-                node = self._nodes[name]
-                self._drain_node(node, collector, now)
-                if enabled:
-                    began = clock_ns()
-                    out = node.op.on_time(now)
-                    collector.record_punctuation(
-                        name, len(out), clock_ns() - began
-                    )
-                else:
-                    out = node.op.on_time(now)
-                node.tuples_out += len(out)
-                for target, tport in node.downstream:
-                    for item in out:
-                        self._deliver(item, target, tport)
-            # 3. Drain anything a final-node emission produced (defensive:
-            #    topological order makes this a no-op, but user callbacks may
-            #    inject tuples).
-            for name in order:
-                self._drain_node(self._nodes[name], collector, now)
-            if enabled:
-                collector.count_tick()
+                self._sample_tick(order, now, newest, collector)
+            self._sweep(order, now, collector, enabled)
             tick_count += 1
             yield now
         if enabled:
-            for name in order:
-                node = self._nodes[name]
-                collector.event(
-                    "operator_stop",
-                    node=name,
-                    tuples_in=node.tuples_in,
-                    tuples_out=node.tuples_out,
+            self._emit_run_stop(order, tick_count, collector)
+
+    # -- shared run/session machinery -------------------------------------------
+
+    def _emit_run_start(
+        self, order: Sequence[str], collector: TelemetryCollector
+    ) -> None:
+        collector.event(
+            "run_start", nodes=len(order), sources=len(self._sources)
+        )
+        for name in order:
+            collector.event(
+                "operator_start",
+                node=name,
+                op=type(self._nodes[name].op).__name__,
+            )
+
+    def _emit_run_stop(
+        self,
+        order: Sequence[str],
+        tick_count: int,
+        collector: TelemetryCollector,
+    ) -> None:
+        for name in order:
+            node = self._nodes[name]
+            collector.event(
+                "operator_stop",
+                node=name,
+                tuples_in=node.tuples_in,
+                tuples_out=node.tuples_out,
+            )
+        collector.event("run_end", ticks=tick_count)
+
+    def _sample_tick(
+        self,
+        order: Sequence[str],
+        now: float,
+        newest: Mapping[str, float],
+        collector: TelemetryCollector,
+    ) -> None:
+        """Tick-boundary gauge sampling (watermark lag, queue depths)."""
+        for source, stamp in newest.items():
+            collector.sample_watermark(source, now - stamp)
+        for name in order:
+            depth = len(self._nodes[name].pending)
+            if depth:
+                collector.sample_queue_depth(name, depth)
+
+    def _sweep(
+        self,
+        order: Sequence[str],
+        now: float,
+        collector: TelemetryCollector,
+        enabled: bool,
+    ) -> None:
+        """One punctuation sweep at time ``now`` over already-injected input.
+
+        Nodes are visited in topological order: drain pending inputs,
+        then slide windows; emissions feed later nodes within the same
+        sweep. A final drain pass catches anything a terminal node's
+        user callback injected (topological order makes it a no-op
+        otherwise).
+        """
+        for name in order:
+            node = self._nodes[name]
+            self._drain_node(node, collector, now)
+            if enabled:
+                began = clock_ns()
+                out = node.op.on_time(now)
+                collector.record_punctuation(
+                    name, len(out), clock_ns() - began
                 )
-            collector.event("run_end", ticks=tick_count)
+            else:
+                out = node.op.on_time(now)
+            node.tuples_out += len(out)
+            for target, tport in node.downstream:
+                for item in out:
+                    self._deliver(item, target, tport)
+        for name in order:
+            self._drain_node(self._nodes[name], collector, now)
+        if enabled:
+            collector.count_tick()
+
+
+class FjordSession:
+    """Incremental-push execution of a Fjord dataflow.
+
+    The pull-based :meth:`Fjord.run` owns its input: it merges whole
+    source iterables and injects each tuple at the first punctuation
+    tick at or after its timestamp. A session inverts that control so a
+    live ingress (the :mod:`repro.net` gateway) can *push* tuples as
+    they arrive off the wire and advance punctuation time only once its
+    reorder buffers promise no earlier tuple can still show up.
+
+    **Equivalence guarantee.** If (a) every tuple is pushed before the
+    session sweeps the first tick at or after its timestamp, (b) pushes
+    per source are timestamp-ordered, and (c) equal-timestamp pushes
+    follow original stream order, then the session's sink output is
+    *identical* — tuple for tuple, in order — to ``Fjord.run`` over the
+    same data, because injection order (timestamp, then source name,
+    then per-source push order) and the per-tick sweep are shared with
+    the pull path. Condition (a) is what :meth:`advance`'s watermark
+    contract enforces; a violation raises :class:`OperatorError` rather
+    than silently producing drifted windows.
+
+    Created by :meth:`Fjord.open_session`; drive it with
+    :meth:`push` / :meth:`advance`, then :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        fjord: Fjord,
+        ticks: Iterable[float],
+        collector: TelemetryCollector,
+    ):
+        self._fjord = fjord
+        self._collector = collector
+        self._enabled = collector.enabled
+        self._order = fjord._topological_order()
+        self._ticks = [float(t) for t in ticks]
+        if any(a > b for a, b in zip(self._ticks, self._ticks[1:])):
+            raise OperatorError("session ticks must be ascending")
+        self._cursor = 0  # index of the next tick to sweep
+        self._heap: list[tuple[float, str, int, StreamTuple]] = []
+        self._push_seq = 0
+        self._last: dict[str, float] = {}  # per-source newest pushed stamp
+        self._newest: dict[str, float] = {}  # per-source newest injected
+        self._closed = False
+        if self._enabled:
+            fjord._emit_run_start(self._order, collector)
+
+    @property
+    def safe_time(self) -> float:
+        """The last punctuation time swept (``-inf`` before the first).
+
+        Everything at or before this instant has already been processed;
+        a push with a timestamp at or below it can no longer be injected
+        faithfully and is rejected.
+        """
+        if self._cursor == 0:
+            return float("-inf")
+        return self._ticks[self._cursor - 1]
+
+    @property
+    def pending(self) -> int:
+        """Tuples pushed but not yet injected into the dataflow."""
+        return len(self._heap)
+
+    def push(self, source: str, item: StreamTuple) -> None:
+        """Queue one tuple from ``source`` for injection.
+
+        Raises:
+            OperatorError: If the session is closed, the source is
+                unknown, the source's pushes regress in timestamp, or
+                the tuple lands at or behind :attr:`safe_time` (it
+                arrived after its punctuation tick was already swept —
+                the condition a reorder buffer with adequate slack is
+                there to prevent).
+        """
+        if self._closed:
+            raise OperatorError("push on a closed FjordSession")
+        if source not in self._fjord._source_edges:
+            raise OperatorError(f"unknown session source {source!r}")
+        last = self._last.get(source)
+        if last is not None and item.timestamp < last - 1e-9:
+            self._collector.event(
+                "source_out_of_order",
+                source=source,
+                timestamp=item.timestamp,
+                previous=last,
+            )
+            raise OperatorError(
+                f"session source {source!r} is out of order: timestamp "
+                f"{item.timestamp:g} arrived after {last:g}"
+            )
+        if item.timestamp <= self.safe_time + 1e-9:
+            self._collector.event(
+                "session_late_push",
+                source=source,
+                timestamp=item.timestamp,
+                safe_time=self.safe_time,
+            )
+            raise OperatorError(
+                f"tuple from {source!r} at t={item.timestamp:g} arrived "
+                f"behind the session's punctuation cursor "
+                f"(safe_time={self.safe_time:g}); increase the ingress "
+                f"reorder slack"
+            )
+        heapq.heappush(
+            self._heap, (item.timestamp, source, self._push_seq, item)
+        )
+        self._push_seq += 1
+        if last is None or item.timestamp > last:
+            self._last[source] = item.timestamp
+
+    def advance(self, watermark: float) -> list[float]:
+        """Sweep every remaining tick strictly below ``watermark``.
+
+        The caller promises that no future :meth:`push` will carry a
+        timestamp more than 1 ns below ``watermark`` (the reorder
+        buffers' :attr:`~repro.streams.reorder.ReorderBuffer.watermark`
+        is exactly that promise); the extra nanosecond of guard margin
+        here absorbs it. Returns the punctuation times swept, in order.
+        Monotonicity is not required — a stale watermark simply sweeps
+        nothing.
+        """
+        if self._closed:
+            raise OperatorError("advance on a closed FjordSession")
+        swept: list[float] = []
+        while (
+            self._cursor < len(self._ticks)
+            and self._ticks[self._cursor] + 2e-9 < watermark
+        ):
+            swept.append(self._step())
+        return swept
+
+    def _step(self) -> float:
+        """Inject due tuples and sweep the next tick; returns its time."""
+        now = self._ticks[self._cursor]
+        fjord = self._fjord
+        enabled = self._enabled
+        heap = self._heap
+        while heap and heap[0][0] <= now + 1e-9:
+            _ts, source, _seq, item = heapq.heappop(heap)
+            for target, port in fjord._source_edges[source]:
+                fjord._deliver(item, target, port)
+            if enabled:
+                self._collector.count_source(source)
+                self._newest[source] = item.timestamp
+        if enabled:
+            fjord._sample_tick(self._order, now, self._newest, self._collector)
+        fjord._sweep(self._order, now, self._collector, enabled)
+        self._cursor += 1
+        return now
+
+    def close(self) -> None:
+        """Sweep all remaining ticks and end the session.
+
+        Call after the last push (end of stream): at that point every
+        buffered tuple's tick can safely fire. Idempotent.
+        """
+        if self._closed:
+            return
+        while self._cursor < len(self._ticks):
+            self._step()
+        if self._enabled:
+            self._fjord._emit_run_stop(
+                self._order, self._cursor, self._collector
+            )
+        self._closed = True

@@ -34,8 +34,28 @@ class ReorderBuffer:
 
     Attributes:
         dropped: Tuples discarded because they arrived after their
-            release horizon had already passed (late beyond slack).
+            release horizon had already passed (late beyond slack), or
+            behind the highest already-released timestamp.
         released: Count of tuples released in order.
+
+    **Tie-breaking.** Tuples with equal timestamps release in ascending
+    *sequence number*: the explicit ``sequence`` passed to :meth:`push`
+    when the caller has one (the ingestion gateway forwards the sender's
+    per-source sequence so duplicates come out in original stream
+    order), or an internal arrival counter otherwise (equal-timestamp
+    arrivals release in arrival order). Mixing explicit and implicit
+    sequences in one buffer is undefined; pick one convention per
+    buffer.
+
+    **Lateness.** An arrival is dropped when its timestamp lies strictly
+    below the highest released timestamp (the frontier), or more than
+    1 ns below the current release horizon
+    (``newest arrival time - slack``). A tuple arriving *exactly at* the
+    horizon is admitted and released immediately. The strict frontier
+    comparison preserves the sorted-output guarantee downstream windows
+    rely on; the toleranced horizon comparison keeps a delay equal to
+    the slack from being dropped over float rounding, and makes
+    :attr:`watermark` a promise a consumer can punctuate on.
 
     Example:
         >>> buffer = ReorderBuffer(slack=2.0)
@@ -53,28 +73,72 @@ class ReorderBuffer:
         self._heap: list[tuple[float, int, StreamTuple]] = []
         self._sequence = 0
         self._frontier = float("-inf")  # highest released timestamp
+        self._horizon = float("-inf")  # newest arrival time - slack
 
-    def push(self, arrival_time: float, item: StreamTuple) -> list[StreamTuple]:
+    @property
+    def watermark(self) -> float:
+        """Lower bound (within 1 ns) on every future release's timestamp.
+
+        ``max(frontier, horizon)``: no tuple released after this call
+        can carry a timestamp more than 1e-9 below the returned value —
+        later arrivals under that bound are dropped, and buffered tuples
+        are above it by construction. :meth:`flush` raises it to
+        ``+inf``. Consumers that punctuate on time (the ingestion
+        gateway's pipeline session) may safely process every instant
+        more than 2 ns below it.
+        """
+        return max(self._frontier, self._horizon)
+
+    def push(
+        self,
+        arrival_time: float,
+        item: StreamTuple,
+        sequence: int | None = None,
+    ) -> list[StreamTuple]:
         """Accept one arrival; return any tuples now releasable.
 
         Arrival times must be non-decreasing (wall-clock order at the
         gateway); the *tuples'* timestamps may be arbitrary.
+
+        Args:
+            arrival_time: When the tuple reached the buffer.
+            item: The tuple itself.
+            sequence: Explicit equal-timestamp tie-break rank (see the
+                class docstring); defaults to arrival order.
         """
-        if item.timestamp < self._frontier:
-            # Arrived after everything at-or-after it was released.
-            # Strict comparison: admitting "just barely late" tuples
-            # would emit them behind the frontier and break the sorted-
-            # output guarantee downstream windows rely on.
+        horizon = arrival_time - self.slack
+        if horizon > self._horizon:
+            self._horizon = horizon
+        if (
+            item.timestamp < self._frontier
+            or item.timestamp < self._horizon - 1e-9
+        ):
+            # Hopelessly late: everything at-or-after it was released,
+            # or its release horizon has already passed. The frontier
+            # comparison is strict — admitting "just barely late"
+            # tuples would emit them behind the frontier and break the
+            # sorted-output guarantee downstream windows rely on. The
+            # horizon comparison is toleranced so a delay exactly equal
+            # to the slack survives float rounding. The arrival still
+            # advanced the horizon, so buffered tuples it uncovered
+            # must release *now* — holding them past a rising watermark
+            # would hand the consumer tuples behind its punctuation.
             self.dropped += 1
-            return []
-        heapq.heappush(
-            self._heap, (item.timestamp, self._sequence, item)
-        )
+            return self._release(self._horizon)
+        if sequence is None:
+            sequence = self._sequence
+        heapq.heappush(self._heap, (item.timestamp, int(sequence), item))
         self._sequence += 1
-        return self._release(arrival_time - self.slack)
+        return self._release(self._horizon)
 
     def flush(self) -> list[StreamTuple]:
-        """Release everything still buffered (end of stream)."""
+        """Release everything still buffered (end of stream).
+
+        Also raises the :attr:`watermark` to ``+inf``: a flushed buffer
+        has promised its consumer there is nothing left, so any tuple
+        pushed afterwards is late by definition and will be dropped.
+        """
+        self._horizon = float("inf")
         return self._release(float("inf"))
 
     def _release(self, horizon: float) -> list[StreamTuple]:

@@ -268,6 +268,16 @@ class TelemetryCollector:
     def count_tick(self) -> None:
         """One punctuation sweep completed."""
 
+    def count(self, key: str, n: int = 1) -> None:
+        """Add ``n`` to the free-form counter ``key``.
+
+        Free-form counters land in the snapshot's ``"counters"`` mapping
+        next to the executor's built-ins (``ticks``, ...) and merge by
+        summation like everything else there. Subsystems outside the
+        executor (the ingestion gateway's drop accounting, for example)
+        use namespaced keys such as ``net.<source>.dropped``.
+        """
+
     def event(self, kind: str, **fields: Any) -> None:
         """Append a structured trace event (deterministic fields only)."""
 
@@ -377,6 +387,9 @@ class InMemoryCollector(TelemetryCollector):
 
     def count_tick(self) -> None:
         self._counters["ticks"] = self._counters.get("ticks", 0) + 1
+
+    def count(self, key: str, n: int = 1) -> None:
+        self._counters[key] = self._counters.get(key, 0) + n
 
     def event(self, kind: str, **fields: Any) -> None:
         record = {"seq": len(self._events), "kind": kind, **fields}

@@ -93,3 +93,105 @@ class TestDump:
         ) == 0
         occupancy = (tmp_path / "fig9_occupancy.csv").read_text()
         assert occupancy.startswith("time_s,truth,detected")
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestNetworkSubcommands:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "shelf"])
+        assert args.command == "serve"
+        assert args.scenario == "shelf"
+        assert args.host == "127.0.0.1"
+        assert args.port == 7007
+        assert args.policy == "block"
+        assert args.queue_bound == 64
+        assert args.slack == 1.5
+
+    def test_serve_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "shelf", "--policy", "drop-sideways"]
+            )
+
+    def test_serve_rejects_nonpositive_queue_bound(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "shelf", "--queue-bound", "0"]
+            )
+
+    def test_feed_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "feed", "redwood", "--port", "9001",
+                "--mean-delay", "0.5", "--loss-yield", "0.8",
+                "--rate", "4.0",
+            ]
+        )
+        assert args.command == "feed"
+        assert args.scenario == "redwood"
+        assert args.port == 9001
+        assert args.mean_delay == 0.5
+        assert args.loss_yield == 0.8
+        assert args.rate == 4.0
+
+    def test_serve_and_feed_loopback_roundtrip(self, capsys):
+        """The two subcommands against each other on an ephemeral port:
+        ``serve`` (a subprocess) must emit a summary with gateway
+        stats, ``feed`` (in-process) a delivery report."""
+        import os
+        import socket
+        import subprocess
+        import sys
+        import time
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = str(probe.getsockname()[1])
+        probe.close()
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "shelf",
+                "--port", port, "--duration", "4.0", "--slack", "0.0",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        try:
+            for _ in range(200):  # wait for the listener, 0.05 s steps
+                try:
+                    socket.create_connection(
+                        ("127.0.0.1", int(port)), timeout=0.5
+                    ).close()
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            else:
+                pytest.fail("serve subprocess never started listening")
+            rc = main(
+                ["feed", "shelf", "--port", port, "--duration", "4.0"]
+            )
+            out, err = server.communicate(timeout=60)
+        finally:
+            if server.poll() is None:
+                server.kill()
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sent"]
+        assert server.returncode == 0, err
+        summary = json.loads(out)
+        assert summary["scenario"] == "shelf"
+        assert summary["output_tuples"] > 0
+        assert "gateway" in summary

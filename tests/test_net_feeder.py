@@ -1,0 +1,286 @@
+"""Unit tests for the replay feeder: schedule, pacing, reconnection.
+
+Real sockets, fake time: ``sleep`` and ``clock`` are injected so backoff
+and pacing are asserted exactly, with zero wall-clock waiting.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.errors import NetError
+from repro.net import protocol
+from repro.net.feeder import ReplayFeeder
+from repro.net.gateway import IngestGateway
+from repro.net.protocol import read_frame, write_frame
+from repro.receptors.network import DelayModel, GilbertElliottChannel
+from repro.streams.tuples import StreamTuple
+
+
+def tup(ts, **fields):
+    return StreamTuple(ts, fields, stream="s")
+
+
+class FakeSession:
+    """The minimal pipeline-session surface the gateway drives."""
+
+    def __init__(self, receptor_ids=("a",)):
+        self.receptor_ids = tuple(receptor_ids)
+        self.pushed = []
+        self.watermarks = []
+        self.closed = False
+
+    @property
+    def safe_time(self):
+        return float("-inf")
+
+    def push(self, source, item):
+        self.pushed.append((source, item))
+
+    def advance(self, watermark):
+        self.watermarks.append(watermark)
+        return []
+
+    def close(self):
+        self.closed = True
+        return self
+
+
+class FakeTime:
+    """A clock that only moves when someone sleeps on it."""
+
+    def __init__(self):
+        self.now = 100.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    async def sleep(self, seconds):
+        self.sleeps.append(round(seconds, 6))
+        self.now += seconds
+        await asyncio.sleep(0)  # stay cooperative
+
+
+class TestSchedule:
+    def _streams(self, n=20):
+        return {"a": [tup(float(i), v=i) for i in range(n)]}
+
+    def test_no_impairments_is_identity_order(self):
+        feeder = ReplayFeeder("h", 1, self._streams(5))
+        schedule = feeder._build_schedule()
+        assert [(a, s, q) for a, s, q, _ in schedule] == [
+            (float(i), "a", i) for i in range(5)
+        ]
+
+    def test_delay_model_sorts_by_arrival_keeps_all(self):
+        feeder = ReplayFeeder(
+            "h", 1, self._streams(30),
+            delay_model=DelayModel(mean_delay=2.0, max_delay=8.0, rng=7),
+        )
+        schedule = feeder._build_schedule()
+        arrivals = [a for a, _s, _q, _i in schedule]
+        assert arrivals == sorted(arrivals)
+        assert sorted(q for _a, _s, q, _i in schedule) == list(range(30))
+        assert any(
+            a != i.timestamp for a, _s, _q, i in schedule
+        )  # delays actually applied
+        assert all(a >= i.timestamp for a, _s, _q, i in schedule)
+
+    def test_channel_loss_counted_and_sequence_gaps_preserved(self):
+        channel = GilbertElliottChannel(
+            0.3, 0.3, deliver_good=0.9, deliver_bad=0.1, rng=11
+        )
+        feeder = ReplayFeeder("h", 1, self._streams(60), channel=channel)
+        schedule = feeder._build_schedule()
+        assert feeder.lost["a"] > 0  # the channel really dropped some
+        assert len(schedule) + feeder.lost["a"] == 60
+        survivors = [q for _a, _s, q, _i in schedule]
+        assert survivors == sorted(survivors)
+        # Lost readings consumed their sequence numbers: gaps, no reuse.
+        assert len(set(survivors)) == len(survivors)
+        assert set(survivors) < set(range(60))
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(NetError, match="at least one source"):
+            ReplayFeeder("h", 1, {})
+
+    def test_bad_rate_and_attempts_rejected(self):
+        with pytest.raises(NetError, match="rate"):
+            ReplayFeeder("h", 1, self._streams(1), rate=0)
+        with pytest.raises(NetError, match="max_attempts"):
+            ReplayFeeder("h", 1, self._streams(1), max_attempts=0)
+
+
+class TestBackoff:
+    def test_exponential_with_cap(self):
+        feeder = ReplayFeeder(
+            "h", 1, {"a": [tup(0.0)]},
+            backoff_base=0.05, backoff_cap=0.3,
+        )
+        assert [feeder._backoff(n) for n in range(1, 6)] == [
+            0.05, 0.1, 0.2, 0.3, 0.3
+        ]
+
+    def test_unreachable_gateway_raises_after_backoff(self):
+        # Grab a port that is guaranteed closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        fake = FakeTime()
+        feeder = ReplayFeeder(
+            "127.0.0.1", port, {"a": [tup(0.0)]},
+            max_attempts=3, backoff_base=0.05, backoff_cap=1.0,
+            sleep=fake.sleep,
+        )
+        with pytest.raises(NetError, match="unreachable after 3"):
+            asyncio.run(feeder.run())
+        # Two backoff sleeps before the third, fatal, attempt.
+        assert fake.sleeps == [0.05, 0.1]
+
+
+class TestReconnect:
+    def test_resumes_after_midstream_disconnect(self):
+        """First connection is cut right after the handshake; the
+        feeder must reconnect and redeliver everything (at-least-once:
+        the gateway sees every sequence number at least once)."""
+        streams = {"a": [tup(float(i), v=i) for i in range(6)]}
+        connections = []
+        received = []
+        done = asyncio.Event()
+
+        async def handle(reader, writer):
+            connections.append(True)
+            hello = await read_frame(reader)
+            assert hello["type"] == "hello"
+            await write_frame(writer, protocol.hello_ack(None))
+            if len(connections) == 1:
+                writer.close()  # cut the session mid-stream
+                return
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                if frame["type"] == "data":
+                    received.append(frame["seq"])
+                elif frame["type"] == "bye":
+                    await write_frame(
+                        writer, protocol.bye_ack(frame["source"])
+                    )
+                    done.set()
+
+        async def scenario():
+            fake = FakeTime()
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            feeder = ReplayFeeder(
+                "127.0.0.1", port, streams, sleep=fake.sleep
+            )
+            report = await asyncio.wait_for(feeder.run(), timeout=20)
+            await asyncio.wait_for(done.wait(), timeout=20)
+            server.close()
+            await server.wait_closed()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report["reconnects"] >= 1
+        assert len(connections) == 2
+        assert set(received) == set(range(6))  # nothing permanently lost
+        assert report["sent"]["a"] >= 6  # at-least-once may resend
+
+
+class TestPacing:
+    def test_rate_multiplier_paces_sends(self):
+        """rate=2.0 over arrivals [0, 1, 3] must pause 0.5 s then
+        1.0 s on the injected clock — and never sleep for the first
+        frame."""
+        fake = FakeTime()
+        session = FakeSession(("a",))
+
+        async def scenario():
+            gateway = IngestGateway(session, slack=0.0)
+            host, port = await gateway.start()
+            feeder = ReplayFeeder(
+                host, port,
+                {"a": [tup(0.0, v=0), tup(1.0, v=1), tup(3.0, v=2)]},
+                rate=2.0, sleep=fake.sleep, clock=fake.clock,
+            )
+            report = await asyncio.wait_for(feeder.run(), timeout=20)
+            await asyncio.wait_for(
+                gateway.run_until_drained(), timeout=20
+            )
+            await gateway.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert fake.sleeps == [0.5, 1.0]
+        assert report["sent"] == {"a": 3}
+        assert [item.timestamp for _src, item in session.pushed] == [
+            0.0, 1.0, 3.0
+        ]
+        assert session.closed
+
+    def test_unpaced_replay_never_sleeps(self):
+        fake = FakeTime()
+        session = FakeSession(("a",))
+
+        async def scenario():
+            gateway = IngestGateway(session, slack=0.0)
+            host, port = await gateway.start()
+            feeder = ReplayFeeder(
+                host, port, {"a": [tup(0.0, v=0), tup(5.0, v=1)]},
+                sleep=fake.sleep, clock=fake.clock,
+            )
+            await asyncio.wait_for(feeder.run(), timeout=20)
+            await asyncio.wait_for(
+                gateway.run_until_drained(), timeout=20
+            )
+            await gateway.close()
+
+        asyncio.run(scenario())
+        assert fake.sleeps == []
+
+
+class TestHeartbeat:
+    def test_heartbeats_sent_during_replay(self):
+        """A paced replay with a heartbeat interval emits heartbeat
+        frames between data frames (fake clock: no real waiting)."""
+        heartbeats = []
+        done = asyncio.Event()
+
+        async def handle(reader, writer):
+            await read_frame(reader)
+            await write_frame(writer, protocol.hello_ack(None))
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                if frame["type"] == "heartbeat":
+                    heartbeats.append(frame["sources"])
+                elif frame["type"] == "bye":
+                    await write_frame(
+                        writer, protocol.bye_ack(frame["source"])
+                    )
+                    done.set()
+
+        async def scenario():
+            fake = FakeTime()
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            feeder = ReplayFeeder(
+                "127.0.0.1", port,
+                {"a": [tup(0.0, v=0), tup(10.0, v=1)]},
+                rate=1.0, heartbeat_interval=2.0,
+                sleep=fake.sleep, clock=fake.clock,
+            )
+            await asyncio.wait_for(feeder.run(), timeout=20)
+            await asyncio.wait_for(done.wait(), timeout=20)
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+        assert heartbeats  # at least one heartbeat made it out
+        assert all(sources == ["a"] for sources in heartbeats)

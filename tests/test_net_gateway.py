@@ -1,0 +1,434 @@
+"""Loopback tests for the ingestion gateway.
+
+Everything runs over real sockets on 127.0.0.1 with ephemeral ports,
+but *no* real time: wire timestamps are simulation-axis values, feeders
+replay full-tilt, liveness uses an injected fake clock, and the only
+``asyncio.sleep`` ever awaited is ``sleep(0)`` (a bare event-loop
+yield). ``asyncio.wait_for`` guards are hang insurance, not pacing.
+
+The headline assertions are the differential ones: a pipeline fed over
+the network — delays, reordering, credit stalls and all — produces
+byte-identical cleaned output to the in-memory batch run of the same
+scenario, on both the serial and the sharded reference backends.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import NetError
+from repro.net import protocol
+from repro.net.feeder import ReplayFeeder
+from repro.net.gateway import IngestGateway
+from repro.net.protocol import read_frame, write_frame
+from repro.receptors.network import DelayModel
+from repro.streams.telemetry import InMemoryCollector
+from repro.streams.tuples import StreamTuple
+
+WAIT = 20.0  # hang guard for awaits; never approached on a healthy run
+
+
+def shelf_case(duration=12.0):
+    from repro.pipelines.rfid_shelf import build_shelf_processor
+    from repro.scenarios.shelf import ShelfScenario
+
+    scenario = ShelfScenario(duration=duration, seed=3)
+    streams = scenario.recorded_streams()
+
+    def factory():
+        return build_shelf_processor(scenario, "smooth+arbitrate")
+
+    return factory, streams, scenario.duration, scenario.poll_period
+
+
+def redwood_case():
+    from repro.pipelines.sensornet import build_redwood_processor
+    from repro.scenarios.redwood import RedwoodScenario
+
+    scenario = RedwoodScenario(duration=0.05 * 86400.0, n_groups=2, seed=3)
+    streams = scenario.recorded_streams()
+
+    def factory():
+        return build_redwood_processor(scenario)
+
+    return factory, streams, scenario.duration, None
+
+
+async def loopback(
+    factory,
+    streams,
+    until,
+    tick,
+    *,
+    slack,
+    policy="block",
+    queue_bound=64,
+    delay_model=None,
+    telemetry=None,
+    throttle=None,
+    feeder_kwargs=None,
+):
+    """Serve ``factory()``'s pipeline, replay ``streams`` into it."""
+    session = factory().open_session(
+        until=until, tick=tick, telemetry=telemetry
+    )
+    gateway = IngestGateway(
+        session,
+        slack=slack,
+        policy=policy,
+        queue_bound=queue_bound,
+        telemetry=telemetry,
+        throttle=throttle,
+    )
+    host, port = await gateway.start()
+    feeder = ReplayFeeder(
+        host, port, streams,
+        delay_model=delay_model,
+        **(feeder_kwargs or {}),
+    )
+    report = await asyncio.wait_for(feeder.run(), timeout=WAIT)
+    await asyncio.wait_for(gateway.run_until_drained(), timeout=WAIT)
+    run = await gateway.close()
+    return run, gateway, report
+
+
+class TestLoopbackDifferential:
+    """Network-fed output == in-memory output, byte for byte."""
+
+    @pytest.mark.parametrize("case", [shelf_case, redwood_case])
+    def test_matches_serial_and_sharded_backends(self, case):
+        factory, streams, until, tick = case()
+        serial = factory().run(until=until, tick=tick, sources=streams)
+        shard_key = (
+            "tag_id" if case is shelf_case else "spatial_granule"
+        )
+        sharded = factory().run(
+            until=until, tick=tick, sources=streams,
+            shards=3, backend="threads", shard_key=shard_key,
+        )
+
+        run, gateway, report = asyncio.run(
+            loopback(factory, streams, until, tick, slack=0.0)
+        )
+        assert run.output == serial.output
+        assert run.output == sharded.output
+        assert run.output  # non-vacuous
+        stats = gateway.stats()["sources"]
+        assert sum(report["sent"].values()) == sum(
+            s["delivered"] for s in stats.values()
+        )
+        assert all(s["dropped_late"] == 0 for s in stats.values())
+
+    def test_matches_with_network_delay_and_reordering(self):
+        """Delayed, reordered arrivals with slack >= max delay: still
+        byte-identical — the reorder buffer plus watermark gating is
+        exactly sufficient."""
+        factory, streams, until, tick = shelf_case()
+        ref = factory().run(until=until, tick=tick, sources=streams)
+        run, gateway, _report = asyncio.run(
+            loopback(
+                factory, streams, until, tick,
+                slack=1.0,
+                delay_model=DelayModel(
+                    mean_delay=0.2, max_delay=1.0, rng=5
+                ),
+            )
+        )
+        assert run.output == ref.output
+        stats = gateway.stats()["sources"]
+        assert all(s["dropped_late"] == 0 for s in stats.values())
+
+
+class TestBlockPolicyBackpressure:
+    def test_overdriven_feeder_is_credit_gated(self):
+        """A feeder running far faster than the drain (it replays
+        full-tilt while every drained item costs an extra event-loop
+        yield) must be held back by credit frames: the bounded queue
+        never exceeds its cap, nothing is dropped, and the output is
+        still exact."""
+        factory, streams, until, tick = shelf_case(duration=8.0)
+        ref = factory().run(until=until, tick=tick, sources=streams)
+
+        async def throttle():
+            await asyncio.sleep(0)
+
+        bound = 8
+        run, gateway, report = asyncio.run(
+            loopback(
+                factory, streams, until, tick,
+                slack=0.0, policy="block", queue_bound=bound,
+                throttle=throttle,
+            )
+        )
+        assert report["credit_frames"] > 0  # backpressure frames emitted
+        assert report["blocked_waits"] > 0  # the feeder actually stalled
+        stats = gateway.stats()["sources"]
+        for s in stats.values():
+            assert s["max_depth"] <= bound
+            assert s["dropped_overload"] == 0
+            assert s["blocked"] == 0  # credits kept the client honest
+        assert run.output == ref.output
+
+
+class TestDropPolicies:
+    @pytest.mark.parametrize("policy", ["drop-oldest", "drop-newest"])
+    def test_drops_exactly_accounted(self, policy):
+        """With the drain gated until the feeder finishes, the bounded
+        queue must shed; every shed tuple shows up in both the queue
+        counters and the telemetry counters, and
+        offered == delivered + dropped holds per source."""
+        factory, streams, until, tick = shelf_case(duration=6.0)
+        collector = InMemoryCollector()
+        gate = asyncio.Event()
+
+        async def throttle():
+            await gate.wait()
+
+        async def scenario():
+            session = factory().open_session(
+                until=until, tick=tick, telemetry=collector
+            )
+            gateway = IngestGateway(
+                session, slack=0.0, policy=policy, queue_bound=16,
+                telemetry=collector, throttle=throttle,
+            )
+            host, port = await gateway.start()
+            feeder = ReplayFeeder(host, port, streams)
+            report = await asyncio.wait_for(feeder.run(), timeout=WAIT)
+            gate.set()  # now let the pipeline drain what survived
+            await asyncio.wait_for(
+                gateway.run_until_drained(), timeout=WAIT
+            )
+            run = await gateway.close()
+            return run, gateway, report
+
+        run, gateway, report = asyncio.run(scenario())
+        counters = collector.snapshot()["counters"]
+        stats = gateway.stats()["sources"]
+        total_dropped = 0
+        for name, s in stats.items():
+            assert s["offered"] == s["delivered"] + s["dropped_overload"]
+            assert counters.get(f"net.{name}.offered", 0) == s["offered"]
+            assert counters.get(f"net.{name}.dropped", 0) == (
+                s["dropped_overload"]
+            )
+            assert counters.get(f"net.{name}.delivered", 0) == (
+                s["delivered"]
+            )
+            assert s["offered"] == report["sent"][name]
+            total_dropped += s["dropped_overload"]
+        assert total_dropped > 0  # the overload was real
+        assert run.output  # survivors still flow through cleanly
+        times = [t.timestamp for t in run.output]
+        assert times == sorted(times)
+
+
+class TestLivenessEviction:
+    def test_silent_source_is_evicted_with_fake_clock(self):
+        """A source that stops reporting (no bye) stalls punctuation
+        until the liveness sweep evicts it; the run then completes as
+        if the recording had simply ended early for that source."""
+        factory, streams, until, tick = shelf_case(duration=6.0)
+        partial = 5  # reader1 readings delivered before it goes silent
+        truncated = dict(streams)
+        truncated["reader1"] = streams["reader1"][:partial]
+        ref = factory().run(until=until, tick=tick, sources=truncated)
+
+        now = [0.0]
+
+        async def scenario():
+            session = factory().open_session(until=until, tick=tick)
+            gateway = IngestGateway(
+                session, slack=0.0, clock=lambda: now[0],
+                liveness_timeout=30.0,
+            )
+            host, port = await gateway.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await write_frame(
+                writer, protocol.hello(["reader0", "reader1"])
+            )
+            ack = await read_frame(reader)
+            assert ack["type"] == "hello_ack"
+            for seq, item in enumerate(streams["reader1"][:partial]):
+                await write_frame(writer, protocol.data_frame(
+                    "reader1", seq, item.timestamp, item
+                ))
+            for seq, item in enumerate(streams["reader0"]):
+                await write_frame(writer, protocol.data_frame(
+                    "reader0", seq, item.timestamp, item
+                ))
+            await write_frame(writer, protocol.bye("reader0"))
+            while True:  # drain credits until the bye lands
+                frame = await asyncio.wait_for(
+                    read_frame(reader), timeout=WAIT
+                )
+                if frame["type"] == "bye_ack":
+                    break
+            # reader1 now goes silent. Advance the fake wall clock past
+            # the liveness timeout and sweep.
+            now[0] = 31.0
+            assert gateway.check_liveness() == ["reader1"]
+            await asyncio.wait_for(
+                gateway.run_until_drained(), timeout=WAIT
+            )
+            writer.close()
+            run = await gateway.close()
+            return run, gateway
+
+        run, gateway = asyncio.run(scenario())
+        stats = gateway.stats()["sources"]
+        assert stats["reader1"]["evicted"]
+        assert not stats["reader0"]["evicted"]
+        assert run.output == ref.output
+
+    def test_heartbeats_defer_eviction(self):
+        factory, streams, until, tick = shelf_case(duration=6.0)
+        now = [0.0]
+
+        async def scenario():
+            session = factory().open_session(until=until, tick=tick)
+            gateway = IngestGateway(
+                session, slack=0.0, clock=lambda: now[0],
+                liveness_timeout=10.0,
+            )
+            host, port = await gateway.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await write_frame(writer, protocol.hello(["reader0"]))
+            await read_frame(reader)
+            now[0] = 8.0
+            await write_frame(writer, protocol.heartbeat(["reader0"]))
+            await write_frame(writer, protocol.bye("reader0"))
+            await read_frame(reader)  # bye_ack: heartbeat processed too
+            assert gateway.check_liveness() == []  # heartbeat reset it
+            writer.close()
+            await gateway.close()
+
+        asyncio.run(scenario())
+
+
+class TestHandshakeRejections:
+    def _gateway_case(self):
+        factory, streams, until, tick = shelf_case(duration=3.0)
+        session = factory().open_session(until=until, tick=tick)
+        return IngestGateway(session, slack=0.0), streams
+
+    def test_version_mismatch_rejected(self):
+        async def scenario():
+            gateway, _streams = self._gateway_case()
+            host, port = await gateway.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await write_frame(
+                writer, protocol.hello(["reader0"], version=99)
+            )
+            frame = await read_frame(reader)
+            writer.close()
+            await gateway.close()
+            return frame
+
+        frame = asyncio.run(scenario())
+        assert frame["type"] == "error"
+        assert "version" in frame["reason"]
+
+    def test_unknown_source_rejected_via_feeder(self):
+        async def scenario():
+            gateway, streams = self._gateway_case()
+            host, port = await gateway.start()
+            feeder = ReplayFeeder(
+                host, port, {"bogus": list(streams["reader0"])}
+            )
+            try:
+                with pytest.raises(NetError, match="unknown sources"):
+                    await feeder.run()
+            finally:
+                await gateway.close()
+
+        asyncio.run(scenario())
+
+    def test_second_connection_for_live_source_rejected(self):
+        async def scenario():
+            gateway, _streams = self._gateway_case()
+            host, port = await gateway.start()
+            r1, w1 = await asyncio.open_connection(host, port)
+            await write_frame(w1, protocol.hello(["reader0"]))
+            assert (await read_frame(r1))["type"] == "hello_ack"
+            r2, w2 = await asyncio.open_connection(host, port)
+            await write_frame(w2, protocol.hello(["reader0"]))
+            frame = await read_frame(r2)
+            w1.close()
+            w2.close()
+            await gateway.close()
+            return frame
+
+        frame = asyncio.run(scenario())
+        assert frame["type"] == "error"
+        assert "already connected" in frame["reason"]
+
+    def test_misconfigured_gateway_rejected(self):
+        factory, _streams, until, tick = shelf_case(duration=3.0)
+        session = factory().open_session(until=until, tick=tick)
+        with pytest.raises(NetError, match="overload policy"):
+            IngestGateway(session, policy="drop-sideways")
+
+
+class TestLateDropsAccounting:
+    def test_insufficient_slack_drops_are_counted_not_fatal(self):
+        """With slack far below the max delay, hopelessly late tuples
+        are shed at the reorder buffer — counted per source, never
+        crashing the session — and the output stays sorted."""
+        factory, streams, until, tick = shelf_case(duration=8.0)
+        run, gateway, _report = asyncio.run(
+            loopback(
+                factory, streams, until, tick,
+                slack=0.05,
+                delay_model=DelayModel(
+                    mean_delay=0.5, max_delay=2.0, rng=11
+                ),
+            )
+        )
+        stats = gateway.stats()["sources"]
+        assert sum(s["dropped_late"] for s in stats.values()) > 0
+        times = [t.timestamp for t in run.output]
+        assert times == sorted(times)
+
+
+class TestStreamTupleOnTheWire:
+    def test_equal_timestamp_order_is_preserved(self):
+        """RFID readers emit bursts of identical timestamps; per-source
+        sequence numbers must reproduce the original order even when
+        the burst is shuffled by network delay."""
+        from repro.core.pipeline import ESPProcessor  # noqa: F401 - doc
+
+        factory, streams, until, tick = shelf_case(duration=4.0)
+        counts = {
+            name: len({i.timestamp for i in items}) < len(items)
+            for name, items in streams.items()
+        }
+        assert any(counts.values())  # the scenario really has ties
+        ref = factory().run(until=until, tick=tick, sources=streams)
+        run, _gateway, _report = asyncio.run(
+            loopback(
+                factory, streams, until, tick,
+                slack=0.6,
+                delay_model=DelayModel(
+                    mean_delay=0.15, max_delay=0.6, rng=7
+                ),
+            )
+        )
+        assert run.output == ref.output
+
+
+def test_gateway_requires_expected_sources():
+    class _FakeSession:
+        receptor_ids = ()
+
+        def close(self):
+            return None
+
+    with pytest.raises(NetError, match="at least one expected source"):
+        IngestGateway(_FakeSession())
+
+
+def test_wire_roundtrip_preserves_tuple_fidelity():
+    item = StreamTuple(1.25, {"count": 3, "tag_id": "s0_01"}, stream="rfid")
+    frame = protocol.data_frame("reader0", 4, 1.5, item)
+    assert protocol.record_to_tuple(frame["record"]) == item

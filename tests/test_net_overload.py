@@ -1,0 +1,129 @@
+"""Tests for the bounded ingress queue and its overload policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetError
+from repro.net.overload import (
+    BLOCKED,
+    DROPPED,
+    OVERLOAD_POLICIES,
+    QUEUED,
+    BoundedIngressQueue,
+)
+from repro.streams.telemetry import InMemoryCollector
+
+
+class TestPolicies:
+    def test_block_refuses_without_dropping(self):
+        queue = BoundedIngressQueue(2, "block")
+        assert queue.offer("a") == QUEUED
+        assert queue.offer("b") == QUEUED
+        assert queue.offer("c") == BLOCKED
+        assert queue.blocked == 1
+        assert queue.dropped == 0
+        assert queue.take() == "a"
+        assert queue.offer("c") == QUEUED
+        assert [queue.take(), queue.take()] == ["b", "c"]
+
+    def test_drop_oldest_keeps_freshest(self):
+        queue = BoundedIngressQueue(2, "drop-oldest")
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.offer("c") == QUEUED  # admitted; "a" was shed
+        assert queue.dropped == 1
+        assert [queue.take(), queue.take()] == ["b", "c"]
+
+    def test_drop_newest_keeps_oldest(self):
+        queue = BoundedIngressQueue(2, "drop-newest")
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.offer("c") == DROPPED
+        assert queue.dropped == 1
+        assert [queue.take(), queue.take()] == ["a", "b"]
+
+    def test_take_from_empty_raises(self):
+        with pytest.raises(NetError):
+            BoundedIngressQueue(1, "block").take()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(NetError):
+            BoundedIngressQueue(0, "block")
+        with pytest.raises(NetError):
+            BoundedIngressQueue(4, "drop-sideways")
+
+    def test_max_depth_high_watermark(self):
+        queue = BoundedIngressQueue(8, "block")
+        for i in range(5):
+            queue.offer(i)
+        queue.take()
+        queue.take()
+        queue.offer(5)
+        assert queue.max_depth == 5
+
+
+class TestTelemetry:
+    def test_counters_and_depth_gauge(self):
+        collector = InMemoryCollector()
+        queue = BoundedIngressQueue(
+            2, "drop-newest", label="m0", telemetry=collector
+        )
+        queue.offer("a")
+        queue.offer("b")
+        queue.offer("c")  # dropped
+        queue.take()
+        counters = collector.snapshot()["counters"]
+        assert counters["net.m0.offered"] == 3
+        assert counters["net.m0.dropped"] == 1
+        assert counters["net.m0.delivered"] == 1
+        ops = collector.snapshot()["operators"]
+        assert ops["net:m0"]["max_queue_depth"] == 2
+
+    def test_blocked_counter(self):
+        collector = InMemoryCollector()
+        queue = BoundedIngressQueue(
+            1, "block", label="m1", telemetry=collector
+        )
+        queue.offer("a")
+        queue.offer("b")
+        assert collector.snapshot()["counters"]["net.m1.blocked"] == 1
+
+
+@given(
+    policy=st.sampled_from(OVERLOAD_POLICIES),
+    bound=st.integers(min_value=1, max_value=8),
+    # Each step: True = offer the next item, False = take (if non-empty).
+    steps=st.lists(st.booleans(), min_size=1, max_size=200),
+)
+@settings(max_examples=120)
+def test_accounting_invariant_for_every_policy(policy, bound, steps):
+    """For any arrival/drain interleaving on any policy:
+
+    ``offered == delivered + dropped + len(queue)`` at every step, and
+    the telemetry counters equal the queue's own counters at the end.
+    """
+    collector = InMemoryCollector()
+    queue = BoundedIngressQueue(
+        bound, policy, label="prop", telemetry=collector
+    )
+    next_item = 0
+    for do_offer in steps:
+        if do_offer:
+            outcome = queue.offer(next_item)
+            if outcome != BLOCKED:
+                next_item += 1
+        elif len(queue):
+            queue.take()
+        assert queue.offered == (
+            queue.delivered + queue.dropped + len(queue)
+        )
+        assert len(queue) <= bound
+    while len(queue):
+        queue.take()
+    assert queue.offered == queue.delivered + queue.dropped
+    counters = collector.snapshot()["counters"]
+    assert counters.get("net.prop.offered", 0) == queue.offered
+    assert counters.get("net.prop.dropped", 0) == queue.dropped
+    assert counters.get("net.prop.delivered", 0) == queue.delivered
+    assert counters.get("net.prop.blocked", 0) == queue.blocked

@@ -1,0 +1,126 @@
+"""Tests for the ingestion wire protocol framing and payloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net import protocol
+from repro.net.protocol import (
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    record_to_tuple,
+    tuple_to_record,
+)
+from repro.streams.tuples import StreamTuple
+
+
+class TestFraming:
+    def test_roundtrip_single_frame(self):
+        frame = protocol.hello(["reader0", "reader1"])
+        decoded = FrameDecoder().feed(encode_frame(frame))
+        assert decoded == [frame]
+
+    def test_split_across_arbitrary_boundaries(self):
+        frames = [
+            protocol.hello(["a"]),
+            protocol.heartbeat(["a"]),
+            protocol.bye("a"),
+        ]
+        wire = b"".join(encode_frame(f) for f in frames)
+        for cut in range(1, len(wire) - 1):
+            decoder = FrameDecoder()
+            out = decoder.feed(wire[:cut]) + decoder.feed(wire[cut:])
+            assert out == frames
+            assert len(decoder) == 0
+
+    def test_byte_at_a_time(self):
+        frame = protocol.credit_frame("a", 7)
+        decoder = FrameDecoder()
+        out = []
+        for i in encode_frame(frame):
+            out.extend(decoder.feed(bytes([i])))
+        assert out == [frame]
+
+    def test_oversized_length_prefix_rejected(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(header)
+
+    def test_oversized_frame_not_encodable(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "data", "blob": "x" * (MAX_FRAME_BYTES)})
+
+    def test_non_object_payload_rejected(self):
+        payload = b"[1, 2, 3]"
+        wire = len(payload).to_bytes(4, "big") + payload
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(wire)
+
+    def test_typeless_object_rejected(self):
+        payload = b'{"version": 1}'
+        wire = len(payload).to_bytes(4, "big") + payload
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(wire)
+
+    def test_garbage_payload_rejected(self):
+        payload = b"\xff\xfe not json"
+        wire = len(payload).to_bytes(4, "big") + payload
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(wire)
+
+
+class TestConstructors:
+    def test_hello_carries_version_and_sorted_sources(self):
+        frame = protocol.hello(["b", "a"])
+        assert frame["version"] == PROTOCOL_VERSION
+        assert frame["sources"] == ["a", "b"]
+
+    def test_hello_ack_credits_forms(self):
+        assert protocol.hello_ack(None)["credits"] is None
+        assert protocol.hello_ack({"a": 4})["credits"] == {"a": 4}
+
+    def test_data_frame_fields(self):
+        item = StreamTuple(2.5, {"v": 1}, stream="rfid")
+        frame = protocol.data_frame("reader0", 9, 3.25, item)
+        assert frame["source"] == "reader0"
+        assert frame["seq"] == 9
+        assert frame["arrival"] == 3.25
+        assert record_to_tuple(frame["record"]) == item
+
+
+class TestTupleEncoding:
+    def test_roundtrip(self):
+        item = StreamTuple(1.5, {"tag_id": "T1", "count": 3}, stream="rfid")
+        assert record_to_tuple(tuple_to_record(item)) == item
+
+    def test_missing_timestamp_rejected(self):
+        with pytest.raises(ProtocolError):
+            record_to_tuple({"v": 1})
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.dictionaries(
+            st.text(min_size=1, max_size=8).filter(
+                lambda k: not k.startswith("_")
+            ),
+            st.one_of(
+                st.integers(min_value=-1000, max_value=1000),
+                st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                st.text(max_size=12),
+                st.booleans(),
+                st.none(),
+            ),
+            max_size=6,
+        ),
+        st.text(max_size=8),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_arbitrary_json_values(self, ts, fields, stream):
+        item = StreamTuple(ts, fields, stream=stream)
+        decoded = FrameDecoder().feed(
+            encode_frame(protocol.data_frame("s", 0, ts, item))
+        )
+        assert record_to_tuple(decoded[0]["record"]) == item

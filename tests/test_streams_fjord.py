@@ -194,3 +194,98 @@ class TestSourceOrderValidation:
         with pytest.raises(OperatorError, match="out of order"):
             fjord.run(ticks(5))
         assert [t["v"] for t in sink.results] == [1]
+
+
+class TestFjordSession:
+    """Push-mode execution must replicate the pull-based run exactly."""
+
+    def _windowed(self, sources):
+        """A fjord with a stateful windowed aggregate over two sources."""
+        fjord = Fjord()
+        for name, items in sources.items():
+            fjord.add_source(name, items)
+        fjord.add_operator(
+            "agg",
+            WindowedGroupByOp(
+                WindowSpec("range", 2.0),
+                keys=(),
+                aggregates=[AggregateSpec("count", None, output="n")],
+            ),
+            inputs=sorted(sources),
+        )
+        sink = fjord.add_sink("out", inputs=["agg"])
+        return fjord, sink
+
+    def _data(self):
+        return {
+            "a": [tup(0.0, "a", v=1), tup(1.5, "a", v=2), tup(3.0, "a", v=3)],
+            "b": [tup(0.5, "b", v=4), tup(1.5, "b", v=5), tup(2.5, "b", v=6)],
+        }
+
+    def test_session_matches_run(self):
+        data = self._data()
+        ref_fjord, ref_sink = self._windowed(data)
+        ref_fjord.run(ticks(4))
+
+        empty = {name: [] for name in data}
+        fjord, sink = self._windowed(empty)
+        session = fjord.open_session(ticks(4))
+        arrivals = sorted(
+            ((item.timestamp, name, item) for name, items in data.items()
+             for item in items),
+            key=lambda e: (e[0], e[1]),
+        )
+        for ts, name, item in arrivals:
+            session.push(name, item)
+            session.advance(ts)  # everything strictly below ts is safe
+        session.close()
+        assert sink.results == ref_sink.results
+
+    def test_advance_respects_watermark(self):
+        fjord, _sink = self._windowed({"a": [], "b": []})
+        session = fjord.open_session([0.0, 1.0, 2.0])
+        assert session.advance(1.5) == [0.0, 1.0]
+        assert session.safe_time == 1.0
+        assert session.advance(1.5) == []  # stale watermark: no-op
+        assert session.advance(float("inf")) == [2.0]
+
+    def test_push_behind_cursor_raises(self):
+        fjord, _sink = self._windowed({"a": [], "b": []})
+        session = fjord.open_session([0.0, 1.0, 2.0])
+        session.advance(1.5)
+        with pytest.raises(OperatorError, match="behind the session"):
+            session.push("a", tup(0.5, "a", v=1))
+
+    def test_push_unknown_source_raises(self):
+        fjord, _sink = self._windowed({"a": [], "b": []})
+        session = fjord.open_session([0.0, 1.0])
+        with pytest.raises(OperatorError, match="unknown session source"):
+            session.push("nope", tup(0.5, "nope", v=1))
+
+    def test_per_source_regression_raises(self):
+        fjord, _sink = self._windowed({"a": [], "b": []})
+        session = fjord.open_session([0.0, 5.0])
+        session.push("a", tup(3.0, "a", v=1))
+        with pytest.raises(OperatorError, match="out of order"):
+            session.push("a", tup(1.0, "a", v=2))
+
+    def test_close_flushes_and_is_idempotent(self):
+        data = {"a": [tup(0.5, "a", v=1)], "b": []}
+        ref_fjord, ref_sink = self._windowed(data)
+        ref_fjord.run(ticks(3))
+
+        fjord, sink = self._windowed({"a": [], "b": []})
+        session = fjord.open_session(ticks(3))
+        session.push("a", tup(0.5, "a", v=1))
+        session.close()
+        session.close()  # second close is a no-op
+        assert sink.results == ref_sink.results
+        with pytest.raises(OperatorError, match="closed"):
+            session.push("a", tup(2.5, "a", v=9))
+        with pytest.raises(OperatorError, match="closed"):
+            session.advance(10.0)
+
+    def test_descending_ticks_rejected(self):
+        fjord, _sink = self._windowed({"a": [], "b": []})
+        with pytest.raises(OperatorError, match="ascending"):
+            fjord.open_session([2.0, 1.0])

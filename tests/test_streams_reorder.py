@@ -52,7 +52,9 @@ class TestReorderBuffer:
         buffer.push(5.0, tup(5.0))  # releases up to ts 4 -> frontier 0
         buffer.push(6.1, tup(6.0))  # releases ts 5 -> frontier 5
         out = buffer.push(7.0, tup(2.0))  # ts 2 < frontier: hopeless
-        assert out == []
+        # The late arrival is shed, but its arrival time still advanced
+        # the horizon to 6.0 — which uncovers the buffered ts-6 tuple.
+        assert [t.timestamp for t in out] == [6.0]
         assert buffer.dropped == 1
 
     def test_flush_empties_buffer(self):
@@ -176,3 +178,93 @@ class TestEndToEndWithDelays:
             sources=delayed_sources,
         )
         assert run.output  # pipeline runs cleanly over reordered data
+
+
+class TestReorderEdgeCases:
+    """Boundary behavior the ingestion gateway leans on."""
+
+    def test_duplicate_timestamps_release_in_sequence_order(self):
+        """Equal-timestamp tuples come out in ascending explicit
+        sequence, regardless of arrival interleaving — the gateway
+        forwards sender sequence numbers for exactly this."""
+        buffer = ReorderBuffer(slack=5.0)
+        buffer.push(0.0, tup(1.0, v="third"), sequence=2)
+        buffer.push(0.1, tup(1.0, v="first"), sequence=0)
+        buffer.push(0.2, tup(1.0, v="second"), sequence=1)
+        out = buffer.flush()
+        assert [t["v"] for t in out] == ["first", "second", "third"]
+
+    def test_duplicate_timestamps_default_to_arrival_order(self):
+        buffer = ReorderBuffer(slack=5.0)
+        for v in ("a", "b", "c"):
+            buffer.push(0.0, tup(2.0, v=v))
+        assert [t["v"] for t in buffer.flush()] == ["a", "b", "c"]
+
+    def test_arrival_exactly_at_slack_horizon_admitted(self):
+        """delay == slack sits exactly on the release horizon: it must
+        be admitted (and released immediately), not dropped — even when
+        the subtraction picks up float rounding."""
+        slack = 1.0
+        buffer = ReorderBuffer(slack=slack)
+        ts = 0.1 + 0.2  # classic non-representable sum
+        out = buffer.push(ts + slack, tup(ts))
+        assert [t.timestamp for t in out] == [ts]
+        assert buffer.dropped == 0
+
+    def test_arrival_just_past_horizon_dropped(self):
+        buffer = ReorderBuffer(slack=1.0)
+        buffer.push(5.0, tup(5.0))  # horizon now 4.0
+        out = buffer.push(5.0, tup(2.0))  # 2.0 << 4.0: hopeless
+        assert out == []
+        assert buffer.dropped == 1
+
+    def test_drop_still_releases_uncovered_tuples(self):
+        """A dropped arrival advances the horizon like any other; the
+        tuples it uncovers must release on that same push, or a
+        watermark-driven consumer would see them behind its
+        punctuation."""
+        buffer = ReorderBuffer(slack=1.0)
+        assert buffer.push(0.5, tup(1.0)) == []  # buffered
+        out = buffer.push(3.0, tup(0.5))  # late: dropped; horizon 2.0
+        assert buffer.dropped == 1
+        assert [t.timestamp for t in out] == [1.0]  # uncovered
+        assert buffer.watermark == 2.0
+
+    def test_flush_after_partial_release(self):
+        buffer = ReorderBuffer(slack=2.0)
+        buffer.push(0.0, tup(0.0))
+        buffer.push(3.0, tup(3.0))  # releases ts 0.0 (horizon 1.0)
+        buffer.push(3.5, tup(2.5))  # still buffered
+        assert len(buffer) == 2
+        out = buffer.flush()
+        assert [t.timestamp for t in out] == [2.5, 3.0]
+        assert len(buffer) == 0
+        assert buffer.released == 3
+        assert buffer.watermark == float("inf")
+        # Post-flush arrivals are late by definition.
+        assert buffer.push(10.0, tup(9.0)) == []
+        assert buffer.dropped == 1
+
+    def test_watermark_tracks_frontier_and_horizon(self):
+        buffer = ReorderBuffer(slack=1.0)
+        assert buffer.watermark == float("-inf")
+        buffer.push(2.0, tup(1.5))  # horizon 1.0, ts 1.5 buffered
+        assert buffer.watermark == 1.0
+        out = buffer.push(3.0, tup(3.0))  # horizon 2.0: releases 1.5
+        assert [t.timestamp for t in out] == [1.5]
+        assert buffer.watermark == 2.0  # horizon leads the frontier
+
+    def test_released_never_behind_watermark(self):
+        """The gateway's core safety contract: once ``watermark``
+        returns W, no later release carries a timestamp more than 1 ns
+        below W — under any interleaving of admits and drops."""
+        rng = np.random.default_rng(17)
+        buffer = ReorderBuffer(slack=0.3)
+        floor = float("-inf")
+        for ts in np.cumsum(rng.exponential(0.2, size=300)):
+            delay = min(1.5, rng.exponential(0.4))
+            for item in buffer.push(float(ts + delay), tup(float(ts))):
+                assert item.timestamp >= floor - 1e-9
+            floor = max(floor, buffer.watermark)
+        for item in buffer.flush():
+            assert item.timestamp >= floor - 1e-9
