@@ -8,6 +8,11 @@ benchmark's group-by-heavy workload:
 - ``test_noop_overhead_within_budget`` asserts a no-op collector stays
   within 5 % of the fully uninstrumented run (median of several
   interleaved trials, with retries to ride out scheduler noise);
+- ``test_span_tracing_overhead_within_budget`` pins the marginal cost
+  of ingest span correlation on the session push path: an enabled
+  collector with every push carrying an
+  :class:`~repro.streams.telemetry.IngestTrace` must stay within 5 % of
+  the same enabled collector with tracing disabled (no traces);
 - the ``benchmark``-fixture cases record absolute throughput for the
   uninstrumented, no-op and in-memory collector configurations so CI's
   ``BENCH_ci.json`` artifact tracks all three over time.
@@ -18,12 +23,19 @@ from __future__ import annotations
 import statistics
 import time
 
-from repro.streams.telemetry import InMemoryCollector, TelemetryCollector
+from repro.streams.telemetry import (
+    InMemoryCollector,
+    IngestTrace,
+    TelemetryCollector,
+)
 
 from benchmarks.test_bench_sharding import N_TUPLES, _build, _ticks, _trace
 
 #: Relative overhead budget for the disabled-telemetry hot path.
 NOOP_BUDGET = 0.05
+
+#: Relative budget for span tracing vs an enabled collector without it.
+SPAN_BUDGET = 0.05
 
 
 def _run(sources, ticks, collector=None):
@@ -74,6 +86,88 @@ def test_noop_overhead_within_budget():
     )
 
 
+def _run_session(sources, ticks, collector=None, traced=False):
+    """Push the whole trace through a FjordSession, spans optional."""
+    fjord, sink = _build(sources)
+    session = fjord.open_session(ticks, telemetry=collector)
+    items = sources["readings"]
+    if traced:
+        for seq, item in enumerate(items):
+            session.push(
+                "readings", item,
+                trace=IngestTrace(seq, "readings", item.timestamp),
+            )
+    else:
+        for item in items:
+            session.push("readings", item)
+    session.advance(float("inf"))
+    session.close()
+    return len(sink.results)
+
+
+def test_session_noop_overhead_within_budget():
+    """The session push path keeps the single-flag-check contract: a
+    no-op collector (and the ``trace is None`` branch) costs ≤ 5 % over
+    the fully uninstrumented session run."""
+    sources = _trace()
+    ticks = _ticks(sources)
+    noop = TelemetryCollector()
+    _run_session(sources, ticks)  # warm caches
+    _run_session(sources, ticks, noop)
+
+    attempts = 3
+    for attempt in range(1, attempts + 1):
+        bare = _median_seconds(
+            lambda: _run_session(sources, ticks), trials=3
+        )
+        with_noop = _median_seconds(
+            lambda: _run_session(sources, ticks, noop), trials=3
+        )
+        overhead = with_noop / bare - 1.0
+        if overhead <= NOOP_BUDGET:
+            return
+    raise AssertionError(
+        f"no-op session telemetry overhead {overhead:.1%} exceeds "
+        f"{NOOP_BUDGET:.0%} budget after {attempts} attempts "
+        f"(bare {bare:.3f}s, no-op {with_noop:.3f}s)"
+    )
+
+
+def test_span_tracing_overhead_within_budget():
+    """Span correlation costs ≤ 5 % on top of an enabled collector.
+
+    Both sides run the full InMemoryCollector instrumentation; the
+    traced side additionally stamps an IngestTrace per push and records
+    five spans plus one span-log entry per tuple at sweep time — the
+    whole wire-to-emit correlation machinery. The gate pins that margin.
+    """
+    sources = _trace()
+    ticks = _ticks(sources)
+    _run_session(sources, ticks, InMemoryCollector())  # warm caches
+    _run_session(sources, ticks, InMemoryCollector(), traced=True)
+
+    attempts = 3
+    for attempt in range(1, attempts + 1):
+        untraced = _median_seconds(
+            lambda: _run_session(sources, ticks, InMemoryCollector()),
+            trials=3,
+        )
+        traced = _median_seconds(
+            lambda: _run_session(
+                sources, ticks, InMemoryCollector(), traced=True
+            ),
+            trials=3,
+        )
+        overhead = traced / untraced - 1.0
+        if overhead <= SPAN_BUDGET:
+            return
+    raise AssertionError(
+        f"span tracing overhead {overhead:.1%} exceeds "
+        f"{SPAN_BUDGET:.0%} budget after {attempts} attempts "
+        f"(untraced {untraced:.3f}s, traced {traced:.3f}s)"
+    )
+
+
 def test_uninstrumented_throughput(benchmark):
     sources = _trace()
     ticks = _ticks(sources)
@@ -90,6 +184,26 @@ def test_noop_collector_throughput(benchmark):
     noop = TelemetryCollector()
     emitted = benchmark(lambda: _run(sources, ticks, noop))
     assert emitted > 0
+    benchmark.extra_info["tuples_per_sec"] = round(
+        N_TUPLES / benchmark.stats["mean"]
+    )
+
+
+def test_span_traced_session_throughput(benchmark):
+    """Absolute throughput with full span correlation on, for the CI
+    benchmark artifact's trend line."""
+    sources = _trace()
+    ticks = _ticks(sources)
+
+    def run():
+        collector = InMemoryCollector()
+        emitted = _run_session(sources, ticks, collector, traced=True)
+        return emitted, collector
+
+    emitted, collector = benchmark(run)
+    assert emitted > 0
+    snapshot = collector.snapshot()
+    assert snapshot["spans"]["ingest.e2e"]["count"] == N_TUPLES
     benchmark.extra_info["tuples_per_sec"] = round(
         N_TUPLES / benchmark.stats["mean"]
     )

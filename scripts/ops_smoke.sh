@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Smoke-test the live ops plane end to end, the way an operator would:
+# start `repro serve` with the ops endpoint enabled, probe /healthz and
+# /metrics with curl, keep polling /snapshot while a `repro feed` replay
+# drives real traffic through the gateway, and leave the last snapshot
+# on disk for CI to upload as an artifact.
+#
+# Usage: scripts/ops_smoke.sh [gateway-port] [ops-port] [snapshot-out]
+set -euo pipefail
+
+PORT="${1:-7107}"
+OPS_PORT="${2:-7108}"
+OUT="${3:-ops_snapshot.json}"
+BASE="http://127.0.0.1:${OPS_PORT}"
+
+PYTHONPATH=src python -m repro serve shelf \
+  --port "$PORT" --ops-port "$OPS_PORT" \
+  --duration 4.0 --slack 0.0 &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+echo "--- /healthz"
+curl -fsS "$BASE/healthz"
+echo "--- /metrics (head)"
+curl -fsS "$BASE/metrics" | head -n 20
+echo "--- /readyz (before any feeder: expected not ready)"
+curl -sS "$BASE/readyz" || true
+echo
+curl -fsS "$BASE/snapshot" >"$OUT"
+
+PYTHONPATH=src python -m repro feed shelf \
+  --port "$PORT" --duration 4.0 >/dev/null &
+FEEDER=$!
+
+# Poll /snapshot until the drained server closes the ops listener; the
+# last successful poll is the artifact.
+while curl -fsS "$BASE/snapshot" >"$OUT.tmp" 2>/dev/null; do
+  mv "$OUT.tmp" "$OUT"
+  sleep 0.1
+done
+rm -f "$OUT.tmp"
+
+wait "$FEEDER"
+wait "$SERVER"
+trap - EXIT
+
+python - "$OUT" <<'EOF'
+import json
+import sys
+
+document = json.load(open(sys.argv[1]))
+assert set(document) >= {"telemetry", "gateway"}, sorted(document)
+print(f"snapshot OK: {sys.argv[1]}")
+EOF
+echo "ops smoke passed"

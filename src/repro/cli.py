@@ -8,6 +8,7 @@ Usage::
     python -m repro paper                # show the paper's reference values
     python -m repro serve shelf          # ingestion gateway for a scenario
     python -m repro feed shelf           # replay the scenario into it
+    python -m repro top                  # live console for a running serve
 """
 
 from __future__ import annotations
@@ -270,8 +271,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.net.service import serve_scenario
 
+    instrument = (
+        args.stats
+        or args.trace_out is not None
+        or args.span_out is not None
+        or args.ops_port is not None
+    )
+    collector = None
+    if instrument:
+        from repro.streams.telemetry import InMemoryCollector
+
+        collector = InMemoryCollector()
+
     def ready(host: str, port: int) -> None:
         print(f"listening on {host}:{port}", file=sys.stderr)
+
+    def ops_ready(host: str, port: int) -> None:
+        print(f"ops endpoint on http://{host}:{port}", file=sys.stderr)
 
     summary = asyncio.run(
         serve_scenario(
@@ -289,11 +305,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if args.liveness_timeout is not None
                 else None
             ),
+            telemetry=collector,
             ready=ready,
+            ops_port=args.ops_port,
+            ops_ready=ops_ready,
         )
     )
+    if collector is not None:
+        snapshot = collector.snapshot()
+        if args.stats:
+            from repro.core.pipeline import stage_rollups
+            from repro.streams.telemetry import format_table
+
+            print(
+                format_table(snapshot, rollups=stage_rollups(snapshot)),
+                file=sys.stderr,
+            )
+        if args.trace_out is not None:
+            from repro.streams.traceio import write_trace_events
+
+            count = write_trace_events(snapshot["events"], args.trace_out)
+            print(
+                f"wrote {count} trace events to {args.trace_out}",
+                file=sys.stderr,
+            )
+        if args.span_out is not None:
+            from repro.streams.traceio import write_trace_events
+
+            count = write_trace_events(snapshot["span_log"], args.span_out)
+            print(
+                f"wrote {count} span records to {args.span_out}",
+                file=sys.stderr,
+            )
     print(json.dumps(summary, indent=2, default=_jsonable))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.net.ops import format_top
+
+    base = f"http://{args.host}:{args.port}"
+    previous = None
+    elapsed = None
+    last_poll = None
+    remaining = args.iterations
+    while True:
+        try:
+            with urllib.request.urlopen(
+                f"{base}/snapshot", timeout=5.0
+            ) as response:
+                document = json.loads(response.read().decode("utf-8"))
+        except (OSError, ValueError) as error:
+            print(f"ops endpoint {base} unreachable: {error}", file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        if last_poll is not None:
+            elapsed = now - last_poll
+        last_poll = now
+        frame = format_top(document, previous, elapsed)
+        if args.clear and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(frame, end="", flush=True)
+        previous = document
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        time.sleep(args.interval)
 
 
 def _cmd_feed(args: argparse.Namespace) -> int:
@@ -428,6 +510,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="evict sources silent for this many wall seconds",
     )
+    serve.add_argument(
+        "--ops-port",
+        type=int,
+        metavar="PORT",
+        help="also serve /metrics, /healthz, /readyz and /snapshot on "
+        "this port (0 = ephemeral; off by default)",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a per-operator telemetry table to stderr after the run",
+    )
+    serve.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the run's telemetry trace events to PATH as JSONL",
+    )
+    serve.add_argument(
+        "--span-out",
+        metavar="PATH",
+        help="write the run's ingest span records to PATH as JSONL",
+    )
 
     feed = commands.add_parser(
         "feed", help="replay a scenario's recording into a gateway"
@@ -475,6 +579,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="RNG seed for the delay/loss models",
     )
+
+    top = commands.add_parser(
+        "top", help="live console for a gateway's ops endpoint"
+    )
+    top.add_argument("--host", default="127.0.0.1", help="ops endpoint host")
+    top.add_argument(
+        "--port", type=int, default=7008, help="ops endpoint port"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls",
+    )
+    top.add_argument(
+        "--iterations",
+        type=_positive_int,
+        metavar="N",
+        help="render N frames then exit (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear",
+        dest="clear",
+        action="store_false",
+        help="append frames instead of clearing the screen",
+    )
     return parser
 
 
@@ -487,6 +617,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "run": _cmd_run,
         "serve": _cmd_serve,
         "feed": _cmd_feed,
+        "top": _cmd_top,
     }
     return handlers[args.command](args)
 

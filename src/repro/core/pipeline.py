@@ -112,10 +112,11 @@ def _as_stage_list(arg: "Stage | Sequence[Stage] | None") -> list[Stage]:
 #: Rollup keys for nodes the processor itself wires around the stages.
 _PLUMBING_STAGES = {"annot": "ingest", "kindout": "union", "tap": "output"}
 
-#: Presentation order of rollup rows: the ESP cascade, then plumbing.
+#: Presentation order of rollup rows: the network edge, the ESP
+#: cascade, then plumbing.
 _ROLLUP_ORDER = (
-    "ingest", "point", "smooth", "merge", "arbitrate", "virtualize",
-    "union", "output", "other",
+    "gateway", "ingest", "point", "smooth", "merge", "arbitrate",
+    "virtualize", "union", "output", "other",
 )
 
 
@@ -132,6 +133,10 @@ def classify_node(name: str) -> str:
     head, _sep, _rest = name.partition(":")
     if head in _PLUMBING_STAGES:
         return _PLUMBING_STAGES[head]
+    if head == "gateway":
+        # The ingestion gateway's per-source queue gauges (depth under
+        # operator name "gateway:<source>") roll up as their own row.
+        return "gateway"
     if head == "virtualize" or name == "__merge_kinds__":
         return "virtualize"
     if name == "__output__":
@@ -273,8 +278,22 @@ class ESPStreamSession:
         :attr:`repro.streams.fjord.FjordSession.safe_time`)."""
         return self._session.safe_time
 
-    def push(self, receptor_id: str, item: StreamTuple) -> None:
+    def push(
+        self,
+        receptor_id: str,
+        item: StreamTuple,
+        trace: Any = None,
+    ) -> None:
         """Feed one raw reading from the named receptor.
+
+        Args:
+            receptor_id: The receptor the reading came from.
+            item: The raw reading.
+            trace: Optional span-correlation state
+                (:class:`~repro.streams.telemetry.IngestTrace`),
+                forwarded to :meth:`FjordSession.push` — how the
+                ingestion gateway's wire-to-emit latency decomposition
+                reaches the executor.
 
         Raises:
             PipelineError: For an unknown receptor id.
@@ -287,7 +306,7 @@ class ESPStreamSession:
                 f"unknown receptor {receptor_id!r}; session sources: "
                 f"{self.receptor_ids}"
             )
-        self._session.push(source, item)
+        self._session.push(source, item, trace=trace)
 
     def advance(self, watermark: float) -> list[float]:
         """Sweep every pending tick strictly below ``watermark``."""

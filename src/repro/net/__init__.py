@@ -17,6 +17,10 @@ remote receptors over TCP instead of in-memory traces:
 - :mod:`repro.net.feeder` — :class:`ReplayFeeder`, the client that
   replays any scenario trace over the wire with the
   :mod:`repro.receptors.network` delay/loss models applied;
+- :mod:`repro.net.ops` — :class:`OpsServer`, the dependency-free HTTP
+  ops plane (``/metrics`` Prometheus exposition, ``/healthz``,
+  ``/readyz``, ``/snapshot``) behind ``repro serve --ops-port`` and
+  the ``repro top`` live console;
 - :mod:`repro.net.service` — scenario plumbing shared by the
   ``repro serve`` / ``repro feed`` CLI subcommands and the test suite.
 
@@ -28,12 +32,14 @@ the same scenario (pinned by the loopback differential tests).
 
 from repro.net.feeder import ReplayFeeder
 from repro.net.gateway import IngestGateway
+from repro.net.ops import OpsServer
 from repro.net.overload import BoundedIngressQueue, OVERLOAD_POLICIES
 from repro.net.protocol import PROTOCOL_VERSION
 
 __all__ = [
     "BoundedIngressQueue",
     "IngestGateway",
+    "OpsServer",
     "OVERLOAD_POLICIES",
     "PROTOCOL_VERSION",
     "ReplayFeeder",

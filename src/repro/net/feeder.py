@@ -27,6 +27,7 @@ from typing import Any, Awaitable, Callable, Mapping, Sequence
 from repro.errors import NetError
 from repro.net import protocol
 from repro.net.protocol import read_frame, write_frame
+from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
 from repro.streams.tuples import StreamTuple
 
 
@@ -59,6 +60,11 @@ class ReplayFeeder:
             :func:`asyncio.sleep`.
         clock: Injectable wall clock for pacing; defaults to
             :func:`time.monotonic`.
+        telemetry: Collector mirroring the replay accounting onto
+            ``feeder.*`` counters (``feeder.<source>.sent`` /
+            ``.lost``, ``feeder.reconnects``, ``feeder.blocked_waits``,
+            ``feeder.credit_frames``, ``feeder.pacing_stalls``);
+            defaults to the process-wide default (usually a no-op).
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class ReplayFeeder:
         backoff_cap: float = 1.0,
         sleep: "Callable[[float], Awaitable[None]] | None" = None,
         clock: "Callable[[], float] | None" = None,
+        telemetry: "TelemetryCollector | None" = None,
     ):
         if not streams:
             raise NetError("feeder needs at least one source stream")
@@ -95,12 +102,15 @@ class ReplayFeeder:
         self.backoff_cap = float(backoff_cap)
         self._sleep = sleep if sleep is not None else asyncio.sleep
         self._clock = clock if clock is not None else time.monotonic
-        # accounting
+        self._collector = resolve_telemetry(telemetry)
+        # accounting (attributes are the source of truth; the collector
+        # mirrors every increment onto feeder.* counters)
         self.sent = {name: 0 for name in self.streams}
         self.lost = {name: 0 for name in self.streams}
         self.reconnects = 0
         self.blocked_waits = 0
         self.credit_frames = 0
+        self.pacing_stalls = 0
         # per-connection shared state (sender ⇄ read loop)
         self._credits: "dict[str, int] | None" = None
         self._credit_event = asyncio.Event()
@@ -122,6 +132,7 @@ class ReplayFeeder:
             for seq, item in enumerate(self.streams[name]):
                 if self.channel is not None and not self.channel.deliver():
                     self.lost[name] += 1
+                    self._count(f"feeder.{name}.lost")
                     continue
                 delay = (
                     float(self.delay_model.sample())
@@ -172,6 +183,7 @@ class ReplayFeeder:
                 return self.report()
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 self.reconnects += 1
+                self._count("feeder.reconnects")
             finally:
                 for task in tasks:
                     task.cancel()
@@ -212,6 +224,7 @@ class ReplayFeeder:
                 kind = frame.get("type")
                 if kind == "credit":
                     self.credit_frames += 1
+                    self._count("feeder.credit_frames")
                     if self._credits is not None:
                         source = frame.get("source")
                         self._credits[source] = (
@@ -250,12 +263,15 @@ class ReplayFeeder:
                 target = wall_start + (arrival - sim_start) / self.rate
                 pause = target - self._clock()
                 if pause > 0:
+                    self.pacing_stalls += 1
+                    self._count("feeder.pacing_stalls")
                     await self._sleep(pause)
             await self._acquire_credit(source)
             await write_frame(
                 writer, protocol.data_frame(source, seq, arrival, item)
             )
             self.sent[source] += 1
+            self._count(f"feeder.{source}.sent")
             index += 1
         return index
 
@@ -268,6 +284,7 @@ class ReplayFeeder:
                     raise NetError(f"gateway error: {self._error}")
                 raise ConnectionResetError("gateway closed mid-stream")
             self.blocked_waits += 1
+            self._count("feeder.blocked_waits")
             self._credit_event.clear()
             await self._credit_event.wait()
         self._credits[source] -= 1
@@ -285,6 +302,10 @@ class ReplayFeeder:
             self._credit_event.clear()
             await self._credit_event.wait()
 
+    def _count(self, key: str) -> None:
+        if self._collector.enabled:
+            self._collector.count(key)
+
     def report(self) -> dict[str, Any]:
         """Delivery accounting for the replay so far."""
         return {
@@ -293,4 +314,5 @@ class ReplayFeeder:
             "reconnects": self.reconnects,
             "blocked_waits": self.blocked_waits,
             "credit_frames": self.credit_frames,
+            "pacing_stalls": self.pacing_stalls,
         }

@@ -41,7 +41,12 @@ from repro.net import protocol
 from repro.net.overload import BLOCKED, BoundedIngressQueue, OVERLOAD_POLICIES
 from repro.net.protocol import read_frame, write_frame
 from repro.streams.reorder import ReorderBuffer
-from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
+from repro.streams.telemetry import (
+    IngestTrace,
+    TelemetryCollector,
+    clock_ns,
+    resolve_telemetry,
+)
 from repro.streams.tuples import StreamTuple
 
 
@@ -50,7 +55,7 @@ class _SourceState:
 
     __slots__ = (
         "name", "queue", "reorder", "last_seen", "owner",
-        "final_requested", "final", "evicted", "space",
+        "final_requested", "final", "evicted", "space", "traces",
     )
 
     def __init__(
@@ -69,6 +74,11 @@ class _SourceState:
         self.final = False
         self.evicted = False
         self.space = asyncio.Event()
+        #: id(item) → IngestTrace for tuples currently inside the
+        #: reorder buffer. The buffer stores and releases the *same*
+        #: objects, so object identity is the correlation key — no
+        #: ReorderBuffer API change needed.
+        self.traces: dict[int, IngestTrace] = {}
 
 
 class IngestGateway:
@@ -143,6 +153,8 @@ class IngestGateway:
         self._complete = asyncio.Event()
         self._ever_connected = False
         self._closed = False
+        self._started = False
+        self._ingest_seq = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -157,6 +169,7 @@ class IngestGateway:
         if self._server is not None:
             raise NetError("gateway already started")
         self._server = await asyncio.start_server(self._handle, host, port)
+        self._started = True
         self._drainer = asyncio.ensure_future(self._drain_loop())
         if self.liveness_timeout is not None and self._liveness_interval:
             self._watchdog = asyncio.ensure_future(self._watch_loop())
@@ -223,7 +236,7 @@ class IngestGateway:
             return None
         version = frame.get("version")
         if version != protocol.PROTOCOL_VERSION:
-            self._count("net.gateway.version_mismatch")
+            self._count("gateway.version_mismatch")
             await self._bail(
                 writer,
                 f"protocol version {version!r} unsupported; this gateway "
@@ -233,7 +246,7 @@ class IngestGateway:
         names = frame.get("sources") or []
         unknown = [n for n in names if n not in self._expected]
         if unknown or not names:
-            self._count("net.gateway.bad_hello")
+            self._count("gateway.bad_hello")
             await self._bail(
                 writer,
                 f"unknown sources {unknown!r}; expected a non-empty subset "
@@ -299,11 +312,14 @@ class IngestGateway:
                     )
                 state.last_seen = self._clock()
                 item = protocol.record_to_tuple(frame.get("record") or {})
-                entry = (
-                    int(frame.get("seq", 0)),
-                    float(frame.get("arrival", item.timestamp)),
-                    item,
-                )
+                arrival = float(frame.get("arrival", item.timestamp))
+                trace = None
+                if self._collector.enabled:
+                    self._ingest_seq += 1
+                    trace = IngestTrace(
+                        self._ingest_seq, state.name, item.timestamp
+                    )
+                entry = (int(frame.get("seq", 0)), arrival, item, trace)
                 await self._offer(state, entry)
             elif kind == "heartbeat":
                 now = self._clock()
@@ -359,23 +375,54 @@ class IngestGateway:
             while len(state.queue):
                 if self._throttle is not None:
                     await self._throttle()
-                seq, arrival, item = state.queue.take()
+                seq, arrival, item, trace = state.queue.take()
                 state.space.set()
-                self._inject(state, arrival, item, seq)
+                if trace is not None:
+                    trace.t_queued = clock_ns()
+                self._inject(state, arrival, item, seq, trace)
                 granted[name] = granted.get(name, 0) + 1
             if state.final_requested and not state.final:
                 for released in state.reorder.flush():
-                    self._session.push(name, released)
+                    self._push_released(state, released)
+                state.traces.clear()
                 state.final = True
         self._advance()
         if self.policy == "block":
             await self._grant_credits(granted)
 
     def _inject(
-        self, state: _SourceState, arrival: float, item: StreamTuple, seq: int
+        self,
+        state: _SourceState,
+        arrival: float,
+        item: StreamTuple,
+        seq: int,
+        trace: "IngestTrace | None" = None,
     ) -> None:
+        if trace is not None:
+            state.traces[id(item)] = trace
+            dropped_before = state.reorder.dropped
         for released in state.reorder.push(arrival, item, sequence=seq):
+            self._push_released(state, released)
+        if trace is not None and state.reorder.dropped > dropped_before:
+            # Only the currently-pushed item can be late-dropped, so the
+            # counter diff pins the victim: retire its trace unemitted.
+            late = state.traces.pop(id(item), None)
+            if late is not None:
+                self._count(f"gateway.{state.name}.late_dropped")
+                self._collector.span(
+                    kind="span_dropped", ingest_id=late.ingest_id,
+                    source=late.source, sim_ts=late.sim_ts,
+                    queue_ns=late.t_queued - late.t_ingest,
+                    dropped_ns=clock_ns() - late.t_queued,
+                )
+
+    def _push_released(self, state: _SourceState, released: Any) -> None:
+        trace = state.traces.pop(id(released), None)
+        if trace is None:
             self._session.push(state.name, released)
+        else:
+            trace.t_released = clock_ns()
+            self._session.push(state.name, released, trace=trace)
 
     def _advance(self) -> None:
         watermark = float("inf")
@@ -394,7 +441,7 @@ class IngestGateway:
                 if mark == float("-inf") or mark == float("inf"):
                     continue
                 lag = max(0.0, mark - max(safe, 0.0))
-                self._collector.sample_watermark(f"net:{name}", lag)
+                self._collector.sample_watermark(f"gateway:{name}", lag)
 
     async def _grant_credits(self, granted: dict[str, int]) -> None:
         for name, amount in granted.items():
@@ -406,6 +453,10 @@ class IngestGateway:
                 await write_frame(
                     writer, protocol.credit_frame(name, amount)
                 )
+                if self._collector.enabled:
+                    self._collector.count(
+                        f"gateway.{name}.credits_granted", amount
+                    )
             except (ConnectionError, RuntimeError):
                 pass  # connection died; reconnect re-grants from room
 
@@ -421,7 +472,7 @@ class IngestGateway:
             The names evicted by this sweep. Eviction finalizes the
             source — its buffered readings are flushed through the
             pipeline and punctuation stops waiting on it — and is
-            counted on ``net.<source>.evicted``.
+            counted on ``gateway.<source>.evicted``.
         """
         if self.liveness_timeout is None:
             return []
@@ -433,7 +484,7 @@ class IngestGateway:
             if now - state.last_seen > self.liveness_timeout:
                 state.final_requested = True
                 state.evicted = True
-                self._count(f"net.{name}.evicted")
+                self._count(f"gateway.{name}.evicted")
                 if self._collector.enabled:
                     self._collector.event(
                         "net_evicted", source=name,
@@ -464,6 +515,32 @@ class IngestGateway:
                 return
         self._complete.set()
 
+    def readiness(self) -> dict[str, Any]:
+        """Readiness verdict for the ops plane's ``/readyz``.
+
+        Ready means: the gateway is started, at least one receptor has
+        connected, every expected source has been seen, and no ingress
+        queue is sitting at its bound (overload). Each failed condition
+        contributes one human-readable reason.
+        """
+        reasons: list[str] = []
+        if not self._started:
+            reasons.append("gateway not started")
+        if not self._ever_connected:
+            reasons.append("no receptor has connected yet")
+        else:
+            missing = [
+                name for name in self._expected
+                if name not in self._states
+            ]
+            if missing:
+                reasons.append(f"sources never connected: {missing}")
+        for name in sorted(self._states):
+            state = self._states[name]
+            if not state.final and len(state.queue) >= state.queue.bound:
+                reasons.append(f"ingress queue {name!r} at bound (overload)")
+        return {"ready": not reasons, "reasons": reasons}
+
     def stats(self) -> dict[str, Any]:
         """Per-source ingestion accounting (plain data, JSON-friendly)."""
         sources = {}
@@ -474,6 +551,7 @@ class IngestGateway:
                 "delivered": state.queue.delivered,
                 "dropped_overload": state.queue.dropped,
                 "blocked": state.queue.blocked,
+                "depth": len(state.queue),
                 "max_depth": state.queue.max_depth,
                 "dropped_late": state.reorder.dropped,
                 "released": state.reorder.released,

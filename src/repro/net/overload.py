@@ -46,9 +46,12 @@ class BoundedIngressQueue:
         bound: Maximum queued items; must be >= 1.
         policy: One of :data:`OVERLOAD_POLICIES`.
         label: Telemetry namespace — counters land on
-            ``net.<label>.offered`` / ``.delivered`` / ``.dropped`` /
-            ``.blocked`` and the depth gauge on operator
-            ``net:<label>``.
+            ``gateway.<label>.offered`` / ``.delivered`` / ``.dropped``
+            / ``.blocked`` and the depth gauge on operator
+            ``gateway:<label>``. One naming scheme shared by the
+            ``--stats`` rollups, ``/metrics`` and ``stats()`` — the
+            queue's own attributes are the single source of truth and
+            the collector mirrors every increment.
         telemetry: Collector for the counters; defaults to the
             process-wide default (usually a no-op).
 
@@ -102,14 +105,14 @@ class BoundedIngressQueue:
             if self.policy == "block":
                 self.blocked += 1
                 if collector.enabled:
-                    collector.count(f"net.{self.label}.blocked")
+                    collector.count(f"gateway.{self.label}.blocked")
                 return BLOCKED
             if self.policy == "drop-newest":
                 self.offered += 1
                 self.dropped += 1
                 if collector.enabled:
-                    collector.count(f"net.{self.label}.offered")
-                    collector.count(f"net.{self.label}.dropped")
+                    collector.count(f"gateway.{self.label}.offered")
+                    collector.count(f"gateway.{self.label}.dropped")
                 return DROPPED
             # drop-oldest: the newcomer is admitted, the head is shed.
             self._items.popleft()
@@ -117,17 +120,17 @@ class BoundedIngressQueue:
             self.dropped += 1
             self._items.append(item)
             if collector.enabled:
-                collector.count(f"net.{self.label}.offered")
-                collector.count(f"net.{self.label}.dropped")
+                collector.count(f"gateway.{self.label}.offered")
+                collector.count(f"gateway.{self.label}.dropped")
             return QUEUED
         self.offered += 1
         self._items.append(item)
         if len(self._items) > self.max_depth:
             self.max_depth = len(self._items)
         if collector.enabled:
-            collector.count(f"net.{self.label}.offered")
+            collector.count(f"gateway.{self.label}.offered")
             collector.sample_queue_depth(
-                f"net:{self.label}", len(self._items)
+                f"gateway:{self.label}", len(self._items)
             )
         return QUEUED
 
@@ -142,7 +145,7 @@ class BoundedIngressQueue:
         item = self._items.popleft()
         self.delivered += 1
         if self._collector.enabled:
-            self._collector.count(f"net.{self.label}.delivered")
+            self._collector.count(f"gateway.{self.label}.delivered")
         return item
 
     def __len__(self) -> int:

@@ -111,6 +111,8 @@ async def serve_scenario(
     liveness_interval: "float | None" = None,
     telemetry: "TelemetryCollector | None" = None,
     ready: "Callable[[str, int], None] | None" = None,
+    ops_port: "int | None" = None,
+    ops_ready: "Callable[[str, int], None] | None" = None,
 ) -> dict[str, Any]:
     """Serve one scenario run end to end; returns the summary.
 
@@ -120,6 +122,11 @@ async def serve_scenario(
     Args:
         ready: Called with the bound ``(host, port)`` once the gateway
             is accepting — how a caller learns an ephemeral port.
+        ops_port: When set, also bind an :class:`~repro.net.ops.OpsServer`
+            on this port (0 picks an ephemeral one) serving
+            ``/metrics``, ``/healthz``, ``/readyz`` and ``/snapshot``
+            for the gateway; closed with the gateway.
+        ops_ready: Like ``ready``, for the ops listener's bound address.
     """
     bundle = build_bundle(name, duration, seed)
     session = bundle.processor.open_session(
@@ -134,14 +141,29 @@ async def serve_scenario(
         liveness_timeout=liveness_timeout,
         liveness_interval=liveness_interval,
     )
-    bound_host, bound_port = await gateway.start(host, port)
-    if ready is not None:
-        ready(bound_host, bound_port)
-    await gateway.run_until_drained()
-    run = await gateway.close()
+    ops_server = None
+    ops_address = None
+    if ops_port is not None:
+        from repro.net.ops import OpsServer
+
+        ops_server = OpsServer(gateway, telemetry=telemetry)
+        ops_host, ops_bound = await ops_server.start(host, ops_port)
+        ops_address = f"{ops_host}:{ops_bound}"
+        if ops_ready is not None:
+            ops_ready(ops_host, ops_bound)
+    try:
+        bound_host, bound_port = await gateway.start(host, port)
+        if ready is not None:
+            ready(bound_host, bound_port)
+        await gateway.run_until_drained()
+        run = await gateway.close()
+    finally:
+        if ops_server is not None:
+            await ops_server.close()
     return {
         "scenario": name,
         "address": f"{bound_host}:{bound_port}",
+        "ops_address": ops_address,
         "output_tuples": len(run.output),
         "gateway": gateway.stats(),
     }
@@ -160,6 +182,7 @@ async def feed_scenario(
     burst: float = 8.0,
     rate: "float | None" = None,
     delay_seed: int = 0,
+    telemetry: "TelemetryCollector | None" = None,
 ) -> dict[str, Any]:
     """Replay one scenario's recording into a running gateway.
 
@@ -198,6 +221,7 @@ async def feed_scenario(
         delay_model=delay_model,
         channel=channel,
         rate=rate,
+        telemetry=telemetry,
     )
     report = await feeder.run()
     report["scenario"] = name

@@ -34,6 +34,7 @@ from repro.errors import OperatorError
 from repro.streams.operators import Operator, SinkOp
 from repro.streams.telemetry import (
     NULL_COLLECTOR,
+    IngestTrace,
     TelemetryCollector,
     clock_ns,
     resolve_telemetry,
@@ -533,6 +534,8 @@ class FjordSession:
         self._push_seq = 0
         self._last: dict[str, float] = {}  # per-source newest pushed stamp
         self._newest: dict[str, float] = {}  # per-source newest injected
+        #: push_seq → IngestTrace for pushes carrying span correlation.
+        self._traces: dict[int, IngestTrace] = {}
         self._closed = False
         if self._enabled:
             fjord._emit_run_start(self._order, collector)
@@ -554,8 +557,25 @@ class FjordSession:
         """Tuples pushed but not yet injected into the dataflow."""
         return len(self._heap)
 
-    def push(self, source: str, item: StreamTuple) -> None:
+    def push(
+        self,
+        source: str,
+        item: StreamTuple,
+        trace: "IngestTrace | None" = None,
+    ) -> None:
         """Queue one tuple from ``source`` for injection.
+
+        Args:
+            source: The registered source name the tuple belongs to.
+            item: The tuple itself.
+            trace: Optional span-correlation state (see
+                :class:`~repro.streams.telemetry.IngestTrace`). When
+                given, the session stamps the injection instant and —
+                once the sweep that consumed the tuple completes —
+                records the ``session``/``sweep`` phase spans, the
+                end-to-end span, and one span-log entry on its
+                collector. ``None`` (the uninstrumented default) costs
+                a single ``is None`` check.
 
         Raises:
             OperatorError: If the session is closed, the source is
@@ -597,6 +617,8 @@ class FjordSession:
         heapq.heappush(
             self._heap, (item.timestamp, source, self._push_seq, item)
         )
+        if trace is not None:
+            self._traces[self._push_seq] = trace
         self._push_seq += 1
         if last is None or item.timestamp > last:
             self._last[source] = item.timestamp
@@ -628,18 +650,62 @@ class FjordSession:
         fjord = self._fjord
         enabled = self._enabled
         heap = self._heap
+        traces = self._traces
+        injected: "list[IngestTrace] | None" = None
         while heap and heap[0][0] <= now + 1e-9:
-            _ts, source, _seq, item = heapq.heappop(heap)
+            _ts, source, seq, item = heapq.heappop(heap)
             for target, port in fjord._source_edges[source]:
                 fjord._deliver(item, target, port)
             if enabled:
                 self._collector.count_source(source)
                 self._newest[source] = item.timestamp
+            if traces:
+                trace = traces.pop(seq, None)
+                if trace is not None:
+                    trace.t_injected = clock_ns()
+                    if injected is None:
+                        injected = []
+                    injected.append(trace)
         if enabled:
             fjord._sample_tick(self._order, now, self._newest, self._collector)
         fjord._sweep(self._order, now, self._collector, enabled)
+        if injected is not None:
+            self._finish_spans(injected, now)
         self._cursor += 1
         return now
+
+    def _finish_spans(self, injected: "list[IngestTrace]", now: float) -> None:
+        """Close the spans of every tuple this sweep consumed.
+
+        Every emission a tuple contributed at its tick happened inside
+        the sweep that just returned, so its ingest-to-emit journey is
+        complete. The four phase durations share boundary stamps and
+        therefore sum to the end-to-end duration exactly — the
+        accounting invariant the span tests pin.
+        """
+        collector = self._collector
+        done = clock_ns()
+        for trace in injected:
+            queue_ns = trace.t_queued - trace.t_ingest
+            reorder_ns = trace.t_released - trace.t_queued
+            session_ns = trace.t_injected - trace.t_released
+            sweep_ns = done - trace.t_injected
+            collector.record_span("ingest.queue", queue_ns)
+            collector.record_span("ingest.reorder", reorder_ns)
+            collector.record_span("ingest.session", session_ns)
+            collector.record_span("ingest.sweep", sweep_ns)
+            collector.record_span("ingest.e2e", done - trace.t_ingest)
+            collector.span(
+                ingest_id=trace.ingest_id,
+                source=trace.source,
+                sim_ts=trace.sim_ts,
+                tick=now,
+                queue_ns=queue_ns,
+                reorder_ns=reorder_ns,
+                session_ns=session_ns,
+                sweep_ns=sweep_ns,
+                e2e_ns=done - trace.t_ingest,
+            )
 
     def close(self) -> None:
         """Sweep all remaining ticks and end the session.

@@ -42,8 +42,10 @@ __all__ = [
     "BATCH_SIZE_BUCKETS",
     "Histogram",
     "InMemoryCollector",
+    "IngestTrace",
     "LATENCY_BUCKETS_NS",
     "NULL_COLLECTOR",
+    "SPAN_PHASES",
     "TelemetryCollector",
     "default_telemetry",
     "empty_snapshot",
@@ -141,6 +143,49 @@ class Histogram:
         return f"Histogram(total={self.total}, buckets={len(self.counts)})"
 
 
+# -- ingest-to-emit span correlation ------------------------------------------
+
+#: The contiguous wall-clock phases an ingested tuple passes through on
+#: its way from wire arrival to cleaned emission. Phases share their
+#: boundary instants, so per-phase durations sum *exactly* (integer
+#: nanoseconds) to the end-to-end figure.
+SPAN_PHASES: tuple[str, ...] = ("queue", "reorder", "session", "sweep")
+
+
+class IngestTrace:
+    """Correlation state for one ingested tuple's wire-to-emit journey.
+
+    Created by the ingestion gateway when it parses a data frame (the
+    *ingest* instant), stamped at every later phase boundary, and
+    finalized by the Fjord session once the punctuation sweep that
+    consumed the tuple completes. The four phases are contiguous:
+
+    - ``queue``:   frame parsed → taken from the bounded ingress queue
+    - ``reorder``: taken → released by the reorder buffer in order
+    - ``session``: released/pushed → injected at its punctuation tick
+    - ``sweep``:   injected → the tick's sweep (and thus every emission
+      it produced) completed
+
+    All stamps are monotonic :func:`clock_ns` readings; only durations
+    ever leave this object, and they land in span histograms and the
+    span log — never in the deterministic trace-event stream.
+    """
+
+    __slots__ = (
+        "ingest_id", "source", "sim_ts",
+        "t_ingest", "t_queued", "t_released", "t_injected",
+    )
+
+    def __init__(self, ingest_id: int, source: str, sim_ts: float):
+        self.ingest_id = ingest_id
+        self.source = source
+        self.sim_ts = sim_ts
+        self.t_ingest = time.perf_counter_ns()
+        self.t_queued = self.t_ingest
+        self.t_released = self.t_ingest
+        self.t_injected = self.t_ingest
+
+
 # -- snapshot schema -----------------------------------------------------------
 
 
@@ -162,9 +207,21 @@ def empty_snapshot() -> dict[str, Any]:
           }},
           "counters": {"ticks", "runs", "shards_merged"},  # ints, summed
           "events": [ {"seq", "kind", ...}, ... ],         # concatenated
+          "spans": {name: {
+              "count", "total_ns",          # ints, summed on merge
+              "latency_ns",                 # histogram counts, summed
+          }},
+          "span_log": [ {"seq", "kind": "span", ...}, ... ],  # concat
         }
     """
-    return {"operators": {}, "sources": {}, "counters": {}, "events": []}
+    return {
+        "operators": {},
+        "sources": {},
+        "counters": {},
+        "events": [],
+        "spans": {},
+        "span_log": [],
+    }
 
 
 def _empty_operator_entry() -> dict[str, Any]:
@@ -224,8 +281,27 @@ def merge_snapshots(*snapshots: Mapping[str, Any]) -> dict[str, Any]:
         out["events"].extend(
             dict(event) for event in snapshot.get("events", [])
         )
+        for name, entry in snapshot.get("spans", {}).items():
+            target = out["spans"].setdefault(
+                name,
+                {
+                    "count": 0,
+                    "total_ns": 0,
+                    "latency_ns": [0] * (len(LATENCY_BUCKETS_NS) + 1),
+                },
+            )
+            target["count"] += entry["count"]
+            target["total_ns"] += entry["total_ns"]
+            merged = target["latency_ns"]
+            for index, count in enumerate(entry["latency_ns"]):
+                merged[index] += count
+        out["span_log"].extend(
+            dict(span) for span in snapshot.get("span_log", [])
+        )
     for seq, event in enumerate(out["events"]):
         event["seq"] = seq
+    for seq, span in enumerate(out["span_log"]):
+        span["seq"] = seq
     return out
 
 
@@ -281,6 +357,22 @@ class TelemetryCollector:
     def event(self, kind: str, **fields: Any) -> None:
         """Append a structured trace event (deterministic fields only)."""
 
+    def record_span(self, name: str, duration_ns: int) -> None:
+        """One wall-clock span of ``duration_ns`` completed under
+        ``name`` (e.g. ``ingest.queue``). Spans aggregate into per-name
+        latency histograms plus exact count/total accumulators, so
+        per-phase totals sum to the end-to-end total by construction."""
+
+    def span(self, **fields: Any) -> None:
+        """Append one entry to the span log.
+
+        Span-log entries carry wall-clock durations, so they live in a
+        channel separate from the deterministic trace events; writers
+        stamp them ``kind="span"`` (or ``"span_dropped"`` for tuples
+        shed before emission) for JSONL interchange via
+        :mod:`repro.streams.traceio`.
+        """
+
     def spawn(self) -> "TelemetryCollector":
         """A fresh same-kind collector for an isolated unit of work
         (one shard); its snapshot is later passed to :meth:`absorb`."""
@@ -320,6 +412,17 @@ class _OpMetrics:
         self.max_queue_depth = 0
 
 
+class _SpanMetrics:
+    """Mutable per-span-name accumulators (count, total, histogram)."""
+
+    __slots__ = ("count", "total_ns", "latency")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ns = 0
+        self.latency = Histogram(LATENCY_BUCKETS_NS)
+
+
 class InMemoryCollector(TelemetryCollector):
     """The standard collector: accumulates everything in memory.
 
@@ -335,6 +438,8 @@ class InMemoryCollector(TelemetryCollector):
         self._sources: dict[str, dict[str, Any]] = {}
         self._counters: dict[str, int] = {}
         self._events: list[dict[str, Any]] = []
+        self._spans: dict[str, _SpanMetrics] = {}
+        self._span_log: list[dict[str, Any]] = []
 
     # -- executor hooks --------------------------------------------------------
 
@@ -395,6 +500,19 @@ class InMemoryCollector(TelemetryCollector):
         record = {"seq": len(self._events), "kind": kind, **fields}
         self._events.append(record)
 
+    def record_span(self, name: str, duration_ns: int) -> None:
+        metrics = self._spans.get(name)
+        if metrics is None:
+            metrics = self._spans[name] = _SpanMetrics()
+        metrics.count += 1
+        metrics.total_ns += duration_ns
+        metrics.latency.record(duration_ns)
+
+    def span(self, **fields: Any) -> None:
+        record = {"seq": len(self._span_log), **fields}
+        record.setdefault("kind", "span")
+        self._span_log.append(record)
+
     # -- aggregation -----------------------------------------------------------
 
     def spawn(self) -> "InMemoryCollector":
@@ -440,6 +558,17 @@ class InMemoryCollector(TelemetryCollector):
         }
         self._counters = dict(snapshot["counters"])
         self._events = [dict(event) for event in snapshot["events"]]
+        self._spans = {}
+        for name, entry in snapshot.get("spans", {}).items():
+            metrics = self._spans[name] = _SpanMetrics()
+            metrics.count = entry["count"]
+            metrics.total_ns = entry["total_ns"]
+            metrics.latency = Histogram(
+                LATENCY_BUCKETS_NS, entry["latency_ns"]
+            )
+        self._span_log = [
+            dict(span) for span in snapshot.get("span_log", [])
+        ]
 
     def snapshot(self) -> dict[str, Any]:
         out = empty_snapshot()
@@ -459,6 +588,13 @@ class InMemoryCollector(TelemetryCollector):
         }
         out["counters"] = dict(self._counters)
         out["events"] = [dict(event) for event in self._events]
+        for name, span_metrics in self._spans.items():
+            out["spans"][name] = {
+                "count": span_metrics.count,
+                "total_ns": span_metrics.total_ns,
+                "latency_ns": list(span_metrics.latency.counts),
+            }
+        out["span_log"] = [dict(span) for span in self._span_log]
         return out
 
 
@@ -570,6 +706,19 @@ def format_table(
             lines.append(
                 f"{name:<16s}  {entry['tuples']:>6d}"
                 f"  {entry['max_watermark_lag']:>19.3f}"
+            )
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append("")
+        lines.append(
+            "span                count    total_ms  p50_us  p95_us"
+        )
+        for name, entry in sorted(spans.items()):
+            lines.append(
+                f"{name:<18s}  {entry['count']:>5d}"
+                f"  {entry['total_ns'] / 1e6:>10.2f}"
+                f"  {_percentile_us(entry['latency_ns'], 0.50):>6s}"
+                f"  {_percentile_us(entry['latency_ns'], 0.95):>6s}"
             )
     if rollups:
         lines.append("")

@@ -128,6 +128,55 @@ class TestNetworkSubcommands:
                 ["serve", "shelf", "--queue-bound", "0"]
             )
 
+    def test_serve_observability_flags(self):
+        args = build_parser().parse_args(["serve", "shelf"])
+        assert args.ops_port is None  # ops plane is off by default
+        assert args.stats is False
+        assert args.trace_out is None
+        assert args.span_out is None
+        args = build_parser().parse_args(
+            [
+                "serve", "shelf", "--ops-port", "0", "--stats",
+                "--trace-out", "events.jsonl", "--span-out", "spans.jsonl",
+            ]
+        )
+        assert args.ops_port == 0
+        assert args.stats is True
+        assert args.trace_out == "events.jsonl"
+        assert args.span_out == "spans.jsonl"
+
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.command == "top"
+        assert args.host == "127.0.0.1"
+        assert args.port == 7008
+        assert args.interval == 2.0
+        assert args.iterations is None
+        assert args.clear is True
+
+    def test_top_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "top", "--port", "9009", "--interval", "0.5",
+                "--iterations", "3", "--no-clear",
+            ]
+        )
+        assert args.port == 9009
+        assert args.interval == 0.5
+        assert args.iterations == 3
+        assert args.clear is False
+
+    def test_top_unreachable_endpoint_fails_cleanly(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = str(probe.getsockname()[1])
+        probe.close()
+        rc = main(["top", "--port", port, "--iterations", "1"])
+        assert rc == 1
+        assert "unreachable" in capsys.readouterr().err
+
     def test_feed_arguments(self):
         args = build_parser().parse_args(
             [
@@ -195,3 +244,87 @@ class TestNetworkSubcommands:
         assert summary["scenario"] == "shelf"
         assert summary["output_tuples"] > 0
         assert "gateway" in summary
+
+    def test_serve_with_ops_plane_and_top_roundtrip(self, capsys, tmp_path):
+        """``serve --ops-port`` exposes /healthz, /metrics and /snapshot
+        while the gateway waits; ``repro top`` renders a frame from it;
+        ``--span-out`` lands the span log as JSONL after the run."""
+        import os
+        import socket
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        ports = []
+        for _ in range(2):
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            ports.append(str(probe.getsockname()[1]))
+            probe.close()
+        port, ops_port = ports
+        span_out = tmp_path / "spans.jsonl"
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "shelf",
+                "--port", port, "--ops-port", ops_port,
+                "--duration", "4.0", "--slack", "0.0",
+                "--span-out", str(span_out),
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        try:
+            for _ in range(200):
+                try:
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{ops_port}/healthz", timeout=0.5
+                    ) as response:
+                        assert response.read() == b"ok\n"
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            else:
+                pytest.fail("ops endpoint never came up")
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{ops_port}/metrics", timeout=5.0
+            ) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain"
+                )
+            rc = main(
+                [
+                    "top", "--port", ops_port,
+                    "--iterations", "1", "--no-clear",
+                ]
+            )
+            assert rc == 0
+            frame = capsys.readouterr().out
+            assert "status: not ready" in frame  # nothing connected yet
+            rc = main(
+                ["feed", "shelf", "--port", port, "--duration", "4.0"]
+            )
+            assert rc == 0
+            out, err = server.communicate(timeout=60)
+        finally:
+            if server.poll() is None:
+                server.kill()
+        assert server.returncode == 0, err
+        summary = json.loads(out)
+        assert summary["ops_address"] == f"127.0.0.1:{ops_port}"
+        spans = [
+            json.loads(line)
+            for line in span_out.read_text().splitlines()
+            if line
+        ]
+        assert spans, "span log should be non-empty after a fed run"
+        for record in spans[:10]:
+            assert record["kind"] == "span"
+            assert (
+                record["queue_ns"] + record["reorder_ns"]
+                + record["session_ns"] + record["sweep_ns"]
+            ) == record["e2e_ns"]

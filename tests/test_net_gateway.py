@@ -208,11 +208,11 @@ class TestDropPolicies:
         total_dropped = 0
         for name, s in stats.items():
             assert s["offered"] == s["delivered"] + s["dropped_overload"]
-            assert counters.get(f"net.{name}.offered", 0) == s["offered"]
-            assert counters.get(f"net.{name}.dropped", 0) == (
+            assert counters.get(f"gateway.{name}.offered", 0) == s["offered"]
+            assert counters.get(f"gateway.{name}.dropped", 0) == (
                 s["dropped_overload"]
             )
-            assert counters.get(f"net.{name}.delivered", 0) == (
+            assert counters.get(f"gateway.{name}.delivered", 0) == (
                 s["delivered"]
             )
             assert s["offered"] == report["sent"][name]

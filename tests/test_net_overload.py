@@ -74,11 +74,11 @@ class TestTelemetry:
         queue.offer("c")  # dropped
         queue.take()
         counters = collector.snapshot()["counters"]
-        assert counters["net.m0.offered"] == 3
-        assert counters["net.m0.dropped"] == 1
-        assert counters["net.m0.delivered"] == 1
+        assert counters["gateway.m0.offered"] == 3
+        assert counters["gateway.m0.dropped"] == 1
+        assert counters["gateway.m0.delivered"] == 1
         ops = collector.snapshot()["operators"]
-        assert ops["net:m0"]["max_queue_depth"] == 2
+        assert ops["gateway:m0"]["max_queue_depth"] == 2
 
     def test_blocked_counter(self):
         collector = InMemoryCollector()
@@ -87,7 +87,7 @@ class TestTelemetry:
         )
         queue.offer("a")
         queue.offer("b")
-        assert collector.snapshot()["counters"]["net.m1.blocked"] == 1
+        assert collector.snapshot()["counters"]["gateway.m1.blocked"] == 1
 
 
 @given(
@@ -123,7 +123,7 @@ def test_accounting_invariant_for_every_policy(policy, bound, steps):
         queue.take()
     assert queue.offered == queue.delivered + queue.dropped
     counters = collector.snapshot()["counters"]
-    assert counters.get("net.prop.offered", 0) == queue.offered
-    assert counters.get("net.prop.dropped", 0) == queue.dropped
-    assert counters.get("net.prop.delivered", 0) == queue.delivered
-    assert counters.get("net.prop.blocked", 0) == queue.blocked
+    assert counters.get("gateway.prop.offered", 0) == queue.offered
+    assert counters.get("gateway.prop.dropped", 0) == queue.dropped
+    assert counters.get("gateway.prop.delivered", 0) == queue.delivered
+    assert counters.get("gateway.prop.blocked", 0) == queue.blocked

@@ -1,0 +1,464 @@
+"""The observability plane: span correlation, /metrics, and `repro top`.
+
+Three layers under test. (1) The Prometheus renderer — a golden check
+pins the histogram ``le`` edges to ``LATENCY_BUCKETS_NS`` exactly, and
+a small parser asserts the output is well-formed text exposition.
+(2) The :class:`~repro.net.ops.OpsServer` HTTP endpoints, exercised
+over real loopback sockets. (3) End-to-end span correlation: a
+loopback serve/feed run must produce per-phase span durations that sum
+*exactly* (integer nanoseconds — the phases share boundary stamps) to
+the end-to-end figure, with ``/metrics`` gateway counters matching the
+ingress queues' own accounting.
+"""
+
+import asyncio
+import json
+import re
+
+import pytest
+
+from repro.errors import NetError
+from repro.net.gateway import IngestGateway
+from repro.net.ops import (
+    OpsServer,
+    format_top,
+    render_prometheus,
+    snapshot_document,
+)
+from repro.net.service import feed_scenario, serve_scenario
+from repro.streams.telemetry import (
+    LATENCY_BUCKETS_NS,
+    SPAN_PHASES,
+    InMemoryCollector,
+    empty_snapshot,
+)
+
+from tests.test_net_gateway import WAIT, loopback, shelf_case
+
+SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.einf+]+)$"
+)
+
+
+def parse_exposition(text):
+    """Parse Prometheus text exposition into (name, labels, value) rows.
+
+    Raises on any line that is neither a comment nor a well-formed
+    sample — the validity check the acceptance criteria ask for.
+    """
+    samples = []
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match, f"malformed exposition line: {line!r}"
+        name, labels, value = match.groups()
+        parsed = {}
+        if labels:
+            for pair in re.findall(r'(\w+)="([^"]*)"', labels):
+                parsed[pair[0]] = pair[1]
+        samples.append((name, parsed, float(value)))
+    return samples
+
+
+def synthetic_snapshot():
+    collector = InMemoryCollector()
+    collector.record_batch("point:s0", 10, 8, 3_000)
+    collector.record_batch("point:s0", 6, 6, 7_000)
+    collector.record_punctuation("point:s0", 2, 1_500)
+    collector.sample_queue_depth("gateway:s0", 4)
+    collector.count_source("s0", 16)
+    collector.sample_watermark("gateway:s0", 0.25)
+    collector.count("gateway.s0.offered", 16)
+    collector.count("gateway.s0.delivered", 16)
+    collector.record_span("ingest.e2e", 12_345)
+    collector.record_span("ingest.e2e", 2_000_000_000_000)  # overflow
+    return collector.snapshot()
+
+
+class TestRenderPrometheus:
+    def test_empty_snapshot_renders_valid_empty_exposition(self):
+        text = render_prometheus(empty_snapshot())
+        assert parse_exposition(text) == []
+
+    def test_samples_parse_and_counters_match(self):
+        samples = parse_exposition(render_prometheus(synthetic_snapshot()))
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        assert ({"operator": "point:s0"}, 16.0) in by_name[
+            "repro_operator_tuples_in_total"
+        ]
+        assert ({"operator": "point:s0"}, 11_500.0) in by_name[
+            "repro_operator_busy_ns_total"
+        ]
+        assert ({"operator": "gateway:s0"}, 4.0) in by_name[
+            "repro_operator_max_queue_depth"
+        ]
+        assert ({"key": "gateway.s0.offered"}, 16.0) in by_name[
+            "repro_counter_total"
+        ]
+        assert ({"source": "gateway:s0"}, 0.25) in by_name[
+            "repro_source_max_watermark_lag_seconds"
+        ]
+        assert ({"source": "s0"}, 16.0) in by_name[
+            "repro_source_tuples_total"
+        ]
+
+    def test_histogram_le_edges_match_latency_buckets_exactly(self):
+        """Golden: every rendered histogram uses the collector's exact
+        integer bucket edges plus +Inf — a drifted edge would corrupt
+        every dashboard recorded against the old ones."""
+        samples = parse_exposition(render_prometheus(synthetic_snapshot()))
+        expected = [str(edge) for edge in LATENCY_BUCKETS_NS] + ["+Inf"]
+        series = {}
+        for name, labels, _value in samples:
+            if name.endswith("_latency_ns_bucket"):
+                key = (name, labels.get("operator") or labels.get("span"))
+                series.setdefault(key, []).append(labels["le"])
+        assert series  # non-vacuous
+        for key, edges in series.items():
+            assert edges == expected, key
+
+    def test_histogram_buckets_cumulative_and_consistent(self):
+        samples = parse_exposition(render_prometheus(synthetic_snapshot()))
+        buckets = [
+            value
+            for name, labels, value in samples
+            if name == "repro_span_latency_ns_bucket"
+        ]
+        assert buckets == sorted(buckets)  # cumulative => monotone
+        count = [
+            value
+            for name, _labels, value in samples
+            if name == "repro_span_latency_ns_count"
+        ]
+        total = [
+            value
+            for name, _labels, value in samples
+            if name == "repro_span_latency_ns_sum"
+        ]
+        assert buckets[-1] == count[0] == 2.0  # +Inf bucket == _count
+        assert total[0] == 12_345.0 + 2_000_000_000_000.0
+
+    def test_operator_sum_is_busy_ns(self):
+        """record_batch adds the identical elapsed value to both the
+        histogram and busy_ns, so busy_ns is the exact _sum."""
+        samples = parse_exposition(render_prometheus(synthetic_snapshot()))
+        sums = {
+            labels.get("operator"): value
+            for name, labels, value in samples
+            if name == "repro_operator_latency_ns_sum"
+        }
+        assert sums == {"point:s0": 11_500.0, "gateway:s0": 0.0}
+
+    def test_label_escaping(self):
+        snapshot = empty_snapshot()
+        snapshot["counters"]['odd"key\\name'] = 1
+        text = render_prometheus(snapshot)
+        assert '\\"' in text and "\\\\" in text
+
+
+async def http_request(host, port, path, method="GET"):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("ascii")
+    )
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), timeout=WAIT)
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("utf-8").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body.decode("utf-8")
+
+
+class TestOpsServer:
+    def setup_gateway(self, collector):
+        factory, _streams, until, tick = shelf_case(duration=4.0)
+        session = factory().open_session(
+            until=until, tick=tick, telemetry=collector
+        )
+        return IngestGateway(session, slack=0.0, telemetry=collector)
+
+    def test_endpoints(self):
+        async def scenario():
+            collector = InMemoryCollector()
+            gateway = self.setup_gateway(collector)
+            ops = OpsServer(gateway, telemetry=collector)
+            host, port = await ops.start()
+            results = {}
+            results["healthz"] = await http_request(host, port, "/healthz")
+            results["readyz"] = await http_request(host, port, "/readyz")
+            results["metrics"] = await http_request(host, port, "/metrics")
+            results["snapshot"] = await http_request(host, port, "/snapshot")
+            results["missing"] = await http_request(host, port, "/nope")
+            results["post"] = await http_request(
+                host, port, "/metrics", method="POST"
+            )
+            await ops.close()
+            await ops.close()  # idempotent
+            return results
+
+        results = asyncio.run(scenario())
+        status, headers, body = results["healthz"]
+        assert (status, body) == (200, "ok\n")
+        assert int(headers["content-length"]) == len(b"ok\n")
+
+        # Not started, nothing connected: not ready, reasons say why.
+        status, _headers, body = results["readyz"]
+        assert status == 503
+        verdict = json.loads(body)
+        assert verdict["ready"] is False
+        assert any("not started" in r for r in verdict["reasons"])
+        assert any("connected" in r for r in verdict["reasons"])
+
+        status, headers, body = results["metrics"]
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        parse_exposition(body)
+
+        status, headers, body = results["snapshot"]
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        document = json.loads(body)
+        assert set(document) == {"telemetry", "gateway", "readiness"}
+        assert document["gateway"]["policy"] == "block"
+
+        assert results["missing"][0] == 404
+        assert results["post"][0] == 405
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            ops = OpsServer(self.setup_gateway(None))
+            await ops.start()
+            try:
+                with pytest.raises(NetError):
+                    await ops.start()
+            finally:
+                await ops.close()
+
+        asyncio.run(scenario())
+
+    def test_null_collector_serves_empty_metrics(self):
+        async def scenario():
+            ops = OpsServer(self.setup_gateway(None))  # no-op default
+            host, port = await ops.start()
+            result = await http_request(host, port, "/metrics")
+            await ops.close()
+            return result
+
+        status, _headers, body = asyncio.run(scenario())
+        assert status == 200
+        assert parse_exposition(body) == []
+
+
+class TestSpanCorrelationLoopback:
+    def run_loopback(self):
+        factory, streams, until, tick = shelf_case(duration=8.0)
+        collector = InMemoryCollector()
+        run, gateway, report = asyncio.run(
+            loopback(
+                factory, streams, until, tick,
+                slack=0.0, telemetry=collector,
+                feeder_kwargs={"telemetry": collector},
+            )
+        )
+        return run, gateway, report, collector.snapshot()
+
+    def test_phase_durations_sum_exactly_to_e2e(self):
+        """The tentpole invariant: phases are contiguous and share
+        boundary stamps, so queue + reorder + session + sweep == e2e
+        exactly — integer nanoseconds, no accounting slack needed."""
+        run, _gateway, report, snapshot = self.run_loopback()
+        assert run.output  # non-vacuous
+        spans = snapshot["spans"]
+        for phase in SPAN_PHASES:
+            assert f"ingest.{phase}" in spans
+        total_sent = sum(report["sent"].values())
+        assert spans["ingest.e2e"]["count"] == total_sent
+        phase_total = sum(
+            spans[f"ingest.{phase}"]["total_ns"] for phase in SPAN_PHASES
+        )
+        assert phase_total == spans["ingest.e2e"]["total_ns"]
+        for record in snapshot["span_log"]:
+            assert record["kind"] == "span"
+            assert (
+                record["queue_ns"] + record["reorder_ns"]
+                + record["session_ns"] + record["sweep_ns"]
+            ) == record["e2e_ns"]
+
+    def test_span_log_correlates_every_ingested_tuple(self):
+        _run, _gateway, report, snapshot = self.run_loopback()
+        log = snapshot["span_log"]
+        assert len(log) == sum(report["sent"].values())
+        ids = [record["ingest_id"] for record in log]
+        assert len(set(ids)) == len(ids)  # correlation ids are unique
+        assert {record["source"] for record in log} == set(report["sent"])
+
+    def test_metrics_match_queue_accounting_exactly(self):
+        _run, gateway, _report, snapshot = self.run_loopback()
+        samples = parse_exposition(render_prometheus(snapshot))
+        counters = {
+            labels["key"]: value
+            for name, labels, value in samples
+            if name == "repro_counter_total"
+        }
+        for name, stats in gateway.stats()["sources"].items():
+            assert stats["offered"] == (
+                stats["delivered"] + stats["dropped_overload"]
+            )
+            assert counters[f"gateway.{name}.offered"] == stats["offered"]
+            assert counters[f"gateway.{name}.delivered"] == (
+                stats["delivered"]
+            )
+            assert counters.get(f"gateway.{name}.dropped", 0) == (
+                stats["dropped_overload"]
+            )
+
+    def test_feeder_telemetry_counters_mirror_report(self):
+        _run, _gateway, report, snapshot = self.run_loopback()
+        counters = snapshot["counters"]
+        for name, sent in report["sent"].items():
+            assert counters.get(f"feeder.{name}.sent", 0) == sent
+        assert counters.get("feeder.credit_frames", 0) == (
+            report["credit_frames"]
+        )
+        assert counters.get("feeder.reconnects", 0) == report["reconnects"]
+        assert counters.get("feeder.blocked_waits", 0) == (
+            report["blocked_waits"]
+        )
+
+
+class TestServeScenarioOps:
+    """serve_scenario --ops-port wiring, polled while a feed runs."""
+
+    def test_ops_endpoint_live_during_serve(self):
+        async def scenario():
+            collector = InMemoryCollector()
+            ops_addr = {}
+            gw_addr = {}
+            serve = asyncio.ensure_future(
+                serve_scenario(
+                    "shelf",
+                    port=0,
+                    duration=6.0,
+                    telemetry=collector,
+                    ready=lambda h, p: gw_addr.update(host=h, port=p),
+                    ops_port=0,
+                    ops_ready=lambda h, p: ops_addr.update(host=h, port=p),
+                )
+            )
+            while not gw_addr or not ops_addr:
+                await asyncio.sleep(0)
+            # Before any feeder connects: alive but not ready.
+            status, _h, _b = await http_request(
+                ops_addr["host"], ops_addr["port"], "/healthz"
+            )
+            assert status == 200
+            status, _h, body = await http_request(
+                ops_addr["host"], ops_addr["port"], "/readyz"
+            )
+            assert status == 503
+            await feed_scenario(
+                "shelf",
+                gw_addr["host"],
+                gw_addr["port"],
+                duration=6.0,
+                telemetry=collector,
+            )
+            summary = await asyncio.wait_for(serve, timeout=WAIT)
+            return summary
+
+        summary = asyncio.run(scenario())
+        assert summary["ops_address"] is not None
+        assert summary["output_tuples"] > 0
+
+    def test_readyz_turns_ready_once_sources_connect(self):
+        async def scenario():
+            collector = InMemoryCollector()
+            factory, streams, until, tick = shelf_case(duration=4.0)
+            session = factory().open_session(
+                until=until, tick=tick, telemetry=collector
+            )
+            gateway = IngestGateway(session, slack=0.0, telemetry=collector)
+            ops = OpsServer(gateway, telemetry=collector)
+            ops_host, ops_port = await ops.start()
+            host, port = await gateway.start()
+
+            from repro.net.feeder import ReplayFeeder
+
+            feeder = ReplayFeeder(host, port, streams)
+            await asyncio.wait_for(feeder.run(), timeout=WAIT)
+            status, _h, body = await http_request(
+                ops_host, ops_port, "/readyz"
+            )
+            await asyncio.wait_for(
+                gateway.run_until_drained(), timeout=WAIT
+            )
+            await gateway.close()
+            await ops.close()
+            return status, json.loads(body)
+
+        status, verdict = asyncio.run(scenario())
+        assert status == 200
+        assert verdict == {"ready": True, "reasons": []}
+
+
+class TestFormatTop:
+    def document(self):
+        snapshot = synthetic_snapshot()
+        gateway_stats = {
+            "policy": "block",
+            "queue_bound": 64,
+            "slack": 0.0,
+            "sources": {
+                "s0": {
+                    "offered": 16, "delivered": 16, "dropped_overload": 0,
+                    "blocked": 0, "depth": 0, "max_depth": 4,
+                    "dropped_late": 0, "released": 16,
+                    "final": True, "evicted": False,
+                },
+            },
+        }
+        readiness = {"ready": True, "reasons": []}
+        return snapshot_document(snapshot, gateway_stats, readiness)
+
+    def test_snapshot_document_summarises_logs(self):
+        snapshot = synthetic_snapshot()
+        snapshot["events"].append({"seq": 0, "kind": "x"})
+        document = snapshot_document(snapshot, None, None)
+        telemetry = document["telemetry"]
+        assert telemetry["events_total"] == 1
+        assert telemetry["span_log_total"] == 0
+        assert "events" not in telemetry and "span_log" not in telemetry
+
+    def test_renders_operator_span_and_source_tables(self):
+        frame = format_top(self.document())
+        assert "status: ready" in frame
+        assert "point:s0" in frame
+        assert "ingest.e2e" in frame
+        assert "s0" in frame
+        # overflow-bucket percentile renders as inf, not a number
+        assert "inf" in frame
+
+    def test_rates_from_consecutive_documents(self):
+        previous = self.document()
+        current = self.document()
+        current["telemetry"]["operators"]["point:s0"]["tuples_in"] += 20
+        frame = format_top(current, previous, interval=2.0)
+        assert re.search(r"point:s0\s+10\b", frame)
+
+    def test_not_ready_status_lists_reasons(self):
+        document = self.document()
+        document["readiness"] = {
+            "ready": False, "reasons": ["gateway not started"],
+        }
+        frame = format_top(document)
+        assert "not ready" in frame
+        assert "gateway not started" in frame

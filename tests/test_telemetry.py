@@ -139,6 +139,44 @@ class TestHistogram:
             Histogram((10, 20), counts=[1, 2])
 
 
+class TestPercentileBoundaries:
+    """Pinned quantile-edge semantics the ops plane renders from.
+
+    ``percentile`` returns the upper edge of the bucket containing the
+    quantile rank; these cases pin the boundary behaviour — rank landing
+    exactly on a bucket's cumulative count, all-overflow distributions,
+    and the 0.0/1.0 extremes — so a refactor cannot silently shift the
+    p50/p95 columns in ``repro top``.
+    """
+
+    def test_rank_exactly_on_bucket_boundary_stays_in_lower_bucket(self):
+        # Two observations per bucket: fraction 0.5 -> rank 2.0, which
+        # the first bucket's cumulative count meets exactly (>=), so the
+        # answer is the *lower* bucket's edge — not the next one up.
+        hist = Histogram((10, 20), counts=[2, 2, 0])
+        assert hist.percentile(0.5) == 10.0
+        assert hist.percentile(0.5 + 1e-9) == 20.0
+
+    def test_all_overflow_distribution_is_inf_at_every_fraction(self):
+        hist = Histogram((10, 20), counts=[0, 0, 3])
+        assert hist.percentile(0.0) == float("inf")
+        assert hist.percentile(0.5) == float("inf")
+        assert hist.percentile(1.0) == float("inf")
+
+    def test_fraction_zero_is_first_nonempty_bucket_edge(self):
+        hist = Histogram((10, 20, 50), counts=[0, 1, 4, 0])
+        assert hist.percentile(0.0) == 20.0
+
+    def test_fraction_one_is_last_nonempty_bucket_edge(self):
+        hist = Histogram((10, 20, 50), counts=[3, 1, 0, 0])
+        assert hist.percentile(1.0) == 20.0
+
+    def test_single_observation_any_fraction(self):
+        hist = Histogram((10, 20), counts=[0, 1, 0])
+        for fraction in (0.0, 0.25, 0.5, 1.0):
+            assert hist.percentile(fraction) == 20.0
+
+
 # -- collector basics ----------------------------------------------------------
 
 
