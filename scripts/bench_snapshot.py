@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Measure row/columnar/fused throughput and pin it in BENCH_columnar.json.
+
+The committed snapshot is the benchmark trajectory reviewers diff when
+the execution modes change; ``docs/columnar.md`` explains how to read
+it. Wall-clock numbers are machine-dependent, so staleness is judged on
+the *deterministic* fields (schema version, workload and mode sets,
+tuple counts, chain depth, the gate floor) plus the recorded gate:
+the committed stateless-chain columnar speed-up must sit at or above
+``SPEEDUP_FLOOR``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py            # rewrite
+    PYTHONPATH=src python scripts/bench_snapshot.py --check    # CI gate
+    PYTHONPATH=src python scripts/bench_snapshot.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT))  # the benchmarks package
+sys.path.insert(0, str(ROOT / "src"))  # repro, when PYTHONPATH is unset
+
+from benchmarks.test_bench_columnar import (  # noqa: E402
+    CHAIN_STAGES,
+    CHAIN_TICK,
+    SPEEDUP_FLOOR,
+    chain_ticks,
+    run_chain,
+)
+from repro.streams.fjord import MODES  # noqa: E402
+
+SNAPSHOT = ROOT / "BENCH_columnar.json"
+#: Timed repetitions per mode; the best is recorded (least noise).
+RUNS = 3
+
+
+def _best_of(runs: int, fn: Callable[[], Any]) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _mode_rows(n_tuples: int, run: Callable[[str], Any]) -> dict[str, Any]:
+    run(MODES[0])  # warm caches outside the timed runs
+    rows: dict[str, Any] = {}
+    for mode in MODES:
+        seconds = _best_of(RUNS, lambda: run(mode))
+        rows[mode] = {
+            "seconds": round(seconds, 4),
+            "tuples_per_sec": round(n_tuples / seconds),
+        }
+    row_rate = rows["row"]["tuples_per_sec"]
+    for mode in MODES:
+        rows[mode]["speedup_vs_row"] = round(
+            rows[mode]["tuples_per_sec"] / row_rate, 2
+        )
+    return rows
+
+
+def measure() -> dict[str, Any]:
+    from repro.pipelines.rfid_shelf import build_shelf_processor
+    from repro.pipelines.sensornet import build_redwood_processor
+    from repro.scenarios.redwood import RedwoodScenario
+    from repro.scenarios.shelf import ShelfScenario
+
+    shelf = ShelfScenario()
+    shelf_sources = shelf.recorded_streams()
+    shelf_n = sum(len(v) for v in shelf_sources.values())
+    ticks = chain_ticks(shelf.duration)
+
+    redwood = RedwoodScenario(duration=0.05 * 86400.0, n_groups=2, seed=3)
+    redwood_sources = redwood.recorded_streams()
+    redwood_n = sum(len(v) for v in redwood_sources.values())
+
+    def run_shelf_pipeline(mode: str) -> None:
+        processor = build_shelf_processor(shelf, "smooth+arbitrate")
+        processor.run(
+            until=shelf.duration,
+            tick=shelf.poll_period,
+            sources=shelf_sources,
+            mode=mode,
+        )
+
+    def run_redwood_pipeline(mode: str) -> None:
+        processor = build_redwood_processor(redwood)
+        processor.run(
+            until=redwood.duration, sources=redwood_sources, mode=mode
+        )
+
+    return {
+        "schema": 1,
+        "script": "scripts/bench_snapshot.py",
+        "chain_stages": CHAIN_STAGES,
+        "chain_tick": CHAIN_TICK,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "workloads": {
+            "shelf_stateless_chain": {
+                "description": (
+                    "deep vectorizable point-cleaning chain over the "
+                    "full shelf scenario's recorded streams "
+                    "(benchmarks/test_bench_columnar.py)"
+                ),
+                "gated": True,
+                "n_tuples": shelf_n,
+                "modes": _mode_rows(
+                    shelf_n,
+                    lambda mode: run_chain(shelf_sources, ticks, mode),
+                ),
+            },
+            "shelf_full_pipeline": {
+                "description": (
+                    "the paper's Smooth+Arbitrate shelf pipeline; "
+                    "stateful, parity expected"
+                ),
+                "gated": False,
+                "n_tuples": shelf_n,
+                "modes": _mode_rows(shelf_n, run_shelf_pipeline),
+            },
+            "redwood_full_pipeline": {
+                "description": (
+                    "reduced redwood Smooth+Merge pipeline (the golden-"
+                    "trace configuration); stateful, parity expected"
+                ),
+                "gated": False,
+                "n_tuples": redwood_n,
+                "modes": _mode_rows(redwood_n, run_redwood_pipeline),
+            },
+        },
+    }
+
+
+def _deterministic_view(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """The machine-independent subset a stale snapshot would disagree on."""
+    return {
+        "schema": snapshot.get("schema"),
+        "chain_stages": snapshot.get("chain_stages"),
+        "chain_tick": snapshot.get("chain_tick"),
+        "speedup_floor": snapshot.get("speedup_floor"),
+        "workloads": {
+            name: {
+                "gated": load.get("gated"),
+                "n_tuples": load.get("n_tuples"),
+                "modes": sorted(load.get("modes", {})),
+            }
+            for name, load in snapshot.get("workloads", {}).items()
+        },
+    }
+
+
+def check(fresh: dict[str, Any]) -> int:
+    if not SNAPSHOT.exists():
+        print(
+            f"FAIL: {SNAPSHOT.name} is missing; regenerate with "
+            f"PYTHONPATH=src python scripts/bench_snapshot.py",
+            file=sys.stderr,
+        )
+        return 1
+    committed = json.loads(SNAPSHOT.read_text())
+    want, got = _deterministic_view(fresh), _deterministic_view(committed)
+    if want != got:
+        print(
+            f"FAIL: {SNAPSHOT.name} is stale — its deterministic fields "
+            f"disagree with what this tree measures.\n"
+            f"  committed: {json.dumps(got, sort_keys=True)}\n"
+            f"  expected:  {json.dumps(want, sort_keys=True)}",
+            file=sys.stderr,
+        )
+        return 1
+    gate = (
+        committed["workloads"]["shelf_stateless_chain"]["modes"]["columnar"]
+    )
+    if gate["speedup_vs_row"] < committed["speedup_floor"]:
+        print(
+            f"FAIL: committed columnar speed-up {gate['speedup_vs_row']}x "
+            f"is below the {committed['speedup_floor']}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    measured = (
+        fresh["workloads"]["shelf_stateless_chain"]["modes"]["columnar"]
+    )
+    print(
+        f"OK: {SNAPSHOT.name} is fresh; committed gate "
+        f"{gate['speedup_vs_row']}x (floor {committed['speedup_floor']}x), "
+        f"measured here {measured['speedup_vs_row']}x"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure, then fail if the committed snapshot is "
+        "missing or stale instead of rewriting it",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help=f"where to write the snapshot (default {SNAPSHOT.name}; "
+        f"with --check, an extra copy of the fresh measurement)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = measure()
+    if args.output is not None:
+        args.output.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        return check(fresh)
+    if args.output is None:
+        SNAPSHOT.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {SNAPSHOT}")
+        for name, load in fresh["workloads"].items():
+            rates = ", ".join(
+                f"{mode}={row['tuples_per_sec']:,}/s"
+                f" ({row['speedup_vs_row']}x)"
+                for mode, row in load["modes"].items()
+            )
+            print(f"  {name}: {rates}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -169,12 +169,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_experiment(args: argparse.Namespace) -> int:
-    if args.shards is not None or args.backend is not None:
+    if (
+        args.shards is not None
+        or args.backend is not None
+        or args.mode is not None
+    ):
         # Every experiment drives ESPProcessor.run internally; the
         # process-wide execution default is how the flags reach them.
         from repro.streams.shard import set_default_execution
 
-        set_default_execution(shards=args.shards, backend=args.backend)
+        set_default_execution(
+            shards=args.shards, backend=args.backend, mode=args.mode
+        )
     if args.experiment == "all":
         from repro.experiments.runner import format_report, run_all
 
@@ -460,6 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=("serial", "threads", "processes"),
         help="shard execution backend (default serial)",
+    )
+    run.add_argument(
+        "--mode",
+        choices=("row", "columnar", "fused"),
+        help=(
+            "batch execution mode: per-tuple row path, columnar batch "
+            "kernels, or columnar with operator fusion (default row; "
+            "all modes produce identical output)"
+        ),
     )
     run.add_argument(
         "--stats",

@@ -28,6 +28,7 @@ from repro.core.stages import Stage, StageContext, StageKind
 from repro.errors import PipelineError
 from repro.receptors.base import Receptor
 from repro.receptors.registry import DeviceRegistry
+from repro.streams.columnar import AddFields, SetStream
 from repro.streams.fjord import Fjord
 from repro.streams.operators import MapOp, UnionOp
 from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
@@ -389,6 +390,7 @@ class ESPProcessor:
         backend: str | None = None,
         shard_key: str = "spatial_granule",
         telemetry: TelemetryCollector | None = None,
+        mode: str | None = None,
     ) -> ESPRun:
         """Execute the deployment from ``start`` through ``until``.
 
@@ -425,12 +427,17 @@ class ESPProcessor:
                 defaults to the process-wide default (a no-op unless the
                 CLI's ``--stats``/``--trace-out`` installed one). The
                 snapshot lands on :attr:`ESPRun.telemetry`.
+            mode: Execution mode (``"row"``, ``"columnar"`` or
+                ``"fused"``, see :data:`repro.streams.fjord.MODES`);
+                defaults to the process-wide default (``"row"`` unless
+                the CLI's ``--mode`` set it). All modes produce
+                bit-identical cleaned output.
 
         Returns:
             An :class:`ESPRun` with the cleaned output, flow stats and
             any taps.
         """
-        from repro.streams.shard import resolve_execution
+        from repro.streams.shard import resolve_execution, resolve_mode
 
         devices = self.registry.devices
         if not devices:
@@ -440,12 +447,13 @@ class ESPProcessor:
         if tick <= 0:
             raise PipelineError(f"tick must be positive, got {tick}")
         shards, backend = resolve_execution(shards, backend)
+        mode = resolve_mode(mode)
         collector = resolve_telemetry(telemetry)
         count = int(round((until - start) / tick))
         ticks = [start + i * tick for i in range(count + 1)]
         if shards <= 1 and backend == "serial":
             return self._run_single(
-                ticks, until, start, taps, sources, collector
+                ticks, until, start, taps, sources, collector, mode
             )
         if taps:
             raise PipelineError(
@@ -454,7 +462,7 @@ class ESPProcessor:
             )
         return self._run_sharded(
             ticks, until, start, sources, shards, backend, shard_key,
-            collector,
+            collector, mode,
         )
 
     def open_session(
@@ -514,13 +522,14 @@ class ESPProcessor:
         taps: Sequence[str],
         sources: Mapping[str, Sequence[StreamTuple]] | None,
         collector: TelemetryCollector,
+        mode: str = "row",
     ) -> ESPRun:
         """The single-threaded reference execution path."""
         result = ESPRun()
         fjord, sink = self._build_dataflow(
             until, start, set(taps), result, sources
         )
-        fjord.run(ticks, telemetry=collector)
+        fjord.run(ticks, telemetry=collector, mode=mode)
         result.output = sink.results
         result.stats = fjord.stats()
         if collector.enabled:
@@ -537,6 +546,7 @@ class ESPProcessor:
         backend: str,
         shard_key: str,
         collector: TelemetryCollector,
+        mode: str = "row",
     ) -> ESPRun:
         """Partition device streams and run one pipeline per shard.
 
@@ -571,7 +581,7 @@ class ESPProcessor:
             (lambda slices=slices: build(slices)) for slices in shard_feeds
         ]
         results = shard_engine.run_shard_jobs(
-            builders, ticks, backend=backend, telemetry=collector
+            builders, ticks, backend=backend, telemetry=collector, mode=mode
         )
         result = ESPRun()
         result.output = shard_engine.merge_outputs(
@@ -712,18 +722,15 @@ class ESPProcessor:
 
     def _annotator(self, device: Receptor):
         group = self.registry.group_of(device.receptor_id)
-        granule_name = group.granule.name
-        group_name = group.name
-
-        def annotate(item: StreamTuple) -> StreamTuple:
-            return item.derive(
-                values={
-                    "spatial_granule": granule_name,
-                    "proximity_group": group_name,
-                }
-            )
-
-        return annotate
+        # AddFields is columnar-aware: in columnar execution the two
+        # annotation fields become shared constant columns instead of a
+        # per-tuple dict copy.
+        return AddFields(
+            {
+                "spatial_granule": group.granule.name,
+                "proximity_group": group.name,
+            }
+        )
 
     def _apply_stage(
         self,
@@ -762,7 +769,7 @@ class ESPProcessor:
             rename = f"{node_name}:rename"
             fjord.add_operator(
                 rename,
-                MapOp(lambda t, _label=label: t.derive(stream=_label)),
+                MapOp(SetStream(label)),
                 inputs=[node_name],
             )
             out[label] = rename

@@ -12,8 +12,12 @@ HiFi / TelegraphCQ ecosystem:
   for user-defined aggregates.
 - :mod:`repro.streams.operators` — relational operators over streams
   (filter, map, windowed group-by, join, union, static-relation join).
+- :mod:`repro.streams.columnar` — the columnar ``ColumnBatch`` encoding
+  (parallel columns, lazy tuple materialization) behind the ``columnar``
+  and ``fused`` execution modes, plus vectorizable callables.
 - :mod:`repro.streams.fjord` — a Fjord-style pipelined executor that pushes
-  tuples and time punctuations through an operator DAG.
+  tuples and time punctuations through an operator DAG, with row,
+  columnar and fused (stateless-operator fusion) execution modes.
 - :mod:`repro.streams.shard` — a sharded, batch-pipelined execution engine
   running N independent Fjords (serial, threads or processes backend) with
   a deterministic time-axis merge.
@@ -28,7 +32,16 @@ from repro.streams.aggregates import (
     get_aggregate,
     register_aggregate,
 )
-from repro.streams.fjord import Fjord
+from repro.streams.columnar import (
+    MISSING,
+    AddFields,
+    ColumnBatch,
+    ColumnMap,
+    ColumnPredicate,
+    FieldCompare,
+    SetStream,
+)
+from repro.streams.fjord import MODES, Fjord, FusedStatelessOp
 from repro.streams.operators import (
     FilterOp,
     MapOp,
@@ -42,6 +55,7 @@ from repro.streams.reorder import ReorderBuffer, reorder_arrivals
 from repro.streams.shard import (
     BACKENDS,
     ShardedRun,
+    partition_batch,
     partition_sources,
     run_sharded,
     set_default_execution,
@@ -68,18 +82,27 @@ from repro.streams.windows import NowWindow, RowWindow, SlidingWindow, WindowSpe
 __all__ = [
     "Aggregate",
     "AggregateSpec",
+    "AddFields",
     "BACKENDS",
+    "ColumnBatch",
+    "ColumnMap",
+    "ColumnPredicate",
     "Duration",
+    "FieldCompare",
     "FilterOp",
     "Fjord",
+    "FusedStatelessOp",
     "Histogram",
     "InMemoryCollector",
     "IncrementalWindowedGroupByOp",
+    "MISSING",
+    "MODES",
     "MapOp",
     "NowWindow",
     "Operator",
     "ReorderBuffer",
     "RowWindow",
+    "SetStream",
     "ShardedRun",
     "SimClock",
     "SlidingWindow",
@@ -94,6 +117,7 @@ __all__ = [
     "get_aggregate",
     "merge_snapshots",
     "parse_duration",
+    "partition_batch",
     "partition_sources",
     "read_jsonl",
     "read_trace_events",

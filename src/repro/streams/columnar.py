@@ -1,0 +1,645 @@
+"""Columnar batch representation for the hot ``on_batch`` path.
+
+A :class:`ColumnBatch` stores a run of same-port deliveries as parallel
+columns — one list per field, plus a timestamp list and a stream-label
+list — instead of a list of :class:`~repro.streams.tuples.StreamTuple`
+objects. Stateless kernels (filter, map, union relabel) then touch one
+column per operation instead of one dict per tuple, which is where the
+row path burns most of its time: the processor plumbing alone performs
+three dict-copy ``derive`` calls per tuple (annotate, rename, union).
+
+Semantics contract
+------------------
+
+``ColumnBatch`` is a *pure encoding*: for every batch,
+``ColumnBatch.from_tuples(items).tuples() == list(items)``, field for
+field and in order. Operators that consume batches columnar-side must
+produce exactly the tuples the row kernel would have produced — the
+differential suite in ``tests/test_columnar_equivalence.py`` pins this
+per kernel, and the golden traces pin it end-to-end.
+
+Batches are **immutable by convention**: derived batches share column
+lists with their parents (``with_columns`` copies only the column dict,
+``take``/``where`` with an all-rows selection return ``self``). Never
+mutate a column list in place.
+
+Mixed schemas (unions of streams with different fields) are handled
+with the :data:`MISSING` sentinel: a cell holds ``MISSING`` when that
+row's tuple did not carry the field. Always test cells with ``is
+MISSING`` — equality comparisons would invoke arbitrary ``__eq__``
+implementations (e.g. numpy arrays) on real values.
+
+Vectorizable callables
+----------------------
+
+Row-path callables can opt into columnar execution by exposing:
+
+- ``.columnar(batch) -> ColumnBatch`` on map functions
+  (:class:`AddFields`, :class:`SetStream`, :class:`ColumnMap`), and
+- ``.mask(batch) -> sequence of truthy`` on predicates
+  (:class:`FieldCompare`, :class:`ColumnPredicate`).
+
+Kernels fall back to lazy row materialization when the hook is absent,
+so arbitrary lambdas keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import operator as _op
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import OperatorError
+from repro.streams.tuples import StreamTuple
+
+__all__ = [
+    "MISSING",
+    "ColumnBatch",
+    "AddFields",
+    "SetStream",
+    "FieldCompare",
+    "ColumnMap",
+    "ColumnPredicate",
+    "coalesce",
+]
+
+
+class _Missing:
+    """Singleton marking an absent cell in a mixed-schema column."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+    def __reduce__(self):
+        return (_missing_instance, ())
+
+
+def _missing_instance() -> "_Missing":
+    return MISSING
+
+
+MISSING = _Missing()
+
+
+class ColumnBatch:
+    """A batch of stream tuples stored as parallel columns.
+
+    Args:
+        timestamps: Per-row event times, non-decreasing within a source.
+        streams: Per-row stream labels.
+        columns: Mapping of field name to a value list of the same
+            length; absent cells hold :data:`MISSING`.
+
+    The constructor takes ownership of the lists it is given — callers
+    must not mutate them afterwards.
+    """
+
+    __slots__ = ("timestamps", "streams", "_columns", "_tuples", "_dense")
+
+    def __init__(
+        self,
+        timestamps: list[float],
+        streams: list[str],
+        columns: dict[str, list[Any]],
+    ) -> None:
+        n = len(timestamps)
+        if len(streams) != n:
+            raise OperatorError(
+                f"column batch is ragged: {n} timestamps vs "
+                f"{len(streams)} stream labels"
+            )
+        for field, col in columns.items():
+            if len(col) != n:
+                raise OperatorError(
+                    f"column batch is ragged: column {field!r} has "
+                    f"{len(col)} cells for {n} rows"
+                )
+        self.timestamps = timestamps
+        self.streams = streams
+        self._columns: dict[str, list[Any]] | None = columns
+        self._tuples: list[StreamTuple] | None = None
+        #: True when the batch is *known* to contain no MISSING cell;
+        #: False means unknown (a scan may still find it dense).
+        self._dense = False
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ColumnBatch":
+        """A zero-row batch."""
+        return cls([], [], {})
+
+    @classmethod
+    def from_tuples(cls, items: Sequence[StreamTuple]) -> "ColumnBatch":
+        """Wrap a row batch; caches ``items`` for free decoding.
+
+        Column construction is deferred until :attr:`columns` is first
+        read, so purely row-oriented consumers (a window or sink kernel
+        that materializes straight back to tuples) never pay for the
+        encoding.
+        """
+        items = list(items)
+        batch = cls(
+            [t.timestamp for t in items], [t.stream for t in items], {}
+        )
+        batch._columns = None
+        batch._tuples = items
+        return batch
+
+    @classmethod
+    def concat(cls, parts: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        """Concatenate batches row-wise, unioning their schemas.
+
+        Field order of the result is first-seen order across ``parts``;
+        rows from a part lacking a field get :data:`MISSING` cells.
+        """
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return cls.empty()
+        if len(parts) == 1:
+            return parts[0]
+        if any(p._columns is None for p in parts) and all(
+            p._tuples is not None for p in parts
+        ):
+            # Some part was never encoded and every part carries its
+            # row cache: concatenate the rows and stay lazy.
+            cached_rows: list[StreamTuple] = []
+            all_timestamps: list[float] = []
+            all_streams: list[str] = []
+            for part in parts:
+                cached_rows.extend(part._tuples)  # type: ignore[arg-type]
+                all_timestamps.extend(part.timestamps)
+                all_streams.extend(part.streams)
+            batch = cls(all_timestamps, all_streams, {})
+            batch._columns = None
+            batch._tuples = cached_rows
+            return batch
+        timestamps: list[float] = []
+        streams: list[str] = []
+        columns: dict[str, list[Any]] = {}
+        offset = 0
+        for part in parts:
+            n = len(part)
+            for field, col in columns.items():
+                src = part.columns.get(field)
+                col.extend(src if src is not None else [MISSING] * n)
+            for field, src in part.columns.items():
+                if field not in columns:
+                    columns[field] = [MISSING] * offset + list(src)
+            timestamps.extend(part.timestamps)
+            streams.extend(part.streams)
+            offset += n
+        batch = cls(timestamps, streams, columns)
+        first_schema = parts[0].columns.keys()
+        batch._dense = all(
+            p._dense and p.columns.keys() == first_schema for p in parts
+        )
+        if all(p._tuples is not None for p in parts):
+            cached: list[StreamTuple] = []
+            for part in parts:
+                cached.extend(part._tuples)  # type: ignore[arg-type]
+            batch._tuples = cached
+        return batch
+
+    # -- encoding ------------------------------------------------------
+
+    @property
+    def columns(self) -> dict[str, list[Any]]:
+        """Field → value-list mapping, encoded lazily from cached rows.
+
+        Treat the mapping and its lists as read-only — derived batches
+        share them.
+        """
+        cols = self._columns
+        if cols is None:
+            cols = self._encode()
+        return cols
+
+    def _encode(self) -> dict[str, list[Any]]:
+        items = self._tuples
+        if items is None:  # pragma: no cover - construction invariant
+            raise OperatorError("column batch has neither rows nor columns")
+        n = len(items)
+        columns: dict[str, list[Any]] = {}
+        uniform = False
+        if n:
+            keys = items[0]._values.keys()
+            uniform = all(t._values.keys() == keys for t in items)
+            if uniform:
+                # Dense fast path: a uniform schema encodes with one
+                # list comprehension per field.
+                columns = {
+                    field: [t._values[field] for t in items]
+                    for field in keys
+                }
+            else:
+                for i, item in enumerate(items):
+                    for field, value in item.items():
+                        col = columns.get(field)
+                        if col is None:
+                            col = columns[field] = [MISSING] * n
+                        col[i] = value
+        self._columns = columns
+        if uniform:
+            self._dense = not any(
+                any(v is MISSING for v in col) for col in columns.values()
+            )
+        return columns
+
+    # -- decoding ------------------------------------------------------
+
+    def tuples(self) -> list[StreamTuple]:
+        """Materialize rows lazily; the result is cached and shared.
+
+        Treat the returned list as read-only — repeated calls return
+        the same list object.
+        """
+        if self._tuples is None:
+            names = tuple(self.columns)
+            cols = [self.columns[f] for f in names]
+            from_parts = StreamTuple._from_parts
+            dense = self._dense or not any(
+                any(v is MISSING for v in col) for col in cols
+            )
+            if dense and names:
+                # Dense fast path: no MISSING cells, so each row's
+                # values dict is a straight zip over the schema.
+                self._tuples = [
+                    from_parts(ts, dict(zip(names, row)), stream)
+                    for ts, stream, row in zip(
+                        self.timestamps, self.streams, zip(*cols)
+                    )
+                ]
+            elif not names:
+                self._tuples = [
+                    from_parts(ts, {}, stream)
+                    for ts, stream in zip(self.timestamps, self.streams)
+                ]
+            else:
+                out: list[StreamTuple] = []
+                for i, (ts, stream) in enumerate(
+                    zip(self.timestamps, self.streams)
+                ):
+                    values: dict[str, Any] = {}
+                    for field, col in zip(names, cols):
+                        value = col[i]
+                        if value is not MISSING:
+                            values[field] = value
+                    out.append(from_parts(ts, values, stream))
+                self._tuples = out
+        return self._tuples
+
+    @property
+    def is_encoded(self) -> bool:
+        """Whether :attr:`columns` has already been (or came pre-) built.
+
+        Kernels that merely *prefer* columns (the windowed group-by's
+        key fast path) check this so reading them never forces an
+        encode the batch would not otherwise pay for.
+        """
+        return self._columns is not None
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether :meth:`tuples` has already been (or came pre-) built."""
+        return self._tuples is not None
+
+    # -- views ---------------------------------------------------------
+
+    def column(self, field: str) -> list[Any]:
+        """The value list for ``field``; raises if the field is absent."""
+        try:
+            return self.columns[field]
+        except KeyError:
+            raise OperatorError(
+                f"column batch has no field {field!r}"
+            ) from None
+
+    def has_full_column(self, field: str) -> bool:
+        """True when every row carries ``field`` (no MISSING cells)."""
+        col = self.columns.get(field)
+        if col is None:
+            return False
+        return self._dense or not any(v is MISSING for v in col)
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Rows at ``indices`` (ascending, unique), as a new batch.
+
+        Selecting every row returns ``self`` unchanged; a cached tuple
+        list is sliced rather than re-materialized.
+        """
+        n = len(self.timestamps)
+        if len(indices) == n:
+            return self
+        if not indices:
+            return ColumnBatch.empty()
+        if self._columns is None:
+            # Never encoded: slice the cached rows and stay lazy.
+            assert self._tuples is not None
+            batch = ColumnBatch(
+                [self.timestamps[i] for i in indices],
+                [self.streams[i] for i in indices],
+                {},
+            )
+            batch._columns = None
+            batch._tuples = [self._tuples[i] for i in indices]
+            return batch
+        batch = ColumnBatch(
+            [self.timestamps[i] for i in indices],
+            [self.streams[i] for i in indices],
+            {
+                field: [col[i] for i in indices]
+                for field, col in self.columns.items()
+            },
+        )
+        batch._dense = self._dense
+        if self._tuples is not None:
+            batch._tuples = [self._tuples[i] for i in indices]
+        return batch
+
+    def where(self, mask: Sequence[Any]) -> "ColumnBatch":
+        """Rows whose ``mask`` entry is truthy, as a new batch.
+
+        All-truthy masks return ``self`` (no copy); all-falsy masks
+        return an empty batch.
+        """
+        n = len(self.timestamps)
+        if len(mask) != n:
+            raise OperatorError(
+                f"filter mask has {len(mask)} entries for {n} rows"
+            )
+        indices = [i for i, keep in enumerate(mask) if keep]
+        return self.take(indices)
+
+    def with_stream(self, stream: str) -> "ColumnBatch":
+        """Relabel every row's stream; shares all columns with self."""
+        if self._columns is None:
+            # Never encoded: relabel the cached rows (sharing their
+            # value dicts — tuples are immutable by convention) and
+            # stay lazy rather than encoding just to share columns.
+            assert self._tuples is not None
+            batch = ColumnBatch(
+                self.timestamps, [stream] * len(self.streams), {}
+            )
+            batch._columns = None
+            batch._tuples = [
+                StreamTuple._from_parts(t.timestamp, t._values, stream)
+                for t in self._tuples
+            ]
+            return batch
+        batch = ColumnBatch(
+            self.timestamps, [stream] * len(self.streams), self.columns
+        )
+        batch._dense = self._dense
+        return batch
+
+    def with_columns(self, values: Mapping[str, Any]) -> "ColumnBatch":
+        """Add or overwrite constant-valued columns; shares the rest."""
+        n = len(self.timestamps)
+        if self._columns is None and not any(
+            v is MISSING for v in values.values()
+        ):
+            # Never encoded: derive the cached rows directly (the same
+            # dict-merge the row path pays) and stay lazy, instead of
+            # encoding every existing column just to add constants.
+            assert self._tuples is not None
+            adds = dict(values)
+            batch = ColumnBatch(self.timestamps, self.streams, {})
+            batch._columns = None
+            batch._tuples = [
+                StreamTuple._from_parts(
+                    t.timestamp, {**t._values, **adds}, t.stream
+                )
+                for t in self._tuples
+            ]
+            return batch
+        columns = dict(self.columns)
+        for field, value in values.items():
+            columns[field] = [value] * n
+        batch = ColumnBatch(self.timestamps, self.streams, columns)
+        batch._dense = self._dense and not any(
+            v is MISSING for v in values.values()
+        )
+        return batch
+
+    def with_column(self, field: str, column: Sequence[Any]) -> "ColumnBatch":
+        """Add or overwrite one per-row column; shares the rest."""
+        columns = dict(self.columns)
+        new_col = list(column)
+        columns[field] = new_col
+        batch = ColumnBatch(self.timestamps, self.streams, columns)
+        batch._dense = self._dense and not any(
+            v is MISSING for v in new_col
+        )
+        return batch
+
+    # -- invariants ----------------------------------------------------
+
+    def assert_time_ordered(
+        self, source: str = "batch", last: float | None = None
+    ) -> float | None:
+        """Raise :class:`OperatorError` on an out-of-order timestamp.
+
+        Mirrors the row path's source check in ``Fjord`` — including its
+        1e-9 tolerance and message — so columnar ingestion reports the
+        same error for the same input. Returns the final timestamp (or
+        ``last`` when the batch is empty) for chained checks.
+        """
+        for ts in self.timestamps:
+            if last is not None and ts < last - 1e-9:
+                raise OperatorError(
+                    f"source {source!r} is out of order: "
+                    f"timestamp {ts:g} arrived after {last:g}"
+                )
+            last = ts
+        return last
+
+    # -- dunder --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self.tuples())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnBatch):
+            return self.tuples() == other.tuples()
+        if isinstance(other, (list, tuple)):
+            return self.tuples() == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - batches are not keys
+        return hash(tuple(self.tuples()))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(self.columns)
+        return f"ColumnBatch({len(self)} rows; fields=[{fields}])"
+
+
+def coalesce(
+    payloads: Sequence["ColumnBatch | StreamTuple"],
+) -> ColumnBatch:
+    """Fold a same-port run of loose tuples and batches into one batch.
+
+    The executor's pending queues hold a mix of per-tuple source
+    deliveries and whole-batch operator outputs; a drain pass coalesces
+    each maximal same-port run before invoking the columnar kernel.
+    """
+    if len(payloads) == 1 and isinstance(payloads[0], ColumnBatch):
+        return payloads[0]
+    parts: list[ColumnBatch] = []
+    loose: list[StreamTuple] = []
+    for payload in payloads:
+        if isinstance(payload, ColumnBatch):
+            if loose:
+                parts.append(ColumnBatch.from_tuples(loose))
+                loose = []
+            parts.append(payload)
+        else:
+            loose.append(payload)
+    if loose:
+        parts.append(ColumnBatch.from_tuples(loose))
+    return ColumnBatch.concat(parts)
+
+
+# -- vectorizable callables -------------------------------------------
+
+
+class AddFields:
+    """Map function adding (or overwriting) constant fields per tuple.
+
+    Row path: ``t.derive(values=...)`` per tuple. Columnar path: one
+    shared constant column per field, O(fields) per batch.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Mapping[str, Any]) -> None:
+        self.values = dict(values)
+
+    def __call__(self, item: StreamTuple) -> StreamTuple:
+        return item.derive(values=self.values)
+
+    def columnar(self, batch: ColumnBatch) -> ColumnBatch:
+        return batch.with_columns(self.values)
+
+
+class SetStream:
+    """Map function relabeling each tuple's stream.
+
+    Row path: ``t.derive(stream=...)`` (a dict copy per tuple).
+    Columnar path: swap the stream list, share every column.
+    """
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: str) -> None:
+        self.stream = stream
+
+    def __call__(self, item: StreamTuple) -> StreamTuple:
+        return item.derive(stream=self.stream)
+
+    def columnar(self, batch: ColumnBatch) -> ColumnBatch:
+        return batch.with_stream(self.stream)
+
+
+class FieldCompare:
+    """Predicate comparing one field against a constant.
+
+    ``FieldCompare("temp", "<", 50.0)`` row-path raises
+    :class:`~repro.errors.SchemaError` on tuples missing the field,
+    exactly like ``t["temp"] < 50.0`` would; the mask path falls back
+    to per-row evaluation whenever the column is absent or partial so
+    the error behavior (and its ordering) is identical.
+    """
+
+    __slots__ = ("field", "op", "value", "_cmp")
+
+    _OPS: dict[str, Callable[[Any, Any], bool]] = {
+        "<": _op.lt,
+        "<=": _op.le,
+        ">": _op.gt,
+        ">=": _op.ge,
+        "==": _op.eq,
+        "!=": _op.ne,
+    }
+
+    def __init__(self, field: str, op: str, value: Any) -> None:
+        if op not in self._OPS:
+            raise OperatorError(
+                f"unknown comparison {op!r}; expected one of "
+                f"{sorted(self._OPS)}"
+            )
+        self.field = field
+        self.op = op
+        self.value = value
+        self._cmp = self._OPS[op]
+
+    def __call__(self, item: StreamTuple) -> bool:
+        return bool(self._cmp(item[self.field], self.value))
+
+    def mask(self, batch: ColumnBatch) -> list[bool]:
+        col = batch.columns.get(self.field)
+        if col is None or any(v is MISSING for v in col):
+            return [self(item) for item in batch.tuples()]
+        cmp, value = self._cmp, self.value
+        return [bool(cmp(v, value)) for v in col]
+
+
+class ColumnMap:
+    """Wrap a row map function with an explicit columnar kernel.
+
+    ``batch_fn`` must produce the batch the row function would have
+    produced tuple-by-tuple — the differential suite checks this for
+    every registered kernel, but custom wrappers carry the obligation
+    themselves.
+    """
+
+    __slots__ = ("_row_fn", "_batch_fn")
+
+    def __init__(
+        self,
+        row_fn: Callable[[StreamTuple], Any],
+        batch_fn: Callable[[ColumnBatch], ColumnBatch],
+    ) -> None:
+        self._row_fn = row_fn
+        self._batch_fn = batch_fn
+
+    def __call__(self, item: StreamTuple) -> Any:
+        return self._row_fn(item)
+
+    def columnar(self, batch: ColumnBatch) -> ColumnBatch:
+        return self._batch_fn(batch)
+
+
+class ColumnPredicate:
+    """Wrap a row predicate with an explicit mask kernel."""
+
+    __slots__ = ("_row_fn", "_mask_fn")
+
+    def __init__(
+        self,
+        row_fn: Callable[[StreamTuple], Any],
+        mask_fn: Callable[[ColumnBatch], Sequence[Any]],
+    ) -> None:
+        self._row_fn = row_fn
+        self._mask_fn = mask_fn
+
+    def __call__(self, item: StreamTuple) -> Any:
+        return self._row_fn(item)
+
+    def mask(self, batch: ColumnBatch) -> Sequence[Any]:
+        return self._mask_fn(batch)
+
+
+def _iter_tuples(
+    items: "Iterable[StreamTuple] | ColumnBatch",
+) -> Sequence[StreamTuple]:
+    """Rows of either representation, without copying lists."""
+    if isinstance(items, ColumnBatch):
+        return items.tuples()
+    if isinstance(items, list):
+        return items
+    return list(items)

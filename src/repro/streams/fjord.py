@@ -31,7 +31,8 @@ import heapq
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import OperatorError
-from repro.streams.operators import Operator, SinkOp
+from repro.streams.columnar import ColumnBatch, coalesce
+from repro.streams.operators import FilterOp, MapOp, Operator, SinkOp, UnionOp
 from repro.streams.telemetry import (
     NULL_COLLECTOR,
     IngestTrace,
@@ -40,6 +41,15 @@ from repro.streams.telemetry import (
     resolve_telemetry,
 )
 from repro.streams.tuples import StreamTuple
+
+#: Execution modes accepted by :meth:`Fjord.run` and friends. ``row``
+#: is the original per-tuple-object path; ``columnar`` drains pending
+#: input through :meth:`Operator.on_column_batch` column kernels;
+#: ``fused`` additionally collapses linear runs of stateless operators
+#: into single fused kernels (see :meth:`Fjord.fuse`). All three
+#: produce bit-identical sink output — the differential suite in
+#: ``tests/test_columnar_equivalence.py`` pins it.
+MODES = ("row", "columnar", "fused")
 
 
 class _Node:
@@ -53,11 +63,85 @@ class _Node:
         self.op = op
         #: (target node name, port on target)
         self.downstream: list[tuple[str, int]] = []
-        #: tuples delivered but not yet processed, as (tuple, port)
-        self.pending: list[tuple[StreamTuple, int]] = []
+        #: input delivered but not yet processed, as (payload, port);
+        #: payloads are single tuples (source injection, on_time output,
+        #: row-mode operator output) or whole ColumnBatches (columnar-
+        #: mode operator output)
+        self.pending: list[tuple["StreamTuple | ColumnBatch", int]] = []
         #: observability counters, updated during run()
         self.tuples_in = 0
         self.tuples_out = 0
+
+
+class FusedStatelessOp(Operator):
+    """Several stateless operators collapsed into one DAG node.
+
+    Produced by :meth:`Fjord.fuse`: a linear run of filter/map/union
+    nodes becomes one node that applies the constituent kernels back to
+    back without the executor's per-node delivery, queueing and
+    accounting between them. Per-stage flow counters are kept so
+    :meth:`Fjord.stats` can report the constituent nodes exactly as an
+    unfused run would.
+
+    Unlike :class:`~repro.streams.operators.ChainOp` this is an
+    executor-internal artifact: stages keep their original node names
+    for accounting, and only stateless (punctuation-free) operators are
+    ever fused, so ``on_time`` is trivially empty.
+    """
+
+    def __init__(self, stages: Sequence[tuple[str, Operator]]):
+        self.stages = list(stages)
+        #: node name → [tuples_in, tuples_out], matching what the
+        #: unfused executor's per-node counters would have recorded
+        self.stage_counts: dict[str, list[int]] = {
+            name: [0, 0] for name, _ in self.stages
+        }
+
+    def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        return self.on_batch([item], port)
+
+    def on_batch(
+        self, items: Sequence[StreamTuple], port: int = 0
+    ) -> list[StreamTuple]:
+        pending: Sequence[StreamTuple] = items
+        for name, op in self.stages:
+            counts = self.stage_counts[name]
+            counts[0] += len(pending)
+            if not pending:
+                return []
+            pending = op.on_batch(pending, port)
+            counts[1] += len(pending)
+            port = 0  # only the first stage sees the original port
+        return pending if isinstance(pending, list) else list(pending)
+
+    def on_column_batch(self, batch: ColumnBatch, port: int = 0) -> ColumnBatch:
+        pending = batch
+        for name, op in self.stages:
+            counts = self.stage_counts[name]
+            n = len(pending)
+            counts[0] += n
+            if not n:
+                return pending
+            pending = op.on_column_batch(pending, port)
+            counts[1] += len(pending)
+            port = 0  # only the first stage sees the original port
+        return pending
+
+
+#: Operator types safe to fuse: stateless, single-output-per-input-run,
+#: and punctuation-free. Windowed operators hold cross-call state keyed
+#: to their own node identity and must stay unfused.
+_FUSABLE_TYPES = (FilterOp, MapOp, UnionOp, FusedStatelessOp)
+
+
+def _fusable(op: Operator) -> bool:
+    return isinstance(op, _FUSABLE_TYPES)
+
+
+def _stages_of(name: str, op: Operator) -> list[tuple[str, Operator]]:
+    if isinstance(op, FusedStatelessOp):
+        return op.stages
+    return [(name, op)]
 
 
 class Fjord:
@@ -83,6 +167,7 @@ class Fjord:
         self._sources: dict[str, Iterable[StreamTuple]] = {}
         self._source_edges: dict[str, list[tuple[str, int]]] = {}
         self._order: list[str] | None = None
+        self._fused = False
 
     # -- graph construction ----------------------------------------------------
 
@@ -151,11 +236,21 @@ class Fjord:
         spotting where a deployment's data volume collapses (Point-stage
         early elimination, §3.2) or silently explodes (a join gone
         quadratic).
+
+        After :meth:`fuse`, fused nodes are expanded back into their
+        constituent stages (per-stage counters are tracked inside
+        :class:`FusedStatelessOp`), so the mapping is keyed by the same
+        node names — with the same counts — as an unfused run.
         """
-        return {
-            name: (node.tuples_in, node.tuples_out)
-            for name, node in self._nodes.items()
-        }
+        out: dict[str, tuple[int, int]] = {}
+        for name, node in self._nodes.items():
+            op = node.op
+            if isinstance(op, FusedStatelessOp):
+                for stage_name, counts in op.stage_counts.items():
+                    out[stage_name] = (counts[0], counts[1])
+            else:
+                out[name] = (node.tuples_in, node.tuples_out)
+        return out
 
     def describe(self) -> str:
         """A human-readable wiring description of the dataflow.
@@ -212,6 +307,94 @@ class Fjord:
             raise OperatorError(f"operator graph has a cycle involving {cyclic}")
         self._order = order
         return order
+
+    def fuse(self) -> int:
+        """Collapse linear runs of stateless operators into fused kernels.
+
+        A node is absorbed into its successor when (a) both operators
+        are stateless (filter/map/union or already fused), (b) the node
+        has exactly one downstream edge, on port 0, and (c) the
+        successor has exactly one inbound edge overall (so no other
+        producer interleaves with the fused stream). The pass repeats
+        to a fixed point, so chains of any length collapse into one
+        node.
+
+        **Order preservation.** Fusion renames nodes (the fused node
+        keeps the *tail* node's name), which could perturb the
+        lexicographic-Kahn execution order and thereby the interleaving
+        of same-tick emissions at downstream merge points. To keep
+        fused output bit-identical, the pre-fusion topological order is
+        computed first and the post-fusion order is that same order
+        restricted to surviving nodes — a valid topological order of
+        the fused graph (contracting a single-in/single-out edge cannot
+        invert any precedence), with every surviving node in its
+        original relative position.
+
+        Idempotent; returns the number of nodes eliminated. Fusion is
+        sticky: it rewrites the graph in place, and later row-mode runs
+        execute the fused graph (still bit-identically).
+        """
+        if self._fused:
+            return 0
+        original_order = list(self._topological_order())
+        eliminated = 0
+        changed = True
+        while changed:
+            changed = False
+            for name in list(self._nodes):
+                node = self._nodes.get(name)
+                if node is None or len(node.downstream) != 1:
+                    continue
+                target, port = node.downstream[0]
+                if port != 0 or target == name:
+                    continue
+                tnode = self._nodes[target]
+                if not (_fusable(node.op) and _fusable(tnode.op)):
+                    continue
+                inbound = sum(
+                    1
+                    for other in self._nodes.values()
+                    for t, _p in other.downstream
+                    if t == target
+                )
+                inbound += sum(
+                    1
+                    for edges in self._source_edges.values()
+                    for t, _p in edges
+                    if t == target
+                )
+                if inbound != 1:
+                    continue
+                tnode.op = FusedStatelessOp(
+                    _stages_of(name, node.op) + _stages_of(target, tnode.op)
+                )
+                for other in self._nodes.values():
+                    other.downstream = [
+                        (target if t == name else t, p)
+                        for t, p in other.downstream
+                    ]
+                for edges in self._source_edges.values():
+                    edges[:] = [
+                        (target if t == name else t, p) for t, p in edges
+                    ]
+                del self._nodes[name]
+                eliminated += 1
+                changed = True
+        self._order = [n for n in original_order if n in self._nodes]
+        self._fused = True
+        return eliminated
+
+    def _resolve_mode(self, mode: "str | None") -> bool:
+        """Validate ``mode``, apply fusion if asked; True if columnar."""
+        if mode is None:
+            mode = "row"
+        if mode not in MODES:
+            raise OperatorError(
+                f"unknown execution mode {mode!r}; expected one of {MODES}"
+            )
+        if mode == "fused":
+            self.fuse()
+        return mode != "row"
 
     def _checked(
         self,
@@ -321,10 +504,62 @@ class Fjord:
                         self._deliver(item, target, tport)
                 start = stop
 
+    def _drain_node_columnar(
+        self,
+        node: _Node,
+        collector: TelemetryCollector = NULL_COLLECTOR,
+        now: float = 0.0,
+    ) -> None:
+        """Columnar twin of :meth:`_drain_node`.
+
+        Pending input is partitioned into the *same* maximal same-port
+        runs as the row path (payload boundaries don't matter, only
+        ports), each run is coalesced into one :class:`ColumnBatch`,
+        and the node's column kernel handles it whole. Because run
+        partitioning is identical and kernels emit exactly the row
+        kernels' tuples, flow counters, batch-size histograms and
+        ``batch_drain`` events match the row path exactly — only the
+        wall-clock busy-ns can differ.
+        """
+        enabled = collector.enabled
+        while node.pending:
+            entries, node.pending = node.pending, []
+            start = 0
+            while start < len(entries):
+                port = entries[start][1]
+                stop = start + 1
+                while stop < len(entries) and entries[stop][1] == port:
+                    stop += 1
+                run = coalesce([payload for payload, _port in entries[start:stop]])
+                n_in = len(run)
+                node.tuples_in += n_in
+                if enabled:
+                    began = clock_ns()
+                    out = node.op.on_column_batch(run, port)
+                    collector.record_batch(
+                        node.name, n_in, len(out), clock_ns() - began
+                    )
+                    collector.event(
+                        "batch_drain",
+                        node=node.name,
+                        t=now,
+                        n_in=n_in,
+                        n_out=len(out),
+                    )
+                else:
+                    out = node.op.on_column_batch(run, port)
+                n_out = len(out)
+                node.tuples_out += n_out
+                if n_out:
+                    for target, tport in node.downstream:
+                        self._nodes[target].pending.append((out, tport))
+                start = stop
+
     def run(
         self,
         ticks: Iterable[float],
         telemetry: TelemetryCollector | None = None,
+        mode: str = "row",
     ) -> None:
         """Execute the dataflow over the given punctuation times.
 
@@ -337,17 +572,22 @@ class Fjord:
             telemetry: Instrumentation sink (see
                 :mod:`repro.streams.telemetry`); ``None`` uses the
                 process-wide default, which is a no-op unless installed.
+            mode: Execution mode, one of :data:`MODES`. ``columnar``
+                and ``fused`` run the column-kernel fast path and
+                produce bit-identical sink output to ``row``.
 
         Raises:
-            OperatorError: If a source yields out-of-order timestamps.
+            OperatorError: If a source yields out-of-order timestamps,
+                or ``mode`` is unknown.
         """
-        for _now in self.run_stepped(ticks, telemetry=telemetry):
+        for _now in self.run_stepped(ticks, telemetry=telemetry, mode=mode):
             pass
 
     def open_session(
         self,
         ticks: Iterable[float],
         telemetry: TelemetryCollector | None = None,
+        mode: str = "row",
     ) -> "FjordSession":
         """Open an incremental-push execution session over ``ticks``.
 
@@ -361,12 +601,16 @@ class Fjord:
         Sources must already be registered (with empty feeds, typically)
         so their edges exist; pushes are routed by source name.
         """
-        return FjordSession(self, ticks, resolve_telemetry(telemetry))
+        columnar = self._resolve_mode(mode)
+        return FjordSession(
+            self, ticks, resolve_telemetry(telemetry), columnar=columnar
+        )
 
     def run_stepped(
         self,
         ticks: Iterable[float],
         telemetry: TelemetryCollector | None = None,
+        mode: str = "row",
     ) -> Iterator[float]:
         """Like :meth:`run`, but yield after each punctuation sweep.
 
@@ -384,6 +628,7 @@ class Fjord:
         """
         collector = resolve_telemetry(telemetry)
         enabled = collector.enabled
+        columnar = self._resolve_mode(mode)
         order = self._topological_order()
         if enabled:
             self._emit_run_start(order, collector)
@@ -403,7 +648,7 @@ class Fjord:
                 lookahead = next(feed, None)
             if enabled:
                 self._sample_tick(order, now, newest, collector)
-            self._sweep(order, now, collector, enabled)
+            self._sweep(order, now, collector, enabled, columnar)
             tick_count += 1
             yield now
         if enabled:
@@ -461,6 +706,7 @@ class Fjord:
         now: float,
         collector: TelemetryCollector,
         enabled: bool,
+        columnar: bool = False,
     ) -> None:
         """One punctuation sweep at time ``now`` over already-injected input.
 
@@ -468,11 +714,13 @@ class Fjord:
         then slide windows; emissions feed later nodes within the same
         sweep. A final drain pass catches anything a terminal node's
         user callback injected (topological order makes it a no-op
-        otherwise).
+        otherwise). Punctuation output is delivered per tuple in both
+        modes — the columnar drain coalesces mixed pending payloads.
         """
+        drain = self._drain_node_columnar if columnar else self._drain_node
         for name in order:
             node = self._nodes[name]
-            self._drain_node(node, collector, now)
+            drain(node, collector, now)
             if enabled:
                 began = clock_ns()
                 out = node.op.on_time(now)
@@ -486,7 +734,7 @@ class Fjord:
                 for item in out:
                     self._deliver(item, target, tport)
         for name in order:
-            self._drain_node(self._nodes[name], collector, now)
+            drain(self._nodes[name], collector, now)
         if enabled:
             collector.count_tick()
 
@@ -521,10 +769,12 @@ class FjordSession:
         fjord: Fjord,
         ticks: Iterable[float],
         collector: TelemetryCollector,
+        columnar: bool = False,
     ):
         self._fjord = fjord
         self._collector = collector
         self._enabled = collector.enabled
+        self._columnar = columnar
         self._order = fjord._topological_order()
         self._ticks = [float(t) for t in ticks]
         if any(a > b for a, b in zip(self._ticks, self._ticks[1:])):
@@ -668,7 +918,9 @@ class FjordSession:
                     injected.append(trace)
         if enabled:
             fjord._sample_tick(self._order, now, self._newest, self._collector)
-        fjord._sweep(self._order, now, self._collector, enabled)
+        fjord._sweep(
+            self._order, now, self._collector, enabled, self._columnar
+        )
         if injected is not None:
             self._finish_spans(injected, now)
         self._cursor += 1

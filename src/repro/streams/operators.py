@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import OperatorError
 from repro.streams.aggregates import AggregateSpec
+from repro.streams.columnar import ColumnBatch
 from repro.streams.tuples import StreamTuple
 from repro.streams.windows import BaseWindow, WindowSpec
 
@@ -61,6 +62,20 @@ class Operator:
             out.extend(self.on_tuple(item, port))
         return out
 
+    def on_column_batch(self, batch: ColumnBatch, port: int = 0) -> ColumnBatch:
+        """Handle a columnar batch that arrived on ``port``.
+
+        Must emit exactly the batch :meth:`on_batch` would emit for
+        ``batch.tuples()`` — the same tuples, in the same order — so the
+        columnar execution mode stays bit-identical to the row path.
+        This default materializes rows and delegates; hot stateless
+        operators override it with column kernels that never touch
+        per-tuple dicts. The same accounting contract as
+        :meth:`on_batch` applies: the executor counts input and output
+        lengths of every call.
+        """
+        return ColumnBatch.from_tuples(self.on_batch(batch.tuples(), port))
+
     def on_time(self, now: float) -> list[StreamTuple]:
         """Handle a time punctuation; return output tuples for ``now``."""
         return []
@@ -89,6 +104,13 @@ class FilterOp(Operator):
     ) -> list[StreamTuple]:
         predicate = self._predicate
         return [item for item in items if predicate(item)]
+
+    def on_column_batch(self, batch: ColumnBatch, port: int = 0) -> ColumnBatch:
+        mask_fn = getattr(self._predicate, "mask", None)
+        if mask_fn is not None:
+            return batch.where(mask_fn(batch))
+        predicate = self._predicate
+        return batch.where([predicate(item) for item in batch.tuples()])
 
 
 class MapOp(Operator):
@@ -125,6 +147,12 @@ class MapOp(Operator):
                 out.extend(result)
         return out
 
+    def on_column_batch(self, batch: ColumnBatch, port: int = 0) -> ColumnBatch:
+        columnar = getattr(self._fn, "columnar", None)
+        if columnar is not None:
+            return columnar(batch)
+        return ColumnBatch.from_tuples(self.on_batch(batch.tuples(), port))
+
 
 class UnionOp(Operator):
     """Merge any number of input streams into one (bag union).
@@ -149,6 +177,11 @@ class UnionOp(Operator):
             return list(items)
         stream = self._output_stream
         return [item.derive(stream=stream) for item in items]
+
+    def on_column_batch(self, batch: ColumnBatch, port: int = 0) -> ColumnBatch:
+        if self._output_stream is None:
+            return batch
+        return batch.with_stream(self._output_stream)
 
 
 class StaticJoinOp(Operator):
@@ -221,11 +254,15 @@ class GroupKey:
             to reading the field called ``name``.
     """
 
-    __slots__ = ("name", "extractor")
+    __slots__ = ("name", "extractor", "field")
 
     def __init__(self, name: str, extractor: Extractor | None = None):
         self.name = name
         self.extractor = extractor or (lambda t, _n=name: t[_n])
+        # Column-kernel fast path: when the extractor is the default
+        # field read, the key component can be pulled straight from the
+        # batch's column without materializing tuples.
+        self.field: str | None = None if extractor is not None else name
 
     def __repr__(self) -> str:
         return f"GroupKey({self.name})"
@@ -300,6 +337,33 @@ class WindowedGroupByOp(Operator):
                 windows[key] = window
             window.insert(item)
         return []
+
+    def on_column_batch(self, batch: ColumnBatch, port: int = 0) -> ColumnBatch:
+        # Windows buffer whole tuples, so rows must materialize either
+        # way; the columnar win here is hoisting key extraction to a
+        # per-column read when every key is a plain field present in
+        # all rows. A batch that was never encoded stays row-wise (its
+        # cached tuples are free; encoding just to read keys is not),
+        # and partial or absent key columns fall back to the row
+        # extractors so SchemaError ordering matches the row path.
+        fields = [k.field for k in self._keys]
+        if batch.is_encoded and all(
+            f is not None and batch.has_full_column(f) for f in fields
+        ):
+            items = batch.tuples()
+            cols = [batch.columns[f] for f in fields]  # type: ignore[index]
+            windows = self._windows
+            spec = self._window_spec
+            for i, item in enumerate(items):
+                key = tuple(col[i] for col in cols)
+                window = windows.get(key)
+                if window is None:
+                    window = spec.make_window()
+                    windows[key] = window
+                window.insert(item)
+        else:
+            self.on_batch(batch.tuples(), port)
+        return ColumnBatch.empty()
 
     def on_time(self, now: float) -> list[StreamTuple]:
         if self._emit_every is not None:
@@ -418,6 +482,13 @@ class SinkOp(Operator):
                 self._callback(item)
         return []
 
+    def on_column_batch(self, batch: ColumnBatch, port: int = 0) -> ColumnBatch:
+        # The sink is the row/column boundary: collected results are
+        # always row tuples so downstream consumers (merge, traceio,
+        # session callbacks) never see batch objects.
+        self.on_batch(batch.tuples(), port)
+        return ColumnBatch.empty()
+
 
 class ChainOp(Operator):
     """Run several operators as one sequential mini-pipeline.
@@ -453,12 +524,35 @@ class ChainOp(Operator):
     def on_batch(
         self, items: Sequence[StreamTuple], port: int = 0
     ) -> list[StreamTuple]:
-        pending = list(items)
+        # No up-front copy: the input sequence is handed to the first
+        # stage as-is, and stages that pass everything through (every
+        # stage returns a fresh list per its contract) already isolate
+        # us from the caller's sequence. Only if *every* stage returned
+        # the input object unchanged would aliasing matter, so a final
+        # defensive copy covers that one case.
+        pending: Sequence[StreamTuple] = items
         for stage in self._stages:
             pending = stage.on_batch(pending, port)
             port = 0  # only the first stage sees the original port
             if not pending:
                 return []
+        if pending is items:
+            return list(pending)
+        return pending if isinstance(pending, list) else list(pending)
+
+    def on_column_batch(self, batch: ColumnBatch, port: int = 0) -> ColumnBatch:
+        # Columnar stages short-circuit structurally: a stage that
+        # rejects nothing returns its input batch object (FilterOp via
+        # ``where`` on an all-truthy mask, UnionOp without a relabel),
+        # so an all-pass chain performs zero copies end to end. The
+        # regression test in tests/test_columnar_batch.py pins this
+        # with a counting ColumnBatch subclass.
+        pending = batch
+        for stage in self._stages:
+            if not len(pending):
+                return pending
+            pending = stage.on_column_batch(pending, port)
+            port = 0  # only the first stage sees the original port
         return pending
 
     def on_time(self, now: float) -> list[StreamTuple]:

@@ -45,7 +45,8 @@ import zlib
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import OperatorError
-from repro.streams.fjord import Fjord
+from repro.streams.columnar import ColumnBatch
+from repro.streams.fjord import MODES, Fjord
 from repro.streams.operators import SinkOp
 from repro.streams.telemetry import (
     NULL_COLLECTOR,
@@ -69,17 +70,24 @@ ShardBuilder = Callable[
 
 # -- execution defaults (wired from the CLI's --shards/--backend) --------------
 
-_DEFAULT_EXECUTION: dict[str, Any] = {"shards": 1, "backend": "serial"}
+_DEFAULT_EXECUTION: dict[str, Any] = {
+    "shards": 1,
+    "backend": "serial",
+    "mode": "row",
+}
 
 
 def set_default_execution(
-    shards: int | None = None, backend: str | None = None
+    shards: int | None = None,
+    backend: str | None = None,
+    mode: str | None = None,
 ) -> None:
-    """Set process-wide defaults used when a run() omits shards/backend.
+    """Set process-wide defaults used when a run() omits execution options.
 
-    The CLI's ``--shards``/``--backend`` flags call this so that every
-    experiment's internal :meth:`ESPProcessor.run` picks the requested
-    execution mode without each experiment threading the options through.
+    The CLI's ``--shards``/``--backend``/``--mode`` flags call this so
+    that every experiment's internal :meth:`ESPProcessor.run` picks the
+    requested execution mode without each experiment threading the
+    options through.
     """
     if shards is not None:
         if int(shards) < 1:
@@ -93,11 +101,35 @@ def set_default_execution(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
         _DEFAULT_EXECUTION["backend"] = backend
+    if mode is not None:
+        if mode not in MODES:
+            _invalid_execution("mode", mode)
+            raise OperatorError(
+                f"unknown execution mode {mode!r}; expected one of {MODES}"
+            )
+        _DEFAULT_EXECUTION["mode"] = mode
 
 
 def default_execution() -> tuple[int, str]:
     """The current process-wide (shards, backend) defaults."""
     return _DEFAULT_EXECUTION["shards"], _DEFAULT_EXECUTION["backend"]
+
+
+def default_mode() -> str:
+    """The current process-wide execution mode default."""
+    return _DEFAULT_EXECUTION["mode"]
+
+
+def resolve_mode(mode: str | None) -> str:
+    """Fill an unset execution mode from the process-wide default."""
+    if mode is None:
+        return default_mode()
+    if mode not in MODES:
+        _invalid_execution("mode", mode)
+        raise OperatorError(
+            f"unknown execution mode {mode!r}; expected one of {MODES}"
+        )
+    return mode
 
 
 def _invalid_execution(option: str, value: Any) -> None:
@@ -162,6 +194,10 @@ def partition_sources(
         source name (possibly with an empty slice) so builders can wire
         the same graph regardless of which keys landed where; slices
         preserve the source's tuple order.
+
+    A source given as a :class:`~repro.streams.columnar.ColumnBatch`
+    is partitioned with :func:`partition_batch` and lands in each shard
+    mapping as a ColumnBatch slice (same keys, same order guarantee).
     """
     if shards < 1:
         raise OperatorError(f"shards must be >= 1, got {shards}")
@@ -170,14 +206,56 @@ def partition_sources(
         if callable(key)
         else (lambda source, item, _field=key: item.get(_field))
     )
-    out: list[dict[str, list[StreamTuple]]] = [
+    out: list[dict[str, "list[StreamTuple] | ColumnBatch"]] = [
         {name: [] for name in sources} for _ in range(shards)
     ]
     for name, items in sources.items():
+        if isinstance(items, ColumnBatch):
+            parts = partition_batch(
+                items, lambda item, _name=name: key_fn(_name, item), shards
+            )
+            for index in range(shards):
+                out[index][name] = parts[index]
+            continue
         slices = [out[index][name] for index in range(shards)]
         for item in items:
             slices[shard_of(key_fn(name, item), shards)].append(item)
     return out
+
+
+def partition_batch(
+    batch: ColumnBatch,
+    key: "str | Callable[[StreamTuple], Any]",
+    shards: int,
+) -> list[ColumnBatch]:
+    """Split one ColumnBatch into per-shard row slices.
+
+    Args:
+        batch: The batch to split.
+        key: Shard key — a field name read off each row (absent fields
+            key as ``None``, matching :func:`partition_sources`), or a
+            callable ``key(tuple)``.
+        shards: Number of shards.
+
+    Returns:
+        One batch per shard (possibly empty), rows in original order;
+        row ``i`` lands in shard ``shard_of(key(row_i), shards)``,
+        exactly as :func:`partition_sources` assigns row tuples. With
+        ``shards == 1`` the input batch is returned unsliced.
+    """
+    if shards < 1:
+        raise OperatorError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return [batch]
+    key_fn = (
+        key
+        if callable(key)
+        else (lambda item, _field=key: item.get(_field))
+    )
+    buckets: list[list[int]] = [[] for _ in range(shards)]
+    for index, item in enumerate(batch.tuples()):
+        buckets[shard_of(key_fn(item), shards)].append(index)
+    return [batch.take(indices) for indices in buckets]
 
 
 # -- per-shard execution -------------------------------------------------------
@@ -209,6 +287,7 @@ def _run_shard(
     build: Callable[[], "tuple[Fjord, SinkOp]"],
     ticks: Sequence[float],
     telemetry: TelemetryCollector = NULL_COLLECTOR,
+    mode: str = "row",
 ) -> ShardResult:
     """Build and run one shard, attributing sink output to its tick.
 
@@ -220,7 +299,7 @@ def _run_shard(
     fjord, sink = build()
     per_tick: list[list[StreamTuple]] = []
     mark = 0
-    for _now in fjord.run_stepped(ticks, telemetry=child):
+    for _now in fjord.run_stepped(ticks, telemetry=child, mode=mode):
         results = sink.results
         per_tick.append(results[mark:])
         mark = len(results)
@@ -231,22 +310,24 @@ def _run_shard(
     )
 
 
-def _run_serial(builders, ticks, telemetry) -> list[ShardResult]:
-    return [_run_shard(build, ticks, telemetry) for build in builders]
+def _run_serial(builders, ticks, telemetry, mode) -> list[ShardResult]:
+    return [_run_shard(build, ticks, telemetry, mode) for build in builders]
 
 
-def _run_threads(builders, ticks, telemetry) -> list[ShardResult]:
+def _run_threads(builders, ticks, telemetry, mode) -> list[ShardResult]:
     from concurrent.futures import ThreadPoolExecutor
 
     with ThreadPoolExecutor(max_workers=len(builders)) as pool:
         futures = [
-            pool.submit(_run_shard, build, ticks, telemetry)
+            pool.submit(_run_shard, build, ticks, telemetry, mode)
             for build in builders
         ]
         return [future.result() for future in futures]
 
 
-def _process_worker(connection, build, ticks, batch_size, telemetry) -> None:
+def _process_worker(
+    connection, build, ticks, batch_size, telemetry, mode="row"
+) -> None:
     """Forked worker: run one shard, stream results back in batches.
 
     Transport protocol (one tuple per message): ``("batch", [(tick_index,
@@ -257,7 +338,7 @@ def _process_worker(connection, build, ticks, batch_size, telemetry) -> None:
     them once avoids interleaving metrics with data batches.
     """
     try:
-        result = _run_shard(build, ticks, telemetry)
+        result = _run_shard(build, ticks, telemetry, mode)
         chunk: list[tuple[int, list[StreamTuple]]] = []
         pending = 0
         for tick_index, tuples in enumerate(result.per_tick):
@@ -280,7 +361,9 @@ def _process_worker(connection, build, ticks, batch_size, telemetry) -> None:
         connection.close()
 
 
-def _run_processes(builders, ticks, batch_size, telemetry) -> list[ShardResult]:
+def _run_processes(
+    builders, ticks, batch_size, telemetry, mode
+) -> list[ShardResult]:
     import multiprocessing
 
     if "fork" not in multiprocessing.get_all_start_methods():
@@ -295,7 +378,7 @@ def _run_processes(builders, ticks, batch_size, telemetry) -> list[ShardResult]:
         receiver, sender = context.Pipe(duplex=False)
         process = context.Process(
             target=_process_worker,
-            args=(sender, build, ticks, batch_size, telemetry),
+            args=(sender, build, ticks, batch_size, telemetry, mode),
         )
         process.start()
         sender.close()
@@ -338,6 +421,7 @@ def run_shard_jobs(
     backend: str = "serial",
     batch_size: int = DEFAULT_BATCH_SIZE,
     telemetry: TelemetryCollector | None = None,
+    mode: str | None = None,
 ) -> list[ShardResult]:
     """Run pre-partitioned shard builders on the chosen backend.
 
@@ -360,13 +444,14 @@ def run_shard_jobs(
         )
     if batch_size < 1:
         raise OperatorError(f"batch_size must be >= 1, got {batch_size}")
+    mode = resolve_mode(mode)
     ticks = list(ticks)
     if backend == "threads":
-        results = _run_threads(builders, ticks, collector)
+        results = _run_threads(builders, ticks, collector, mode)
     elif backend == "processes":
-        results = _run_processes(builders, ticks, batch_size, collector)
+        results = _run_processes(builders, ticks, batch_size, collector, mode)
     else:
-        results = _run_serial(builders, ticks, collector)
+        results = _run_serial(builders, ticks, collector, mode)
     if collector.enabled:
         for index, result in enumerate(results):
             if result.telemetry is not None:
@@ -466,6 +551,7 @@ def run_sharded(
     batch_size: int = DEFAULT_BATCH_SIZE,
     order_key: Callable[[StreamTuple], Any] | None = None,
     telemetry: TelemetryCollector | None = None,
+    mode: str | None = None,
 ) -> ShardedRun:
     """Partition, execute and merge one sharded dataflow run.
 
@@ -486,6 +572,9 @@ def run_sharded(
             default. The partition and the final merge are recorded as
             ``shard_partition`` / ``shard_merge`` trace events, and
             per-shard collector snapshots are absorbed in shard order.
+        mode: Execution mode for every shard (one of
+            :data:`repro.streams.fjord.MODES`); ``None`` uses the
+            process-wide default. All modes merge bit-identically.
 
     Returns:
         A :class:`ShardedRun`.
@@ -519,6 +608,7 @@ def run_sharded(
         backend=backend,
         batch_size=batch_size,
         telemetry=collector,
+        mode=mode,
     )
     output = merge_outputs(results, order_key)
     if collector.enabled:

@@ -46,6 +46,22 @@ class StreamTuple:
         self.stream = stream
         self._values: dict[str, Any] = dict(values) if values else {}
 
+    @classmethod
+    def _from_parts(
+        cls, timestamp: float, values: dict[str, Any], stream: str
+    ) -> "StreamTuple":
+        """Hot-path constructor taking ownership of ``values``.
+
+        Skips the defensive ``dict`` copy and ``float`` coercion of
+        ``__init__``; callers (columnar batch decoding) guarantee the
+        dict is freshly built and the timestamp is already a float.
+        """
+        item = cls.__new__(cls)
+        item.timestamp = timestamp
+        item.stream = stream
+        item._values = values
+        return item
+
     # -- mapping-style access -------------------------------------------------
 
     def __getitem__(self, field: str) -> Any:

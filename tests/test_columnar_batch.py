@@ -1,0 +1,388 @@
+"""Unit tests for the columnar batch representation.
+
+Covers the ColumnBatch encoding itself — round-trips, lazy
+materialization, slice views, schema union, out-of-order detection —
+plus the vectorizable callables and the ChainOp zero-copy regression.
+The cross-mode *execution* equivalence lives in
+``tests/test_columnar_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import OperatorError, SchemaError
+from repro.streams.columnar import (
+    MISSING,
+    AddFields,
+    ColumnBatch,
+    ColumnMap,
+    ColumnPredicate,
+    FieldCompare,
+    SetStream,
+    coalesce,
+)
+from repro.streams.fjord import Fjord
+from repro.streams.operators import ChainOp, FilterOp, MapOp, UnionOp
+from repro.streams.tuples import StreamTuple
+
+
+def make_rows(n=8, stream="s"):
+    rng = random.Random(n)
+    return [
+        StreamTuple(
+            float(i),
+            {"tag_id": f"T{i % 3}", "value": round(rng.uniform(0, 50), 3)},
+            stream,
+        )
+        for i in range(n)
+    ]
+
+
+# -- encode / decode round-trip ------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_from_tuples_tuples_identity(self):
+        rows = make_rows(10)
+        batch = ColumnBatch.from_tuples(rows)
+        assert batch.tuples() == rows
+        assert len(batch) == 10
+        assert list(batch) == rows
+
+    def test_round_trip_through_columns(self):
+        """Decoding a batch built column-wise yields equal tuples."""
+        rows = make_rows(6)
+        encoded = ColumnBatch.from_tuples(rows)
+        rebuilt = ColumnBatch(
+            list(encoded.timestamps),
+            list(encoded.streams),
+            {f: list(col) for f, col in encoded.columns.items()},
+        )
+        assert rebuilt.tuples() == rows
+        assert rebuilt == encoded
+
+    def test_mixed_schema_round_trip(self):
+        rows = [
+            StreamTuple(0.0, {"a": 1}, "x"),
+            StreamTuple(1.0, {"b": 2.5}, "y"),
+            StreamTuple(2.0, {"a": 3, "b": 4.5}, "x"),
+        ]
+        batch = ColumnBatch.from_tuples(rows)
+        assert batch.columns["a"][1] is MISSING
+        assert batch.columns["b"][0] is MISSING
+        # Decoded rows must not grow phantom fields.
+        decoded = ColumnBatch(
+            batch.timestamps, batch.streams, batch.columns
+        ).tuples()
+        assert decoded == rows
+        assert "b" not in decoded[0]
+        assert "a" not in decoded[1]
+
+    def test_empty_batch(self):
+        batch = ColumnBatch.empty()
+        assert len(batch) == 0
+        assert batch.tuples() == []
+        assert ColumnBatch.from_tuples([]) == batch
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(OperatorError, match="ragged"):
+            ColumnBatch([0.0, 1.0], ["s", "s"], {"x": [1]})
+        with pytest.raises(OperatorError, match="ragged"):
+            ColumnBatch([0.0], ["s", "s"], {})
+
+
+# -- lazy materialization ------------------------------------------------------
+
+
+class TestLazyMaterialization:
+    def test_from_tuples_caches_input_rows(self):
+        rows = make_rows(4)
+        batch = ColumnBatch.from_tuples(rows)
+        assert batch.is_materialized
+        assert batch.tuples() is not None
+        # The cache is the very list/objects handed in — zero decode cost.
+        assert batch.tuples()[0] is rows[0]
+
+    def test_column_built_batch_is_lazy(self):
+        batch = ColumnBatch([0.0, 1.0], ["s", "s"], {"x": [1, 2]})
+        assert not batch.is_materialized
+        first = batch.tuples()
+        assert batch.is_materialized
+        assert batch.tuples() is first  # cached, not rebuilt
+
+    def test_with_stream_shares_columns_and_defers(self):
+        rows = make_rows(5)
+        batch = ColumnBatch.from_tuples(rows)
+        assert batch.columns  # force the encode: sharing is column-level
+        relabeled = batch.with_stream("other")
+        assert relabeled.columns is batch.columns  # shared, not copied
+        assert not relabeled.is_materialized
+        assert [t.stream for t in relabeled.tuples()] == ["other"] * 5
+        assert [t.as_dict() for t in relabeled.tuples()] == [
+            t.as_dict() for t in rows
+        ]
+
+    def test_with_stream_unencoded_stays_lazy(self):
+        rows = make_rows(5)
+        batch = ColumnBatch.from_tuples(rows)
+        relabeled = batch.with_stream("other")
+        assert not batch.is_encoded  # relabeling never forces an encode
+        assert not relabeled.is_encoded
+        assert [t.stream for t in relabeled.tuples()] == ["other"] * 5
+        # The relabeled rows share the originals' value dicts outright.
+        assert relabeled.tuples()[0]._values is rows[0]._values
+
+    def test_with_columns_shares_untouched_columns(self):
+        batch = ColumnBatch.from_tuples(make_rows(5))
+        assert batch.columns  # force the encode
+        extended = batch.with_columns({"granule": "g0"})
+        assert extended.columns["tag_id"] is batch.columns["tag_id"]
+        assert extended.columns["granule"] == ["g0"] * 5
+        expected = [
+            t.derive(values={"granule": "g0"}) for t in batch.tuples()
+        ]
+        assert extended.tuples() == expected
+
+    def test_with_columns_unencoded_stays_lazy(self):
+        batch = ColumnBatch.from_tuples(make_rows(5))
+        extended = batch.with_columns({"granule": "g0"})
+        assert not batch.is_encoded  # adding constants derives rows
+        assert not extended.is_encoded
+        expected = [
+            t.derive(values={"granule": "g0"}) for t in batch.tuples()
+        ]
+        assert extended.tuples() == expected
+        assert extended.columns["granule"] == ["g0"] * 5
+
+
+# -- slice views ---------------------------------------------------------------
+
+
+class TestSliceViews:
+    def test_take_subset(self):
+        rows = make_rows(8)
+        batch = ColumnBatch.from_tuples(rows)
+        view = batch.take([1, 4, 6])
+        assert view.tuples() == [rows[1], rows[4], rows[6]]
+        # Cached rows slice through: same objects, no re-decode.
+        assert view.tuples()[0] is rows[1]
+
+    def test_take_all_returns_self(self):
+        batch = ColumnBatch.from_tuples(make_rows(4))
+        assert batch.take(range(4)) is batch
+
+    def test_take_nothing_is_empty(self):
+        batch = ColumnBatch.from_tuples(make_rows(4))
+        assert len(batch.take([])) == 0
+
+    def test_where_mask(self):
+        rows = make_rows(8)
+        batch = ColumnBatch.from_tuples(rows)
+        mask = [t["value"] < 25.0 for t in rows]
+        kept = batch.where(mask)
+        assert kept.tuples() == [t for t in rows if t["value"] < 25.0]
+
+    def test_where_all_truthy_returns_self(self):
+        batch = ColumnBatch.from_tuples(make_rows(4))
+        assert batch.where([1, True, "yes", 2]) is batch
+
+    def test_where_wrong_length_rejected(self):
+        batch = ColumnBatch.from_tuples(make_rows(4))
+        with pytest.raises(OperatorError, match="mask"):
+            batch.where([True])
+
+    def test_concat_unions_schema(self):
+        a = ColumnBatch.from_tuples([StreamTuple(0.0, {"x": 1}, "a")])
+        b = ColumnBatch.from_tuples([StreamTuple(1.0, {"y": 2}, "b")])
+        merged = ColumnBatch.concat([a, b])
+        assert merged.columns["x"][1] is MISSING
+        assert merged.columns["y"][0] is MISSING
+        assert merged.tuples() == a.tuples() + b.tuples()
+
+    def test_coalesce_mixed_payloads(self):
+        rows = make_rows(6)
+        run = [
+            rows[0],
+            rows[1],
+            ColumnBatch.from_tuples(rows[2:4]),
+            rows[4],
+            ColumnBatch.from_tuples(rows[5:]),
+        ]
+        assert coalesce(run).tuples() == rows
+
+    def test_coalesce_single_batch_is_identity(self):
+        batch = ColumnBatch.from_tuples(make_rows(3))
+        assert coalesce([batch]) is batch
+
+
+# -- out-of-order detection ----------------------------------------------------
+
+
+class TestOutOfOrderDetection:
+    @staticmethod
+    def _row_path_message(items):
+        """The exact error the row executor raises for these source rows."""
+        fjord = Fjord()
+        fjord.add_source("dev0", items)
+        fjord.add_sink("out", inputs=["dev0"])
+        with pytest.raises(OperatorError) as err:
+            fjord.run([10.0])
+        return str(err.value)
+
+    def test_matches_row_path_error(self):
+        items = [
+            StreamTuple(0.0, {"x": 1}),
+            StreamTuple(2.0, {"x": 2}),
+            StreamTuple(1.0, {"x": 3}),
+        ]
+        expected = self._row_path_message(items)
+        batch = ColumnBatch.from_tuples(items)
+        with pytest.raises(OperatorError) as err:
+            batch.assert_time_ordered("dev0")
+        assert str(err.value) == expected
+
+    def test_tolerates_jitter_like_row_path(self):
+        """Sub-nanosecond regressions pass, exactly as in the executor."""
+        items = [StreamTuple(1.0, {}), StreamTuple(1.0 - 1e-10, {})]
+        batch = ColumnBatch.from_tuples(items)
+        assert batch.assert_time_ordered("dev0") == items[-1].timestamp
+
+    def test_chained_checks_carry_last_stamp(self):
+        first = ColumnBatch.from_tuples([StreamTuple(5.0, {})])
+        second = ColumnBatch.from_tuples([StreamTuple(3.0, {})])
+        last = first.assert_time_ordered("dev0")
+        with pytest.raises(OperatorError, match="out of order"):
+            second.assert_time_ordered("dev0", last=last)
+
+    def test_empty_batch_passes_through_last(self):
+        assert ColumnBatch.empty().assert_time_ordered("dev0", last=7.5) == 7.5
+
+
+# -- vectorizable callables ----------------------------------------------------
+
+
+class TestVectorizableCallables:
+    def test_add_fields_row_vs_columnar(self):
+        rows = make_rows(5)
+        fn = AddFields({"granule": "g1", "group": "p2"})
+        row_out = [fn(t) for t in rows]
+        col_out = fn.columnar(ColumnBatch.from_tuples(rows)).tuples()
+        assert col_out == row_out
+
+    def test_set_stream_row_vs_columnar(self):
+        rows = make_rows(5)
+        fn = SetStream("renamed")
+        assert fn.columnar(ColumnBatch.from_tuples(rows)).tuples() == [
+            fn(t) for t in rows
+        ]
+
+    def test_field_compare_mask(self):
+        rows = make_rows(10)
+        pred = FieldCompare("value", "<", 25.0)
+        batch = ColumnBatch.from_tuples(rows)
+        assert pred.mask(batch) == [pred(t) for t in rows]
+
+    def test_field_compare_missing_field_matches_row_error(self):
+        pred = FieldCompare("absent", "<", 1.0)
+        rows = [StreamTuple(0.0, {"x": 1}, "s")]
+        with pytest.raises(SchemaError) as row_err:
+            pred(rows[0])
+        with pytest.raises(SchemaError) as mask_err:
+            pred.mask(ColumnBatch.from_tuples(rows))
+        assert str(mask_err.value) == str(row_err.value)
+
+    def test_field_compare_rejects_unknown_op(self):
+        with pytest.raises(OperatorError, match="unknown comparison"):
+            FieldCompare("x", "~", 1)
+
+    def test_column_map_and_predicate_wrappers(self):
+        rows = make_rows(6)
+        batch = ColumnBatch.from_tuples(rows)
+        double = ColumnMap(
+            lambda t: t.derive(values={"value": t["value"] * 2}),
+            lambda b: b.with_column(
+                "value", [v * 2 for v in b.column("value")]
+            ),
+        )
+        assert double.columnar(batch).tuples() == [double(t) for t in rows]
+        keep = ColumnPredicate(
+            lambda t: t["value"] > 10.0,
+            lambda b: [v > 10.0 for v in b.column("value")],
+        )
+        assert list(keep.mask(batch)) == [keep(t) for t in rows]
+
+    def test_column_access_errors(self):
+        batch = ColumnBatch.from_tuples(make_rows(2))
+        with pytest.raises(OperatorError, match="no field"):
+            batch.column("nope")
+        assert batch.has_full_column("tag_id")
+        assert not batch.has_full_column("nope")
+
+
+# -- ChainOp zero-copy regression ----------------------------------------------
+
+
+class CountingBatch(ColumnBatch):
+    """ColumnBatch subclass counting every new batch object built."""
+
+    constructed = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).constructed += 1
+        super().__init__(*args, **kwargs)
+
+
+class TestChainOpShortCircuit:
+    def test_all_pass_chain_builds_no_new_batches(self):
+        """A chain whose stages reject nothing must forward the input
+        batch object itself — zero per-stage re-wrapping."""
+        chain = ChainOp(
+            [
+                FilterOp(lambda t: True),
+                UnionOp(),  # no relabel: identity on batches
+                FilterOp(lambda t: t.timestamp >= 0.0),
+            ]
+        )
+        CountingBatch.constructed = 0
+        batch = CountingBatch.from_tuples(make_rows(16))
+        assert CountingBatch.constructed == 1  # the input itself
+        out = chain.on_column_batch(batch)
+        assert out is batch
+        assert CountingBatch.constructed == 1  # nothing re-wrapped
+
+    def test_rejecting_stage_still_filters(self):
+        chain = ChainOp(
+            [FilterOp(lambda t: True), FilterOp(lambda t: t.timestamp < 3.0)]
+        )
+        rows = make_rows(8)
+        out = chain.on_column_batch(ColumnBatch.from_tuples(rows))
+        assert out.tuples() == [t for t in rows if t.timestamp < 3.0]
+
+    def test_row_path_skips_upfront_copy(self):
+        """The first stage must receive the caller's sequence itself,
+        not a defensive copy (the fix this test pins)."""
+        seen = []
+
+        class Probe(MapOp):
+            def __init__(self):
+                super().__init__(lambda t: t)
+
+            def on_batch(self, items, port=0):
+                seen.append(items)
+                return list(items)
+
+        chain = ChainOp([Probe()])
+        rows = make_rows(4)
+        out = chain.on_batch(rows)
+        assert seen[0] is rows
+        assert out == rows
+        assert out is not rows  # caller's list is never aliased back
+
+    def test_empty_chain_input_short_circuits(self):
+        chain = ChainOp([FilterOp(lambda t: True)])
+        empty = ColumnBatch.empty()
+        assert chain.on_column_batch(empty) is empty
+        assert chain.on_batch([]) == []

@@ -87,6 +87,30 @@ class TestGoldenTraces:
         )
         assert fresh.read_bytes() == golden.read_bytes()
 
+    @pytest.mark.parametrize("mode", ("columnar", "fused"))
+    def test_mode_output_matches_golden(self, case, mode, tmp_path):
+        """Columnar and fused execution are pinned to the row artifact."""
+        golden = GOLDEN_DIR / f"{case}.jsonl"
+        fresh = tmp_path / f"{mode}.jsonl"
+        _serialize(CASES[case](mode=mode), fresh)
+        assert fresh.read_bytes() == golden.read_bytes(), (
+            f"{mode!r} execution of {case!r} drifted from the row-path "
+            f"golden trace; the modes must stay bit-identical"
+        )
+
+    @pytest.mark.parametrize("mode", ("columnar", "fused"))
+    def test_sharded_mode_output_matches_golden(self, case, mode, tmp_path):
+        golden = GOLDEN_DIR / f"{case}.jsonl"
+        shard_key = "tag_id" if case.startswith("rfid") else "spatial_granule"
+        fresh = tmp_path / f"sharded_{mode}.jsonl"
+        _serialize(
+            CASES[case](
+                shards=3, backend="threads", shard_key=shard_key, mode=mode
+            ),
+            fresh,
+        )
+        assert fresh.read_bytes() == golden.read_bytes()
+
     def test_golden_roundtrips(self, case):
         """The checked-in artifact itself parses back losslessly."""
         golden = GOLDEN_DIR / f"{case}.jsonl"

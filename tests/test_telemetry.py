@@ -11,6 +11,9 @@ Four layers of guarantees:
 - **Shard-aware aggregation** — per-shard collectors absorbed in shard
   order produce the same per-operator tuple totals as the sequential
   run, on every backend at shard counts 1 and 4.
+- **Execution-mode independence** — row and columnar runs of the same
+  pipeline produce identical snapshots up to wall-clock fields (tuple
+  and batch counters exactly, trace events byte-for-byte).
 - **Surfacing** — the CLI's ``--stats``/``--trace-out`` round-trip and
   a golden trace-event log for the RFID shelf pipeline, pinned
   byte-for-byte (regenerate with
@@ -508,6 +511,68 @@ class TestExecutorIntegration:
         assert any(e["kind"] == "validation_error" for e in events)
 
 
+# -- execution-mode accounting -------------------------------------------------
+
+
+def _mode_snapshot(mode: str) -> dict:
+    """Instrumented five-stage run over a fixed trace in ``mode``."""
+    rng = random.Random(41)
+    sources = make_trace(rng, n_tuples=120)
+    ticks = trace_ticks(sources)
+    collector = InMemoryCollector()
+    fjord, _sink = build_five_stage(sources)
+    fjord.run(ticks, telemetry=collector, mode=mode)
+    return collector.snapshot()
+
+
+def _scrub_wall_clock(snapshot: dict) -> dict:
+    """Drop the wall-clock fields; everything left must be mode-blind."""
+    scrubbed = json.loads(json.dumps(snapshot))
+    for entry in scrubbed["operators"].values():
+        assert entry.pop("busy_ns") > 0
+        entry.pop("latency_ns")
+    for entry in scrubbed["spans"].values():
+        entry.pop("total_ns")
+        entry.pop("latency_ns")
+    scrubbed["span_log"] = []
+    return scrubbed
+
+
+class TestColumnarAccounting:
+    """Row and columnar execution account identically.
+
+    The columnar drain partitions pending entries into the same maximal
+    same-port runs as the row drain, so per-operator tuple counts are
+    exact, batch counts are exact, and the trace-event log is
+    byte-identical across modes; only the wall-clock accumulators
+    (busy-ns and the latency histogram) may differ.
+    """
+
+    def test_columnar_counters_match_row_exactly(self):
+        row = _mode_snapshot("row")
+        columnar = _mode_snapshot("columnar")
+        assert set(row["operators"]) == set(columnar["operators"])
+        for name, entry in row["operators"].items():
+            other = columnar["operators"][name]
+            for field in (
+                "tuples_in", "tuples_out",        # tuples: exact
+                "batches", "batch_sizes",          # batches: exact
+                "punctuations", "max_queue_depth",
+            ):
+                assert other[field] == entry[field], (name, field)
+            assert entry["busy_ns"] > 0
+            assert other["busy_ns"] > 0  # present, but wall-clock
+        assert _scrub_wall_clock(row) == _scrub_wall_clock(columnar)
+
+    def test_golden_scenario_events_are_mode_blind(self):
+        """The columnar run of the golden shelf scenario replays the
+        exact row-path trace-event log (the pinned golden file)."""
+        from repro.streams.traceio import read_trace_events
+
+        golden = read_trace_events(GOLDEN_DIR / "rfid_shelf_trace_events.jsonl")
+        assert _golden_shelf_events(mode="columnar") == golden
+
+
 # -- presentation --------------------------------------------------------------
 
 
@@ -548,7 +613,7 @@ class TestFormatTable:
 # -- surfacing: CLI and golden trace events ------------------------------------
 
 
-def _golden_shelf_events() -> list[dict]:
+def _golden_shelf_events(mode: str | None = None) -> list[dict]:
     from repro.pipelines.rfid_shelf import build_shelf_processor
     from repro.scenarios.shelf import ShelfScenario
 
@@ -560,6 +625,7 @@ def _golden_shelf_events() -> list[dict]:
         tick=scenario.poll_period,
         sources=scenario.recorded_streams(),
         telemetry=collector,
+        mode=mode,
     )
     assert run.output  # the pipeline actually ran
     return run.telemetry["events"]
