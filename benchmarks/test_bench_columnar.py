@@ -1,6 +1,6 @@
 """Columnar-vs-row execution benchmarks: tuples/sec per mode.
 
-Two workloads:
+Three workloads:
 
 - **Stateless chain (the acceptance gate).** A deep point-cleaning
   chain — annotate → gate → relabel, repeated — over the full shelf
@@ -11,6 +11,15 @@ Two workloads:
   per tuple *per stage* while the columnar path pays one column
   operation per stage plus a single encode/decode at the edges. The
   gate asserts columnar ≥ 2× row throughput here.
+
+- **Numeric chain (the typed-column acceptance gate).** A deep
+  filter chain over *numeric* fields (int and float constants seeded
+  up front), punctuated coarsely so batches run ~1-2k rows. Every
+  stage is a ``FieldCompare`` whose mask is a single C array
+  comparison on typed columns but a per-element Python loop on list
+  columns. The gate asserts typed columns ≥ 2× the list-columnar
+  throughput here (``repro.streams.typedcols`` toggles the storage
+  class; both run the identical operator graph).
 
 - **Full cleaning pipelines (reported, not gated).** The paper's
   shelf Smooth+Arbitrate pipeline, dominated by stateful windowed
@@ -28,6 +37,7 @@ import time
 
 import pytest
 
+from repro.streams import typedcols
 from repro.streams.columnar import AddFields, FieldCompare, SetStream
 from repro.streams.fjord import MODES, Fjord
 from repro.streams.operators import FilterOp, MapOp, UnionOp
@@ -40,6 +50,18 @@ CHAIN_STAGES = 12
 CHAIN_TICK = 2.0
 #: The acceptance bar: columnar must at least double row throughput.
 SPEEDUP_FLOOR = 2.0
+
+#: Depth of the numeric chain. Deeper than the stateless chain on
+#: purpose: the typed-vs-list contrast is per-stage mask work, so depth
+#: amortizes the (storage-independent) encode/decode boundary.
+NUMERIC_CHAIN_STAGES = 48
+#: Punctuation period for the numeric chain, seconds of stream time:
+#: coarse enough for ~1-2k-row batches, where array kernels dominate
+#: numpy call overhead.
+NUMERIC_CHAIN_TICK = 20.0
+#: The typed-column acceptance bar: typed columns must at least double
+#: list-columnar throughput on the numeric chain.
+TYPED_SPEEDUP_FLOOR = 2.0
 
 
 def build_stateless_chain(sources, stages: int = CHAIN_STAGES):
@@ -68,6 +90,37 @@ def build_stateless_chain(sources, stages: int = CHAIN_STAGES):
     return fjord, sink
 
 
+def build_numeric_chain(sources, stages: int = NUMERIC_CHAIN_STAGES):
+    """Union the readers, seed numeric columns, then ``stages`` filters.
+
+    The seed stage annotates every tuple with int and float constants;
+    from then on each stage is a ``FieldCompare`` over one of those
+    numeric columns (all tautologies, so nothing is dropped and the
+    gate can assert tuple conservation). On typed columns each mask is
+    one vectorized comparison; on list columns it is a Python loop.
+    """
+    fjord = Fjord()
+    for name, items in sources.items():
+        fjord.add_source(name, items)
+    fjord.add_operator("merge", UnionOp(), inputs=sorted(sources))
+    fjord.add_operator(
+        "seed",
+        MapOp(AddFields({"reading": 0.5, "batch_no": 7, "gain": 1.25})),
+        inputs=["merge"],
+    )
+    filters = [
+        FieldCompare("reading", "<=", 1.0),
+        FieldCompare("batch_no", ">=", 0),
+        FieldCompare("gain", "!=", 2.0),
+    ]
+    prev = "seed"
+    for i in range(stages):
+        fjord.add_operator(f"num{i}", FilterOp(filters[i % 3]), inputs=[prev])
+        prev = f"num{i}"
+    sink = fjord.add_sink("out", inputs=[prev])
+    return fjord, sink
+
+
 def chain_ticks(duration: float, tick: float = CHAIN_TICK) -> list[float]:
     return [i * tick for i in range(int(duration / tick) + 2)]
 
@@ -75,6 +128,12 @@ def chain_ticks(duration: float, tick: float = CHAIN_TICK) -> list[float]:
 def run_chain(sources, ticks, mode: str) -> int:
     fjord, sink = build_stateless_chain(sources)
     fjord.run(ticks, mode=mode)
+    return len(sink.results)
+
+
+def run_numeric_chain(sources, ticks) -> int:
+    fjord, sink = build_numeric_chain(sources)
+    fjord.run(ticks, mode="columnar")
     return len(sink.results)
 
 
@@ -139,6 +198,37 @@ def test_columnar_beats_row_2x_on_shelf(shelf):
     assert speedup >= SPEEDUP_FLOOR, (
         f"columnar ran the shelf chain in {columnar:.3f}s vs row "
         f"{row:.3f}s — {speedup:.2f}x, below the {SPEEDUP_FLOOR}x floor"
+    )
+
+
+@pytest.mark.skipif(
+    not typedcols.numpy_available(),
+    reason="typed columns need numpy; the no-numpy leg skips this gate",
+)
+def test_typed_beats_list_columnar_2x_on_numeric_chain(shelf):
+    """The typed-column acceptance bar: typed ≥ 2× list-columnar
+    tuples/sec on the numeric filter chain. Both runs execute the
+    identical operator graph in columnar mode; only the column storage
+    class differs (toggled via ``set_typed_columns``)."""
+    sources = shelf.recorded_streams()
+    ticks = chain_ticks(shelf.duration, NUMERIC_CHAIN_TICK)
+    n_tuples = sum(len(items) for items in sources.values())
+
+    emitted = run_numeric_chain(sources, ticks)  # warm caches once
+    assert emitted == n_tuples  # all filters are tautologies
+
+    previous = typedcols.set_typed_columns(False)
+    try:
+        as_list = _best_of(3, lambda: run_numeric_chain(sources, ticks))
+    finally:
+        typedcols.set_typed_columns(*previous)
+    typed = _best_of(3, lambda: run_numeric_chain(sources, ticks))
+
+    speedup = as_list / typed
+    assert speedup >= TYPED_SPEEDUP_FLOOR, (
+        f"typed columns ran the numeric chain in {typed:.3f}s vs "
+        f"list columns {as_list:.3f}s — {speedup:.2f}x, below the "
+        f"{TYPED_SPEEDUP_FLOOR}x floor"
     )
 
 

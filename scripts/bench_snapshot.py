@@ -5,21 +5,29 @@ The committed snapshot is the benchmark trajectory reviewers diff when
 the execution modes change; ``docs/columnar.md`` explains how to read
 it. Wall-clock numbers are machine-dependent, so staleness is judged on
 the *deterministic* fields (schema version, workload and mode sets,
-tuple counts, chain depth, the gate floor) plus the recorded gate:
+tuple counts, chain depths, the gate floors) plus the recorded gates:
 the committed stateless-chain columnar speed-up must sit at or above
-``SPEEDUP_FLOOR``.
+``SPEEDUP_FLOOR``, and the committed numeric-chain typed-column
+speed-up over list columns at or above ``TYPED_SPEEDUP_FLOOR``.
+
+``--history DIR`` additionally appends one compact JSON line per run
+to ``DIR/bench_history.jsonl`` — CI keeps that directory as the
+``BENCH_history`` artifact, so the run-over-run trajectory survives
+even though only the latest snapshot is committed.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_snapshot.py            # rewrite
     PYTHONPATH=src python scripts/bench_snapshot.py --check    # CI gate
     PYTHONPATH=src python scripts/bench_snapshot.py -o out.json
+    PYTHONPATH=src python scripts/bench_snapshot.py --check --history BENCH_history
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -32,10 +40,15 @@ sys.path.insert(0, str(ROOT / "src"))  # repro, when PYTHONPATH is unset
 from benchmarks.test_bench_columnar import (  # noqa: E402
     CHAIN_STAGES,
     CHAIN_TICK,
+    NUMERIC_CHAIN_STAGES,
+    NUMERIC_CHAIN_TICK,
     SPEEDUP_FLOOR,
+    TYPED_SPEEDUP_FLOOR,
     chain_ticks,
     run_chain,
+    run_numeric_chain,
 )
+from repro.streams import typedcols  # noqa: E402
 from repro.streams.fjord import MODES  # noqa: E402
 
 SNAPSHOT = ROOT / "BENCH_columnar.json"
@@ -69,6 +82,46 @@ def _mode_rows(n_tuples: int, run: Callable[[str], Any]) -> dict[str, Any]:
     return rows
 
 
+def _numeric_chain_rows(sources, ticks, n_tuples: int) -> dict[str, Any]:
+    """Time the numeric chain with list vs typed column storage.
+
+    Both runs execute the identical columnar-mode graph; only the
+    storage class behind numeric columns differs. Without numpy the
+    two are the same code path, so the ratio is recorded as measured
+    (~1.0) and the committed gate — which reads the committed value,
+    not this one — still carries the with-numpy number.
+    """
+    run_numeric_chain(sources, ticks)  # warm caches outside timed runs
+    previous = typedcols.set_typed_columns(False)
+    try:
+        as_list = _best_of(RUNS, lambda: run_numeric_chain(sources, ticks))
+    finally:
+        typedcols.set_typed_columns(*previous)
+    typed = _best_of(RUNS, lambda: run_numeric_chain(sources, ticks))
+    return {
+        "description": (
+            "deep numeric filter chain (int and float constant columns, "
+            "one FieldCompare mask per stage) over the full shelf "
+            "scenario's recorded streams; columnar mode, list vs "
+            "numpy-typed column storage"
+        ),
+        "gated": True,
+        "n_tuples": n_tuples,
+        "numpy": typedcols.numpy_available(),
+        "storage": {
+            "list": {
+                "seconds": round(as_list, 4),
+                "tuples_per_sec": round(n_tuples / as_list),
+            },
+            "typed": {
+                "seconds": round(typed, 4),
+                "tuples_per_sec": round(n_tuples / typed),
+            },
+        },
+        "typed_speedup_vs_list": round(as_list / typed, 2),
+    }
+
+
 def measure() -> dict[str, Any]:
     from repro.pipelines.rfid_shelf import build_shelf_processor
     from repro.pipelines.sensornet import build_redwood_processor
@@ -100,12 +153,20 @@ def measure() -> dict[str, Any]:
         )
 
     return {
-        "schema": 1,
+        "schema": 2,
         "script": "scripts/bench_snapshot.py",
         "chain_stages": CHAIN_STAGES,
         "chain_tick": CHAIN_TICK,
         "speedup_floor": SPEEDUP_FLOOR,
+        "numeric_chain_stages": NUMERIC_CHAIN_STAGES,
+        "numeric_chain_tick": NUMERIC_CHAIN_TICK,
+        "typed_speedup_floor": TYPED_SPEEDUP_FLOOR,
         "workloads": {
+            "shelf_numeric_chain": _numeric_chain_rows(
+                shelf_sources,
+                chain_ticks(shelf.duration, NUMERIC_CHAIN_TICK),
+                shelf_n,
+            ),
             "shelf_stateless_chain": {
                 "description": (
                     "deep vectorizable point-cleaning chain over the "
@@ -148,11 +209,15 @@ def _deterministic_view(snapshot: dict[str, Any]) -> dict[str, Any]:
         "chain_stages": snapshot.get("chain_stages"),
         "chain_tick": snapshot.get("chain_tick"),
         "speedup_floor": snapshot.get("speedup_floor"),
+        "numeric_chain_stages": snapshot.get("numeric_chain_stages"),
+        "numeric_chain_tick": snapshot.get("numeric_chain_tick"),
+        "typed_speedup_floor": snapshot.get("typed_speedup_floor"),
         "workloads": {
             name: {
                 "gated": load.get("gated"),
                 "n_tuples": load.get("n_tuples"),
                 "modes": sorted(load.get("modes", {})),
+                "storage": sorted(load.get("storage", {})),
             }
             for name, load in snapshot.get("workloads", {}).items()
         },
@@ -188,15 +253,62 @@ def check(fresh: dict[str, Any]) -> int:
             file=sys.stderr,
         )
         return 1
+    typed_gate = committed["workloads"]["shelf_numeric_chain"][
+        "typed_speedup_vs_list"
+    ]
+    if typed_gate < committed["typed_speedup_floor"]:
+        print(
+            f"FAIL: committed typed-column speed-up {typed_gate}x is "
+            f"below the {committed['typed_speedup_floor']}x floor",
+            file=sys.stderr,
+        )
+        return 1
     measured = (
         fresh["workloads"]["shelf_stateless_chain"]["modes"]["columnar"]
     )
+    measured_typed = fresh["workloads"]["shelf_numeric_chain"][
+        "typed_speedup_vs_list"
+    ]
     print(
-        f"OK: {SNAPSHOT.name} is fresh; committed gate "
-        f"{gate['speedup_vs_row']}x (floor {committed['speedup_floor']}x), "
-        f"measured here {measured['speedup_vs_row']}x"
+        f"OK: {SNAPSHOT.name} is fresh; committed gates "
+        f"columnar {gate['speedup_vs_row']}x "
+        f"(floor {committed['speedup_floor']}x), "
+        f"typed {typed_gate}x (floor {committed['typed_speedup_floor']}x); "
+        f"measured here {measured['speedup_vs_row']}x / {measured_typed}x"
     )
     return 0
+
+
+def append_history(directory: Path, fresh: dict[str, Any]) -> Path:
+    """Append one compact line for this run to the history JSONL.
+
+    The line carries just the trajectory a reviewer plots: when, which
+    commit, and the headline ratios — full detail stays in the snapshot.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "bench_history.jsonl"
+    loads = fresh["workloads"]
+    line = {
+        "when": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "sha": os.environ.get("GITHUB_SHA", "local"),
+        "schema": fresh["schema"],
+        "numpy": loads["shelf_numeric_chain"]["numpy"],
+        "columnar_speedup_vs_row": loads["shelf_stateless_chain"]["modes"][
+            "columnar"
+        ]["speedup_vs_row"],
+        "fused_speedup_vs_row": loads["shelf_stateless_chain"]["modes"][
+            "fused"
+        ]["speedup_vs_row"],
+        "typed_speedup_vs_list": loads["shelf_numeric_chain"][
+            "typed_speedup_vs_list"
+        ],
+        "shelf_pipeline_tuples_per_sec": loads["shelf_full_pipeline"][
+            "modes"
+        ]["columnar"]["tuples_per_sec"],
+    }
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return path
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -215,23 +327,40 @@ def main(argv: list[str] | None = None) -> int:
         help=f"where to write the snapshot (default {SNAPSHOT.name}; "
         f"with --check, an extra copy of the fresh measurement)",
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="append this run's headline numbers to DIR/bench_history.jsonl "
+        "(CI keeps DIR as the BENCH_history artifact)",
+    )
     args = parser.parse_args(argv)
 
     fresh = measure()
     if args.output is not None:
         args.output.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.output}")
+    if args.history is not None:
+        print(f"appended to {append_history(args.history, fresh)}")
     if args.check:
         return check(fresh)
     if args.output is None:
         SNAPSHOT.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
         print(f"wrote {SNAPSHOT}")
         for name, load in fresh["workloads"].items():
-            rates = ", ".join(
-                f"{mode}={row['tuples_per_sec']:,}/s"
-                f" ({row['speedup_vs_row']}x)"
-                for mode, row in load["modes"].items()
-            )
+            if "modes" in load:
+                rates = ", ".join(
+                    f"{mode}={row['tuples_per_sec']:,}/s"
+                    f" ({row['speedup_vs_row']}x)"
+                    for mode, row in load["modes"].items()
+                )
+            else:
+                rates = ", ".join(
+                    f"{storage}={row['tuples_per_sec']:,}/s"
+                    for storage, row in load["storage"].items()
+                )
+                rates += f", typed/list={load['typed_speedup_vs_list']}x"
             print(f"  {name}: {rates}")
     return 0
 

@@ -152,9 +152,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     snapshot = collector.snapshot()
     if args.stats:
         from repro.core.pipeline import stage_rollups
+        from repro.streams.typedcols import storage_stats
 
         print(
-            format_table(snapshot, rollups=stage_rollups(snapshot)),
+            format_table(
+                snapshot,
+                rollups=stage_rollups(snapshot),
+                storage=storage_stats(),
+            ),
             file=sys.stderr,
         )
     if args.trace_out is not None:
@@ -322,9 +327,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.stats:
             from repro.core.pipeline import stage_rollups
             from repro.streams.telemetry import format_table
+            from repro.streams.typedcols import storage_stats
 
             print(
-                format_table(snapshot, rollups=stage_rollups(snapshot)),
+                format_table(
+                    snapshot,
+                    rollups=stage_rollups(snapshot),
+                    storage=storage_stats(),
+                ),
                 file=sys.stderr,
             )
         if args.trace_out is not None:

@@ -247,11 +247,7 @@ def spatial_average(
             WindowSpec.range_by(seconds),
             keys=[GroupKey(granule_field, lambda t, _f=granule_field: t.get(_f))],
             aggregates=[
-                AggregateSpec(
-                    "avg",
-                    argument=lambda t, _f=value_field: t.get(_f),
-                    output=result_field,
-                ),
+                AggregateSpec("avg", field=value_field, output=result_field),
                 AggregateSpec("count", output=count_field),
             ],
         )

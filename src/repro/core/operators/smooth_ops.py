@@ -145,11 +145,7 @@ def sliding_average(
             WindowSpec.range_by(seconds),
             keys=[GroupKey(field) for field in by] + _carry_keys(carry),
             aggregates=[
-                AggregateSpec(
-                    "avg",
-                    argument=lambda t, _f=value_field: t.get(_f),
-                    output=result_field,
-                ),
+                AggregateSpec("avg", field=value_field, output=result_field),
                 AggregateSpec("count", output=count_field),
             ],
         )

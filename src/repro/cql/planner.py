@@ -681,7 +681,24 @@ def _aggregate_spec(
         if call.args and call.distinct:
             raise PlanError("count(distinct *) is not valid")
     else:
-        argument = compile_expr(call.args[0], scope)
+        arg_expr = call.args[0]
+        if (
+            isinstance(arg_expr, ast.ColumnRef)
+            and not scope.qualified_fields
+            and (arg_expr.qualifier is None or arg_expr.qualifier not in scope.bindings)
+        ):
+            # A bare column reference over non-join rows reads exactly
+            # ``row.get(name)`` — declare it as ``field=`` so the
+            # windowed evaluation can vectorize over typed columns.
+            # Qualified references (join scopes) keep the compiled
+            # closure: their dotted-key resolution has no field= analog.
+            return AggregateSpec(
+                call.name,
+                field=arg_expr.name,
+                distinct=call.distinct,
+                output=output,
+            )
+        argument = compile_expr(arg_expr, scope)
     return AggregateSpec(
         call.name, argument=argument, distinct=call.distinct, output=output
     )

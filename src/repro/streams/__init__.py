@@ -15,6 +15,10 @@ HiFi / TelegraphCQ ecosystem:
 - :mod:`repro.streams.columnar` — the columnar ``ColumnBatch`` encoding
   (parallel columns, lazy tuple materialization) behind the ``columnar``
   and ``fused`` execution modes, plus vectorizable callables.
+- :mod:`repro.streams.typedcols` — numpy-typed column storage for
+  homogeneous numeric columns (int64/float64, detected at encode time),
+  with the pure-list fallback that keeps every result bit-identical
+  when numpy is absent.
 - :mod:`repro.streams.fjord` — a Fjord-style pipelined executor that pushes
   tuples and time punctuations through an operator DAG, with row,
   columnar and fused (stateless-operator fusion) execution modes.
@@ -70,6 +74,12 @@ from repro.streams.telemetry import (
     set_default_telemetry,
 )
 from repro.streams.time import Duration, SimClock, parse_duration
+from repro.streams.typedcols import (
+    numpy_available,
+    set_typed_columns,
+    storage_stats,
+    typed_columns_enabled,
+)
 from repro.streams.traceio import (
     read_jsonl,
     read_trace_events,
@@ -116,6 +126,7 @@ __all__ = [
     "format_table",
     "get_aggregate",
     "merge_snapshots",
+    "numpy_available",
     "parse_duration",
     "partition_batch",
     "partition_sources",
@@ -126,6 +137,9 @@ __all__ = [
     "run_sharded",
     "set_default_execution",
     "set_default_telemetry",
+    "set_typed_columns",
+    "storage_stats",
+    "typed_columns_enabled",
     "write_jsonl",
     "write_trace_events",
 ]

@@ -29,6 +29,21 @@ row's tuple did not carry the field. Always test cells with ``is
 MISSING`` — equality comparisons would invoke arbitrary ``__eq__``
 implementations (e.g. numpy arrays) on real values.
 
+Typed columns
+-------------
+
+A column is stored as either a plain Python list or — when
+:mod:`repro.streams.typedcols` detects a homogeneous numeric column at
+encode time — a numpy array (``int64``/``float64``). Typed storage is
+a pure acceleration: ``tolist()`` round-trips cells bit-exactly, every
+consumer that needs rows goes through :func:`typedcols.to_list`, and
+all fallback paths (no numpy, mixed dtypes, ``MISSING`` cells, tiny
+batches) keep the list representation, so results are identical with
+and without numpy. Code touching ``columns`` directly must treat a
+column as *list-or-array*: index and ``len()`` freely, but never
+``append``/``extend`` (immutability already forbids that) and never
+compare a whole column with ``==`` (arrays broadcast).
+
 Vectorizable callables
 ----------------------
 
@@ -49,7 +64,15 @@ import operator as _op
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import OperatorError
+from repro.streams import typedcols as _tc
 from repro.streams.tuples import StreamTuple
+from repro.streams.typedcols import (
+    EXACT_INT_BOUND,
+    INT64_MAX,
+    INT64_MIN,
+    is_typed,
+    to_list,
+)
 
 __all__ = [
     "MISSING",
@@ -101,7 +124,7 @@ class ColumnBatch:
         self,
         timestamps: list[float],
         streams: list[str],
-        columns: dict[str, list[Any]],
+        columns: dict[str, Any],
     ) -> None:
         n = len(timestamps)
         if len(streams) != n:
@@ -117,7 +140,7 @@ class ColumnBatch:
                 )
         self.timestamps = timestamps
         self.streams = streams
-        self._columns: dict[str, list[Any]] | None = columns
+        self._columns: dict[str, Any] | None = columns
         self._tuples: list[StreamTuple] | None = None
         #: True when the batch is *known* to contain no MISSING cell;
         #: False means unknown (a scan may still find it dense).
@@ -177,19 +200,34 @@ class ColumnBatch:
             return batch
         timestamps: list[float] = []
         streams: list[str] = []
-        columns: dict[str, list[Any]] = {}
-        offset = 0
         for part in parts:
-            n = len(part)
-            for field, col in columns.items():
-                src = part.columns.get(field)
-                col.extend(src if src is not None else [MISSING] * n)
-            for field, src in part.columns.items():
-                if field not in columns:
-                    columns[field] = [MISSING] * offset + list(src)
             timestamps.extend(part.timestamps)
             streams.extend(part.streams)
-            offset += n
+        # Field order of the union is first-seen order across parts.
+        field_order: list[str] = []
+        seen: set[str] = set()
+        for part in parts:
+            for field in part.columns:
+                if field not in seen:
+                    seen.add(field)
+                    field_order.append(field)
+        columns: dict[str, Any] = {}
+        for field in field_order:
+            srcs = [part.columns.get(field) for part in parts]
+            if all(src is not None for src in srcs):
+                typed = _tc.concat_cells(srcs)
+                if typed is not None:
+                    columns[field] = typed
+                    continue
+            col: list[Any] = []
+            for part, src in zip(parts, srcs):
+                if src is None:
+                    col.extend([MISSING] * len(part))
+                elif isinstance(src, list):
+                    col.extend(src)
+                else:
+                    col.extend(to_list(src))
+            columns[field] = col
         batch = cls(timestamps, streams, columns)
         first_schema = parts[0].columns.keys()
         batch._dense = all(
@@ -205,11 +243,13 @@ class ColumnBatch:
     # -- encoding ------------------------------------------------------
 
     @property
-    def columns(self) -> dict[str, list[Any]]:
-        """Field → value-list mapping, encoded lazily from cached rows.
+    def columns(self) -> dict[str, Any]:
+        """Field → column mapping, encoded lazily from cached rows.
 
-        Treat the mapping and its lists as read-only — derived batches
-        share them.
+        A column is a plain list or, for homogeneous numeric fields, a
+        numpy array (see :mod:`repro.streams.typedcols`). Treat the
+        mapping and its columns as read-only — derived batches share
+        them.
         """
         cols = self._columns
         if cols is None:
@@ -221,18 +261,24 @@ class ColumnBatch:
         if items is None:  # pragma: no cover - construction invariant
             raise OperatorError("column batch has neither rows nor columns")
         n = len(items)
-        columns: dict[str, list[Any]] = {}
+        columns: dict[str, Any] = {}
         uniform = False
         if n:
             keys = items[0]._values.keys()
             uniform = all(t._values.keys() == keys for t in items)
             if uniform:
                 # Dense fast path: a uniform schema encodes with one
-                # list comprehension per field.
-                columns = {
-                    field: [t._values[field] for t in items]
-                    for field in keys
-                }
+                # list comprehension per field. Homogeneous numeric
+                # columns come out typed (numpy-backed) when enabled;
+                # the first-cell sniff keeps obviously non-numeric
+                # columns off the full type scan.
+                for field in keys:
+                    col: Any = [t._values[field] for t in items]
+                    if type(col[0]) in (int, float):
+                        typed = _tc.typed_from_values(col)
+                        if typed is not None:
+                            col = typed
+                    columns[field] = col
             else:
                 for i, item in enumerate(items):
                     for field, value in item.items():
@@ -243,7 +289,9 @@ class ColumnBatch:
         self._columns = columns
         if uniform:
             self._dense = not any(
-                any(v is MISSING for v in col) for col in columns.values()
+                any(v is MISSING for v in col)
+                for col in columns.values()
+                if not is_typed(col)
             )
         return columns
 
@@ -257,7 +305,9 @@ class ColumnBatch:
         """
         if self._tuples is None:
             names = tuple(self.columns)
-            cols = [self.columns[f] for f in names]
+            # Typed columns decode through tolist(): bit-exact native
+            # int/float objects, and tuple rows never see numpy types.
+            cols = [to_list(self.columns[f]) for f in names]
             from_parts = StreamTuple._from_parts
             dense = self._dense or not any(
                 any(v is MISSING for v in col) for col in cols
@@ -307,8 +357,8 @@ class ColumnBatch:
 
     # -- views ---------------------------------------------------------
 
-    def column(self, field: str) -> list[Any]:
-        """The value list for ``field``; raises if the field is absent."""
+    def column(self, field: str) -> Any:
+        """The column for ``field`` (list or typed array); raises if absent."""
         try:
             return self.columns[field]
         except KeyError:
@@ -321,6 +371,8 @@ class ColumnBatch:
         col = self.columns.get(field)
         if col is None:
             return False
+        if is_typed(col):
+            return True  # typed columns cannot hold MISSING
         return self._dense or not any(v is MISSING for v in col)
 
     def take(self, indices: Sequence[int]) -> "ColumnBatch":
@@ -349,7 +401,7 @@ class ColumnBatch:
             [self.timestamps[i] for i in indices],
             [self.streams[i] for i in indices],
             {
-                field: [col[i] for i in indices]
+                field: _tc.take_cells(col, indices)
                 for field, col in self.columns.items()
             },
         )
@@ -369,7 +421,15 @@ class ColumnBatch:
             raise OperatorError(
                 f"filter mask has {len(mask)} entries for {n} rows"
             )
-        indices = [i for i, keep in enumerate(mask) if keep]
+        if is_typed(mask):
+            # Boolean array from a vectorized predicate: keep the
+            # all-truthy identity short-circuit, and turn the mask
+            # into indices in C instead of a Python loop.
+            if mask.all():
+                return self
+            indices = _tc.np.flatnonzero(mask).tolist()
+        else:
+            indices = [i for i, keep in enumerate(mask) if keep]
         return self.take(indices)
 
     def with_stream(self, stream: str) -> "ColumnBatch":
@@ -416,7 +476,10 @@ class ColumnBatch:
             return batch
         columns = dict(self.columns)
         for field, value in values.items():
-            columns[field] = [value] * n
+            # Numeric constants are born typed so downstream compares
+            # vectorize without a re-encode; everything else (strings,
+            # MISSING, objects) stays a shared list.
+            columns[field] = _tc.constant_cells(value, n)
         batch = ColumnBatch(self.timestamps, self.streams, columns)
         batch._dense = self._dense and not any(
             v is MISSING for v in values.values()
@@ -424,13 +487,26 @@ class ColumnBatch:
         return batch
 
     def with_column(self, field: str, column: Sequence[Any]) -> "ColumnBatch":
-        """Add or overwrite one per-row column; shares the rest."""
+        """Add or overwrite one per-row column; shares the rest.
+
+        A typed (numpy) column is adopted as-is; a list of homogeneous
+        native numerics is promoted to typed storage when enabled.
+        """
         columns = dict(self.columns)
-        new_col = list(column)
+        if is_typed(column):
+            columns[field] = column
+            batch = ColumnBatch(self.timestamps, self.streams, columns)
+            batch._dense = self._dense
+            return batch
+        new_col: Any = list(column)
+        if new_col and type(new_col[0]) in (int, float):
+            typed = _tc.typed_from_values(new_col)
+            if typed is not None:
+                new_col = typed
         columns[field] = new_col
         batch = ColumnBatch(self.timestamps, self.streams, columns)
-        batch._dense = self._dense and not any(
-            v is MISSING for v in new_col
+        batch._dense = self._dense and (
+            is_typed(new_col) or not any(v is MISSING for v in new_col)
         )
         return batch
 
@@ -580,11 +656,39 @@ class FieldCompare:
     def __call__(self, item: StreamTuple) -> bool:
         return bool(self._cmp(item[self.field], self.value))
 
-    def mask(self, batch: ColumnBatch) -> list[bool]:
+    def mask(self, batch: ColumnBatch) -> Any:
+        """Whole-batch mask: a bool array on typed columns, else a list.
+
+        The array path only engages when its result is provably
+        identical to the per-row loop: int column vs int constant
+        (exact int64 compares), float column vs float constant (same
+        IEEE-754 compares element-wise), or float column vs an int
+        constant small enough (``|v| <= 2**53``) that numpy's
+        int→float64 promotion is exact. Everything else — including an
+        int column against a float constant, where numpy would compare
+        lossily-promoted cells while Python compares exactly — falls
+        back to the loop.
+        """
         col = batch.columns.get(self.field)
-        if col is None or any(v is MISSING for v in col):
+        if col is None:
             return [self(item) for item in batch.tuples()]
         cmp, value = self._cmp, self.value
+        if is_typed(col):
+            vt = type(value)
+            kind = col.dtype.kind
+            if (
+                (vt is int and kind == "i" and INT64_MIN <= value <= INT64_MAX)
+                or (vt is float and kind == "f")
+                or (
+                    vt is int
+                    and kind == "f"
+                    and -EXACT_INT_BOUND <= value <= EXACT_INT_BOUND
+                )
+            ):
+                return cmp(col, value)
+            return [bool(cmp(v, value)) for v in col.tolist()]
+        if any(v is MISSING for v in col):
+            return [self(item) for item in batch.tuples()]
         return [bool(cmp(v, value)) for v in col]
 
 

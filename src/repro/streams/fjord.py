@@ -23,6 +23,13 @@ Tuples are moved between operators in batches: a node's pending input is
 drained with one :meth:`~repro.streams.operators.Operator.on_batch` call
 per run of same-port tuples rather than one Python call per tuple, which
 is where most of the executor's time used to go.
+
+In ``columnar``/``fused`` mode the same drain coalesces each run into a
+:class:`~repro.streams.columnar.ColumnBatch`, whose homogeneous numeric
+columns are numpy-backed when available (:mod:`repro.streams.typedcols`).
+The executor is agnostic to the storage class: typed and list columns
+flow through the same nodes, and every mode (and both storage classes)
+produces bit-identical output — mode is a pure performance knob.
 """
 
 from __future__ import annotations

@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from repro.errors import OperatorError
 from repro.streams.aggregates import AggregateSpec
 from repro.streams.columnar import ColumnBatch
+from repro.streams.typedcols import to_list
 from repro.streams.tuples import StreamTuple
 from repro.streams.windows import BaseWindow, WindowSpec
 
@@ -351,7 +352,10 @@ class WindowedGroupByOp(Operator):
             f is not None and batch.has_full_column(f) for f in fields
         ):
             items = batch.tuples()
-            cols = [batch.columns[f] for f in fields]  # type: ignore[index]
+            # to_list: key components must be native Python values
+            # (typed columns would otherwise leak numpy scalars into
+            # the emitted group-key fields).
+            cols = [to_list(batch.columns[f]) for f in fields]  # type: ignore[index]
             windows = self._windows
             spec = self._window_spec
             for i, item in enumerate(items):

@@ -242,6 +242,11 @@ def partition_batch(
         row ``i`` lands in shard ``shard_of(key(row_i), shards)``,
         exactly as :func:`partition_sources` assigns row tuples. With
         ``shards == 1`` the input batch is returned unsliced.
+
+    Typed (numpy-backed) columns survive partitioning: the per-shard
+    ``take`` slices an array column with one fancy-index per shard, and
+    the slices pickle cleanly across the ``processes`` backend boundary
+    (``MISSING`` and ndarrays are both reduce-safe).
     """
     if shards < 1:
         raise OperatorError(f"shards must be >= 1, got {shards}")

@@ -673,13 +673,22 @@ def _percentile_us(counts: Sequence[int], fraction: float) -> str:
 def format_table(
     snapshot: Mapping[str, Any],
     rollups: Mapping[str, Mapping[str, Any]] | None = None,
+    storage: Mapping[str, int] | None = None,
 ) -> str:
     """Render a snapshot as the ``--stats`` end-of-run table.
 
     One row per operator (sorted by busy time, busiest first) with the
     tuple/batch counters, busy milliseconds, p50/p95 per-call latency
     (µs, upper bucket edges) and the max pending-queue depth; then the
-    source watermark gauges; then, when given, per-stage rollups.
+    source watermark gauges; then, when given, per-stage rollups and
+    the typed-column storage decisions
+    (:func:`repro.streams.typedcols.storage_stats`).
+
+    ``storage`` rides on the rendered table only: the snapshot itself
+    must stay free of storage counters, because snapshots and trace
+    events are pinned byte-identical across execution modes and across
+    the numpy/no-numpy CI legs — typed storage is an
+    environment-dependent detail that may never leak into them.
     """
     lines: list[str] = []
     header = (
@@ -749,6 +758,13 @@ def format_table(
         lines.append(
             "counters: " + "  ".join(
                 f"{key}={value}" for key, value in sorted(counters.items())
+            )
+        )
+    if storage:
+        lines.append("")
+        lines.append(
+            "typed columns: " + "  ".join(
+                f"{key}={value}" for key, value in sorted(storage.items())
             )
         )
     return "\n".join(lines)

@@ -7,6 +7,15 @@ name of the stream it belongs to, and a mapping of field names to values.
 Tuples are treated as immutable by convention (see "we are all responsible
 users"): operators never mutate an input tuple in place; they derive new
 tuples via :meth:`StreamTuple.derive`.
+
+Field values are **native Python objects** — an int cell is ``int``, a
+float cell is ``float`` — regardless of how the value was stored in
+between. The columnar engine may hold a run of tuples as numpy-typed
+columns (:mod:`repro.streams.typedcols`), but decoding always goes
+through ``ndarray.tolist()``, which rebuilds native objects bit-exactly;
+numpy scalar types never appear in a materialized tuple. Code consuming
+tuples may therefore rely on exact ``type()`` checks and on JSON
+serializability of every value it put in.
 """
 
 from __future__ import annotations

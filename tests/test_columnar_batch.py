@@ -283,7 +283,9 @@ class TestVectorizableCallables:
         rows = make_rows(10)
         pred = FieldCompare("value", "<", 25.0)
         batch = ColumnBatch.from_tuples(rows)
-        assert pred.mask(batch) == [pred(t) for t in rows]
+        # list(...) because the mask may be a numpy bool array when the
+        # column is typed; entries still compare equal element-wise.
+        assert list(pred.mask(batch)) == [pred(t) for t in rows]
 
     def test_field_compare_missing_field_matches_row_error(self):
         pred = FieldCompare("absent", "<", 1.0)

@@ -71,6 +71,26 @@ try:
 except ImportError:  # pragma: no cover - hypothesis is in the test extras
     HAVE_HYPOTHESIS = False
 
+from repro.streams import typedcols
+
+
+@pytest.fixture(params=["typed", "list"])
+def column_storage(request):
+    """Run the differential under both column storage classes.
+
+    ``typed`` lowers ``min_rows`` to 1 so even this suite's tiny
+    batches get numpy-backed numeric columns (a no-op without numpy —
+    the param then covers the fallback twice, which is still the
+    correct behaviour to pin). ``list`` forces the pure-list fallback
+    the no-numpy CI leg gets.
+    """
+    if request.param == "typed":
+        previous = typedcols.set_typed_columns(True, 1)
+    else:
+        previous = typedcols.set_typed_columns(False)
+    yield request.param
+    typedcols.set_typed_columns(*previous)
+
 
 # -- kernel-level differential -------------------------------------------------
 
@@ -186,7 +206,7 @@ def assert_kernel_equivalent(name, sources):
 class TestKernelEquivalence:
     @pytest.mark.parametrize("name", sorted(KERNELS))
     @pytest.mark.parametrize("seed", [0, 1])
-    def test_kernel(self, name, seed):
+    def test_kernel(self, name, seed, column_storage):
         rng = random.Random(seed)
         sources = make_trace(rng, n_tuples=60, n_sources=2)
         assert_kernel_equivalent(name, sources)
@@ -260,7 +280,7 @@ def assert_modes_equivalent(build, sources, ticks):
 
 class TestDataflowEquivalence:
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_five_stage(self, seed):
+    def test_five_stage(self, seed, column_storage):
         rng = random.Random(seed)
         sources = make_trace(rng, n_tuples=120)
         assert_modes_equivalent(
@@ -268,7 +288,7 @@ class TestDataflowEquivalence:
         )
 
     @pytest.mark.parametrize("seed", [0, 1])
-    def test_stateless(self, seed):
+    def test_stateless(self, seed, column_storage):
         rng = random.Random(seed)
         sources = make_trace(rng, n_tuples=150, n_sources=3)
         assert_modes_equivalent(
