@@ -7,8 +7,11 @@ it. Wall-clock numbers are machine-dependent, so staleness is judged on
 the *deterministic* fields (schema version, workload and mode sets,
 tuple counts, chain depths, the gate floors) plus the recorded gates:
 the committed stateless-chain columnar speed-up must sit at or above
-``SPEEDUP_FLOOR``, and the committed numeric-chain typed-column
-speed-up over list columns at or above ``TYPED_SPEEDUP_FLOOR``.
+``SPEEDUP_FLOOR``, the committed numeric-chain typed-column speed-up
+over list columns at or above ``TYPED_SPEEDUP_FLOOR``, and — when the
+snapshot machine has at least ``CLUSTER_SCALEOUT_MIN_CPUS`` CPUs — the
+committed 4-worker-vs-1-worker cluster throughput ratio at or above
+``CLUSTER_SCALEOUT_FLOOR``.
 
 ``--history DIR`` additionally appends one compact JSON line per run
 to ``DIR/bench_history.jsonl`` — CI keeps that directory as the
@@ -37,6 +40,10 @@ ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT))  # the benchmarks package
 sys.path.insert(0, str(ROOT / "src"))  # repro, when PYTHONPATH is unset
 
+from benchmarks.test_bench_cluster import (  # noqa: E402
+    CLUSTER_SCALEOUT_FLOOR,
+    CLUSTER_SCALEOUT_MIN_CPUS,
+)
 from benchmarks.test_bench_columnar import (  # noqa: E402
     CHAIN_STAGES,
     CHAIN_TICK,
@@ -122,6 +129,47 @@ def _numeric_chain_rows(sources, ticks, n_tuples: int) -> dict[str, Any]:
     }
 
 
+def _cluster_rows() -> dict[str, Any]:
+    """Time the multi-process cluster on 1 vs 4 workers.
+
+    Subprocess soaks are expensive, so each worker count runs once
+    (``run_cluster_processes`` already excludes process start-up from
+    its feed-to-summary window). Wall-clock scale-out needs real cores:
+    ``cpus`` is recorded with the measurement, and the committed gate
+    enforces the floor only for snapshots taken on machines with at
+    least ``CLUSTER_SCALEOUT_MIN_CPUS`` CPUs — on smaller machines the
+    ratio is recorded as measured, the same convention as the numeric
+    chain's without-numpy fallback.
+    """
+    from repro.net.cluster import run_cluster_processes
+
+    workers: dict[str, Any] = {}
+    rates: dict[int, float] = {}
+    n_frames = 0
+    for count in (1, 4):
+        result = run_cluster_processes(
+            "shelf_chain", count, duration=30.0, slack=0.0
+        )
+        rates[count] = result["tuples_per_sec"]
+        n_frames = result["summary"]["router"]["data_frames"]
+        workers[f"workers_{count}"] = {
+            "seconds": round(result["elapsed"], 4),
+            "tuples_per_sec": round(result["tuples_per_sec"]),
+        }
+    return {
+        "description": (
+            "shelf_chain recording through the full multi-process "
+            "cluster (feeder, router, N fused workers, egress merge); "
+            "feed-to-summary window (benchmarks/test_bench_cluster.py)"
+        ),
+        "gated": True,
+        "cpus": os.cpu_count() or 1,
+        "n_tuples": n_frames,
+        "workers": workers,
+        "scaleout_4v1": round(rates[4] / rates[1], 2),
+    }
+
+
 def measure() -> dict[str, Any]:
     from repro.pipelines.rfid_shelf import build_shelf_processor
     from repro.pipelines.sensornet import build_redwood_processor
@@ -153,7 +201,7 @@ def measure() -> dict[str, Any]:
         )
 
     return {
-        "schema": 2,
+        "schema": 3,
         "script": "scripts/bench_snapshot.py",
         "chain_stages": CHAIN_STAGES,
         "chain_tick": CHAIN_TICK,
@@ -161,6 +209,8 @@ def measure() -> dict[str, Any]:
         "numeric_chain_stages": NUMERIC_CHAIN_STAGES,
         "numeric_chain_tick": NUMERIC_CHAIN_TICK,
         "typed_speedup_floor": TYPED_SPEEDUP_FLOOR,
+        "cluster_scaleout_floor": CLUSTER_SCALEOUT_FLOOR,
+        "cluster_scaleout_min_cpus": CLUSTER_SCALEOUT_MIN_CPUS,
         "workloads": {
             "shelf_numeric_chain": _numeric_chain_rows(
                 shelf_sources,
@@ -198,6 +248,7 @@ def measure() -> dict[str, Any]:
                 "n_tuples": redwood_n,
                 "modes": _mode_rows(redwood_n, run_redwood_pipeline),
             },
+            "cluster_scaleout": _cluster_rows(),
         },
     }
 
@@ -212,12 +263,17 @@ def _deterministic_view(snapshot: dict[str, Any]) -> dict[str, Any]:
         "numeric_chain_stages": snapshot.get("numeric_chain_stages"),
         "numeric_chain_tick": snapshot.get("numeric_chain_tick"),
         "typed_speedup_floor": snapshot.get("typed_speedup_floor"),
+        "cluster_scaleout_floor": snapshot.get("cluster_scaleout_floor"),
+        "cluster_scaleout_min_cpus": snapshot.get(
+            "cluster_scaleout_min_cpus"
+        ),
         "workloads": {
             name: {
                 "gated": load.get("gated"),
                 "n_tuples": load.get("n_tuples"),
                 "modes": sorted(load.get("modes", {})),
                 "storage": sorted(load.get("storage", {})),
+                "workers": sorted(load.get("workers", {})),
             }
             for name, load in snapshot.get("workloads", {}).items()
         },
@@ -263,6 +319,28 @@ def check(fresh: dict[str, Any]) -> int:
             file=sys.stderr,
         )
         return 1
+    cluster = committed["workloads"]["cluster_scaleout"]
+    cluster_floor = committed["cluster_scaleout_floor"]
+    min_cpus = committed["cluster_scaleout_min_cpus"]
+    if cluster["cpus"] >= min_cpus:
+        if cluster["scaleout_4v1"] < cluster_floor:
+            print(
+                f"FAIL: committed cluster scale-out "
+                f"{cluster['scaleout_4v1']}x (on {cluster['cpus']} CPUs) "
+                f"is below the {cluster_floor}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        cluster_note = (
+            f"cluster {cluster['scaleout_4v1']}x (floor {cluster_floor}x)"
+        )
+    else:
+        # 4 workers + router + feeder cannot physically run in parallel
+        # below min_cpus; the ratio is recorded, the floor is waived.
+        cluster_note = (
+            f"cluster {cluster['scaleout_4v1']}x (floor waived: snapshot "
+            f"machine had {cluster['cpus']} CPU(s) < {min_cpus})"
+        )
     measured = (
         fresh["workloads"]["shelf_stateless_chain"]["modes"]["columnar"]
     )
@@ -273,8 +351,10 @@ def check(fresh: dict[str, Any]) -> int:
         f"OK: {SNAPSHOT.name} is fresh; committed gates "
         f"columnar {gate['speedup_vs_row']}x "
         f"(floor {committed['speedup_floor']}x), "
-        f"typed {typed_gate}x (floor {committed['typed_speedup_floor']}x); "
-        f"measured here {measured['speedup_vs_row']}x / {measured_typed}x"
+        f"typed {typed_gate}x (floor {committed['typed_speedup_floor']}x), "
+        f"{cluster_note}; "
+        f"measured here {measured['speedup_vs_row']}x / {measured_typed}x / "
+        f"{fresh['workloads']['cluster_scaleout']['scaleout_4v1']}x"
     )
     return 0
 
@@ -305,6 +385,8 @@ def append_history(directory: Path, fresh: dict[str, Any]) -> Path:
         "shelf_pipeline_tuples_per_sec": loads["shelf_full_pipeline"][
             "modes"
         ]["columnar"]["tuples_per_sec"],
+        "cluster_scaleout_4v1": loads["cluster_scaleout"]["scaleout_4v1"],
+        "cluster_cpus": loads["cluster_scaleout"]["cpus"],
     }
     with path.open("a", encoding="utf-8") as handle:
         handle.write(json.dumps(line, sort_keys=True) + "\n")
@@ -354,6 +436,14 @@ def main(argv: list[str] | None = None) -> int:
                     f"{mode}={row['tuples_per_sec']:,}/s"
                     f" ({row['speedup_vs_row']}x)"
                     for mode, row in load["modes"].items()
+                )
+            elif "workers" in load:
+                rates = ", ".join(
+                    f"{label}={row['tuples_per_sec']:,}/s"
+                    for label, row in load["workers"].items()
+                )
+                rates += (
+                    f", 4v1={load['scaleout_4v1']}x on {load['cpus']} CPU(s)"
                 )
             else:
                 rates = ", ".join(

@@ -5,13 +5,101 @@
 # drives real traffic through the gateway, and leave the last snapshot
 # on disk for CI to upload as an artifact.
 #
-# Usage: scripts/ops_smoke.sh [gateway-port] [ops-port] [snapshot-out]
+# With a 4th argument of "cluster", instead smoke the multi-process
+# deployment: two `repro worker` processes (each with its own ops
+# plane), a `repro cluster` router in front, a `repro feed` replay
+# through the router, curl of a worker's /metrics and of the router's
+# cluster-wide rollup, and the router's last /snapshot as the artifact.
+#
+# Usage: scripts/ops_smoke.sh [gateway-port] [ops-port] [snapshot-out] [phase]
 set -euo pipefail
 
 PORT="${1:-7107}"
 OPS_PORT="${2:-7108}"
 OUT="${3:-ops_snapshot.json}"
+PHASE="${4:-serve}"
 BASE="http://127.0.0.1:${OPS_PORT}"
+
+await_ops() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "ops endpoint $1 never came up" >&2
+  return 1
+}
+
+if [ "$PHASE" = "cluster" ]; then
+  # Wire ports sit in [PORT+10, PORT+14], ops ports in
+  # [OPS_PORT+20, OPS_PORT+24]: with the adjacent default bases the
+  # ranges stay disjoint, so nothing can collide.
+  W0_PORT=$((PORT + 10)); W0_OPS=$((OPS_PORT + 20))
+  W1_PORT=$((PORT + 12)); W1_OPS=$((OPS_PORT + 22))
+  ROUTER_PORT=$((PORT + 14)); ROUTER_OPS=$((OPS_PORT + 24))
+
+  PYTHONPATH=src python -m repro worker shelf \
+    --port "$W0_PORT" --ops-port "$W0_OPS" --label w0 \
+    --max-epochs 1 --slack 0.0 --duration 4.0 >/dev/null &
+  W0=$!
+  PYTHONPATH=src python -m repro worker shelf \
+    --port "$W1_PORT" --ops-port "$W1_OPS" --label w1 \
+    --max-epochs 1 --slack 0.0 --duration 4.0 >/dev/null &
+  W1=$!
+  trap 'kill "$W0" "$W1" 2>/dev/null || true' EXIT
+  await_ops "http://127.0.0.1:${W0_OPS}"
+  await_ops "http://127.0.0.1:${W1_OPS}"
+
+  echo "--- worker w0 /metrics (head)"
+  curl -fsS "http://127.0.0.1:${W0_OPS}/metrics" | head -n 10
+
+  PYTHONPATH=src python -m repro cluster shelf \
+    --port "$ROUTER_PORT" --ops-port "$ROUTER_OPS" \
+    --worker "w0=127.0.0.1:${W0_PORT}" --worker "w1=127.0.0.1:${W1_PORT}" \
+    --slack 0.0 --duration 4.0 >/dev/null &
+  ROUTER=$!
+  trap 'kill "$W0" "$W1" "$ROUTER" 2>/dev/null || true' EXIT
+  CBASE="http://127.0.0.1:${ROUTER_OPS}"
+  await_ops "$CBASE"
+
+  echo "--- router /healthz"
+  curl -fsS "$CBASE/healthz"
+  echo "--- router /metrics (head)"
+  curl -fsS "$CBASE/metrics" | head -n 10
+  curl -fsS "$CBASE/snapshot" >"$OUT"
+
+  PYTHONPATH=src python -m repro feed shelf \
+    --port "$ROUTER_PORT" --duration 4.0 >/dev/null &
+  FEEDER=$!
+
+  # Poll the cluster rollup until the completed router closes its ops
+  # listener; the last successful poll is the artifact.
+  while curl -fsS "$CBASE/snapshot" >"$OUT.tmp" 2>/dev/null; do
+    mv "$OUT.tmp" "$OUT"
+    sleep 0.1
+  done
+  rm -f "$OUT.tmp"
+
+  wait "$FEEDER"
+  wait "$ROUTER"
+  wait "$W0"
+  wait "$W1"
+  trap - EXIT
+
+  python - "$OUT" <<'EOF'
+import json
+import sys
+
+document = json.load(open(sys.argv[1]))
+assert set(document) >= {"telemetry", "gateway"}, sorted(document)
+workers = document["gateway"].get("workers", {})
+assert set(workers) == {"w0", "w1"}, sorted(workers)
+print(f"cluster rollup OK: {sys.argv[1]} (workers: {sorted(workers)})")
+EOF
+  echo "cluster ops smoke passed"
+  exit 0
+fi
 
 PYTHONPATH=src python -m repro serve shelf \
   --port "$PORT" --ops-port "$OPS_PORT" \

@@ -8,6 +8,9 @@ Usage::
     python -m repro paper                # show the paper's reference values
     python -m repro serve shelf          # ingestion gateway for a scenario
     python -m repro feed shelf           # replay the scenario into it
+    python -m repro worker shelf         # one cluster worker process
+    python -m repro cluster shelf \
+        --worker w0=127.0.0.1:7107       # route feeders across workers
     python -m repro top                  # live console for a running serve
 """
 
@@ -357,6 +360,112 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.worker import serve_worker
+
+    collector = None
+    if args.ops_port is not None:
+        from repro.streams.telemetry import InMemoryCollector
+
+        collector = InMemoryCollector()
+
+    def ready(host: str, port: int) -> None:
+        print(f"listening on {host}:{port}", file=sys.stderr)
+
+    def ops_ready(host: str, port: int) -> None:
+        print(f"ops endpoint on http://{host}:{port}", file=sys.stderr)
+
+    try:
+        summary = asyncio.run(
+            serve_worker(
+                args.scenario,
+                args.host,
+                args.port,
+                slack=args.slack,
+                queue_bound=args.queue_bound,
+                duration=args.duration,
+                seed=args.seed,
+                label=args.label,
+                max_epochs=args.max_epochs,
+                mode=args.mode,
+                telemetry=collector,
+                ready=ready,
+                ops_port=args.ops_port,
+                ops_ready=ops_ready,
+            )
+        )
+    except KeyboardInterrupt:
+        return 130
+    print(json.dumps(summary, indent=2, default=_jsonable))
+    return 0
+
+
+def _parse_worker_spec(text: str) -> tuple[str, str, int]:
+    """Parse a ``label=host:port`` worker argument."""
+    label, eq, address = text.partition("=")
+    host, colon, port = address.rpartition(":")
+    if not eq or not colon or not label or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected label=host:port, got {text!r}"
+        )
+    try:
+        return label, host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid port in {text!r}"
+        ) from None
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.cluster import serve_cluster
+
+    collector = None
+    if args.stats or args.ops_port is not None:
+        from repro.streams.telemetry import InMemoryCollector
+
+        collector = InMemoryCollector()
+
+    def ready(host: str, port: int) -> None:
+        print(f"listening on {host}:{port}", file=sys.stderr)
+
+    def ops_ready(host: str, port: int) -> None:
+        print(f"ops endpoint on http://{host}:{port}", file=sys.stderr)
+
+    summary = asyncio.run(
+        serve_cluster(
+            args.scenario,
+            args.worker,
+            args.host,
+            args.port,
+            slack=args.slack,
+            queue_bound=args.queue_bound,
+            duration=args.duration,
+            seed=args.seed,
+            telemetry=collector,
+            ready=ready,
+            ops_port=args.ops_port,
+            ops_ready=ops_ready,
+        )
+    )
+    if collector is not None and args.stats:
+        from repro.core.pipeline import stage_rollups
+        from repro.streams.telemetry import format_table
+
+        print(
+            format_table(
+                collector.snapshot(),
+                rollups=stage_rollups(collector.snapshot()),
+            ),
+            file=sys.stderr,
+        )
+    print(json.dumps(summary, indent=2, default=_jsonable))
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     import time
     import urllib.error
@@ -605,6 +714,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="RNG seed for the delay/loss models",
     )
 
+    worker = commands.add_parser(
+        "worker", help="run one cluster worker behind a router"
+    )
+    worker.add_argument(
+        "scenario", help="scenario name (must match the router's)"
+    )
+    worker.add_argument("--host", default="127.0.0.1", help="bind address")
+    worker.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    worker.add_argument(
+        "--label",
+        default="worker",
+        help="worker label for telemetry (the router's hello overrides it)",
+    )
+    worker.add_argument(
+        "--slack",
+        type=float,
+        default=1.5,
+        help="reorder slack in simulation seconds (match the router's)",
+    )
+    worker.add_argument(
+        "--queue-bound",
+        type=_positive_int,
+        default=64,
+        help="per-source ingress queue capacity",
+    )
+    worker.add_argument(
+        "--duration", type=float, help="scenario duration override, seconds"
+    )
+    worker.add_argument("--seed", type=int, help="scenario seed override")
+    worker.add_argument(
+        "--max-epochs",
+        type=_positive_int,
+        metavar="N",
+        help="exit after completing N epochs (default: run until killed)",
+    )
+    worker.add_argument(
+        "--mode",
+        choices=("row", "columnar", "fused"),
+        default="fused",
+        help="execution mode for epoch sessions (bit-identical output; "
+        "fused keeps punctuation sweeps cheap on deep pipelines)",
+    )
+    worker.add_argument(
+        "--ops-port",
+        type=int,
+        metavar="PORT",
+        help="serve this worker's /metrics, /healthz, /readyz and "
+        "/snapshot on this port (0 = ephemeral; off by default)",
+    )
+
+    cluster = commands.add_parser(
+        "cluster", help="route a scenario's feeders across worker processes"
+    )
+    cluster.add_argument(
+        "scenario", help="scenario name (must match the workers')"
+    )
+    cluster.add_argument(
+        "--worker",
+        action="append",
+        required=True,
+        type=_parse_worker_spec,
+        metavar="LABEL=HOST:PORT",
+        help="a worker to join at epoch 0 (repeat per worker)",
+    )
+    cluster.add_argument("--host", default="127.0.0.1", help="bind address")
+    cluster.add_argument(
+        "--port", type=int, default=7007, help="bind port (0 = ephemeral)"
+    )
+    cluster.add_argument(
+        "--slack",
+        type=float,
+        default=1.5,
+        help="reorder slack in simulation seconds (cover the feeder's "
+        "max delay; also the rebalance boundary watermark)",
+    )
+    cluster.add_argument(
+        "--queue-bound",
+        type=_positive_int,
+        default=64,
+        help="per-source credit window, feeder-facing and per worker link",
+    )
+    cluster.add_argument(
+        "--duration", type=float, help="scenario duration override, seconds"
+    )
+    cluster.add_argument("--seed", type=int, help="scenario seed override")
+    cluster.add_argument(
+        "--ops-port",
+        type=int,
+        metavar="PORT",
+        help="serve the router's ops plane (cluster-wide telemetry "
+        "rollup) on this port (0 = ephemeral; off by default)",
+    )
+    cluster.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the cluster-wide telemetry rollup to stderr after "
+        "the run",
+    )
+
     top = commands.add_parser(
         "top", help="live console for a gateway's ops endpoint"
     )
@@ -642,6 +852,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "run": _cmd_run,
         "serve": _cmd_serve,
         "feed": _cmd_feed,
+        "worker": _cmd_worker,
+        "cluster": _cmd_cluster,
         "top": _cmd_top,
     }
     return handlers[args.command](args)

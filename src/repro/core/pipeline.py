@@ -279,6 +279,22 @@ class ESPStreamSession:
         :attr:`repro.streams.fjord.FjordSession.safe_time`)."""
         return self._session.safe_time
 
+    @property
+    def ticks(self) -> tuple[float, ...]:
+        """The session's full punctuation tick schedule."""
+        return self._session.ticks
+
+    @property
+    def emitted(self) -> list[StreamTuple]:
+        """Live view of the tuples the terminal sink has emitted so far.
+
+        Grows as ticks are swept; the cluster worker reads it between
+        single-tick advances to attribute output to punctuation ticks
+        (see :class:`repro.net.worker.TickLedger`). Callers must not
+        mutate it.
+        """
+        return self._sink.results
+
     def push(
         self,
         receptor_id: str,
@@ -471,6 +487,7 @@ class ESPProcessor:
         tick: float | None = None,
         start: float = 0.0,
         telemetry: TelemetryCollector | None = None,
+        mode: str | None = None,
     ) -> ESPStreamSession:
         """Open an incremental-push run over ``[start, until]``.
 
@@ -489,23 +506,24 @@ class ESPProcessor:
             start: Simulation start time.
             telemetry: Collector for the session's metrics and events;
                 defaults like :meth:`run`.
+            mode: Execution mode for the session's sweeps, one of
+                :data:`~repro.streams.fjord.MODES` (``None`` means
+                ``row``). A pure performance knob, exactly as for
+                :meth:`run`: every mode produces bit-identical output.
         """
         devices = self.registry.devices
         if not devices:
             raise PipelineError("no devices registered")
-        if tick is None:
-            tick = min(device.sample_period for device in devices)
-        if tick <= 0:
-            raise PipelineError(f"tick must be positive, got {tick}")
         collector = resolve_telemetry(telemetry)
-        count = int(round((until - start) / tick))
-        ticks = [start + i * tick for i in range(count + 1)]
+        ticks = self.punctuation_ticks(until, tick, start)
         result = ESPRun()
         empty: dict[str, list[StreamTuple]] = {
             device.receptor_id: [] for device in devices
         }
         fjord, sink = self._build_dataflow(until, start, set(), result, empty)
-        session = fjord.open_session(ticks, telemetry=collector)
+        session = fjord.open_session(
+            ticks, telemetry=collector, mode=mode or "row"
+        )
         source_names = {
             device.receptor_id: f"src:{device.receptor_id}"
             for device in devices
@@ -513,6 +531,31 @@ class ESPProcessor:
         return ESPStreamSession(
             session, sink, fjord, result, source_names, collector
         )
+
+    def punctuation_ticks(
+        self, until: float, tick: float | None = None, start: float = 0.0
+    ) -> list[float]:
+        """The punctuation schedule a session over ``[start, until]`` uses.
+
+        Exposed so out-of-process coordinators (the cluster router's
+        epoch bookkeeping) can compute the *same* tick indices the
+        workers' sessions sweep, including the default-tick rule.
+
+        Args:
+            until: End of simulation time (inclusive).
+            tick: Punctuation period; defaults to the smallest device
+                sample period, as in :meth:`run`.
+            start: Simulation start time.
+        """
+        if tick is None:
+            devices = self.registry.devices
+            if not devices:
+                raise PipelineError("no devices registered")
+            tick = min(device.sample_period for device in devices)
+        if tick <= 0:
+            raise PipelineError(f"tick must be positive, got {tick}")
+        count = int(round((until - start) / tick))
+        return [start + i * tick for i in range(count + 1)]
 
     def _run_single(
         self,
@@ -612,6 +655,19 @@ class ESPProcessor:
                     device.stream(until, start=start)
                 )
         return feeds
+
+    def shard_key_fn(self, shard_key: str):
+        """Public shard-key extractor over ``(device id, reading)`` pairs.
+
+        The returned callable maps a raw reading to its partition key —
+        the same mapping the sharded batch engine uses, so a network
+        partitioning tier (:mod:`repro.net.router`) colocates exactly
+        the keys that must share stateful stages. The second argument
+        only needs a ``.get(field)`` surface, so both
+        :class:`~repro.streams.tuples.StreamTuple` readings and decoded
+        wire records work.
+        """
+        return self._shard_key_fn(shard_key)
 
     def _shard_key_fn(self, shard_key: str):
         """Shard-key extractor over (device id, raw tuple) pairs."""

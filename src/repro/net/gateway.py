@@ -235,12 +235,12 @@ class IngestGateway:
             )
             return None
         version = frame.get("version")
-        if version != protocol.PROTOCOL_VERSION:
+        if version not in protocol.SUPPORTED_VERSIONS:
             self._count("gateway.version_mismatch")
             await self._bail(
                 writer,
                 f"protocol version {version!r} unsupported; this gateway "
-                f"speaks {protocol.PROTOCOL_VERSION}",
+                f"speaks {sorted(protocol.SUPPORTED_VERSIONS)}",
             )
             return None
         names = frame.get("sources") or []
@@ -286,7 +286,9 @@ class IngestGateway:
                 state.name: self.queue_bound - len(state.queue)
                 for state in owned
             }
-        await write_frame(writer, protocol.hello_ack(credits))
+        # Echo the client's (accepted) version so a v1 feeder keeps
+        # seeing the dialect it asked for.
+        await write_frame(writer, protocol.hello_ack(credits, version))
         return owned
 
     async def _serve_frames(
@@ -336,8 +338,22 @@ class IngestGateway:
                 state.final_requested = True
                 self._work.set()
                 await write_frame(writer, protocol.bye_ack(state.name))
-            else:
+            elif not await self._handle_extra(frame, writer, states):
                 raise ProtocolError(f"unexpected frame type {kind!r}")
+
+    async def _handle_extra(
+        self,
+        frame: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        states: dict[str, _SourceState],
+    ) -> bool:
+        """Dialect hook: handle a non-core frame; ``True`` if consumed.
+
+        The base gateway speaks only the feeder dialect; the cluster
+        worker (:mod:`repro.net.worker`) overrides this to accept the
+        router's ``drain`` frame without forking the serve loop.
+        """
+        return False
 
     async def _offer(self, state: _SourceState, entry: tuple) -> None:
         while True:

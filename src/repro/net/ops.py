@@ -425,6 +425,26 @@ def format_top(
                 f"{_fmt_us(p95):>8}"
             )
 
+    worker_stats = gateway.get("workers", {})
+    if worker_stats:
+        lines.append("")
+        epoch = gateway.get("epoch")
+        if epoch is not None:
+            lines.append(
+                f"cluster: epoch {epoch}, "
+                f"{gateway.get('data_frames', 0)} frames routed on "
+                f"{gateway.get('shard_key', '?')!r}"
+            )
+        lines.append(
+            f"{'worker':<12} {'address':<22} {'sources':>8} {'acked':>6}"
+        )
+        for name in sorted(worker_stats):
+            entry = worker_stats[name]
+            lines.append(
+                f"{name:<12} {entry['address']:<22} "
+                f"{entry['sources']:>8} {entry['acked']:>6}"
+            )
+
     source_stats = gateway.get("sources", {})
     if source_stats:
         lines.append("")

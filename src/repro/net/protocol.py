@@ -8,24 +8,51 @@ prefix makes framing unambiguous without scanning for newlines.
 
 Frame types (all carry a ``"type"`` key):
 
-========== ========== ==================================================
-type       direction  meaning
-========== ========== ==================================================
-hello      client →   opens a session: protocol ``version`` plus the
-                      ``sources`` (receptor ids) this connection feeds
-hello_ack  → client   accepts: server ``version`` and, under the
-                      ``block`` overload policy, the initial per-source
-                      ``credits`` (``null`` means uncredited)
-data       client →   one reading: ``source``, per-source ``seq``,
-                      simulated ``arrival`` time, and the ``record``
-                      (:func:`tuple_to_record` encoding)
-heartbeat  client →   liveness signal for ``sources`` between readings
-credit     → client   grants ``credits`` more in-flight frames for
-                      ``source`` (backpressure release)
-error      → client   terminal protocol failure; ``reason`` explains
-bye        client →   no more data for ``source`` (clean close)
-bye_ack    → client   acknowledges the ``bye`` for ``source``
-========== ========== ==================================================
+=========== ========== =================================================
+type        direction  meaning
+=========== ========== =================================================
+hello       client →   opens a session: protocol ``version`` plus the
+                       ``sources`` (receptor ids) this connection feeds
+hello_ack   → client   accepts: negotiated ``version`` and, under the
+                       ``block`` overload policy, the initial per-source
+                       ``credits`` (``null`` means uncredited)
+data        client →   one reading: ``source``, per-source ``seq``,
+                       simulated ``arrival`` time, and the ``record``
+                       (:func:`tuple_to_record` encoding)
+heartbeat   client →   liveness signal for ``sources`` between readings
+credit      → client   grants ``credits`` more in-flight frames for
+                       ``source`` (backpressure release)
+error       → client   terminal protocol failure; ``reason`` explains
+bye         client →   no more data for ``source`` (clean close)
+bye_ack     → client   acknowledges the ``bye`` for ``source``
+=========== ========== =================================================
+
+Version 2 adds the cluster dialect spoken between the front-tier router
+and its workers (:mod:`repro.net.router` / :mod:`repro.net.worker`). A
+worker connection opens with ``worker_hello`` + ``route`` instead of
+``hello``, then carries the ordinary data-plane frames above, and ends
+with the worker streaming its per-tick cleaned output back:
+
+=========== ========== =================================================
+type        direction  meaning (router ↔ worker, protocol ≥ 2)
+=========== ========== =================================================
+worker_hello router →  opens an epoch channel: protocol ``version``
+                       plus the ``worker`` label being addressed
+route       router →   assigns the epoch: monotonically increasing
+                       ``epoch`` number, the ``start_tick`` index whose
+                       output the egress merge will take from this
+                       epoch, and the ``sources`` routed to this worker
+drain       router →   finalize now: treat every routed source as byed,
+                       flush reorder buffers, sweep all remaining
+                       punctuation ticks, then report results
+result      worker →   cleaned output for one punctuation ``tick``
+                       index of ``epoch``: a list of ``records``
+                       (:func:`tuple_to_record`); ticks with no output
+                       are simply never sent
+result_end  worker →   epoch complete: total ``ticks`` swept, the
+                       worker gateway's ``stats`` and (when
+                       instrumented) its ``telemetry`` snapshot
+=========== ========== =================================================
 
 Wire times are *simulation-axis* seconds: the feeder stamps each data
 frame with the arrival time its delay model produced, and the gateway
@@ -44,11 +71,17 @@ from repro.errors import ProtocolError
 from repro.streams.traceio import STREAM_COLUMN, TIMESTAMP_COLUMN
 from repro.streams.tuples import StreamTuple
 
-#: Protocol revision spoken by this build; hellos must match exactly.
-PROTOCOL_VERSION = 1
+#: Protocol revision spoken by this build. Version 2 added the cluster
+#: dialect (worker_hello/route/drain/result frames); the data-plane
+#: frames are unchanged from version 1, so v1 feeders still work.
+PROTOCOL_VERSION = 2
 
-#: Upper bound on a single frame's JSON payload, in bytes. A length
-#: prefix above this is treated as a framing error rather than an
+#: Protocol revisions a server accepts in a ``hello``; the ``hello_ack``
+#: echoes the client's version so both sides speak the older dialect.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Default upper bound on a single frame's JSON payload, in bytes. A
+#: length prefix above this is treated as a framing error rather than an
 #: allocation request — garbage bytes must not OOM the gateway.
 MAX_FRAME_BYTES = 1 << 20
 
@@ -73,6 +106,16 @@ class FrameDecoder:
     like); complete frames come back in order. State between calls is
     the undecoded remainder.
 
+    The length prefix is checked against ``max_frame_bytes`` *before*
+    any payload is buffered, so a hostile prefix (say ``0xFFFFFFFF``)
+    costs four bytes of inspection, not a 4 GiB allocation; callers
+    must treat the resulting :class:`~repro.errors.ProtocolError` as
+    fatal and close the connection (the byte stream cannot be resynced).
+
+    Args:
+        max_frame_bytes: Per-frame payload cap; defaults to the
+            module-wide :data:`MAX_FRAME_BYTES`.
+
     Example:
         >>> decoder = FrameDecoder()
         >>> data = encode_frame({"type": "heartbeat", "sources": []})
@@ -82,8 +125,18 @@ class FrameDecoder:
         'heartbeat'
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes <= 0:
+            raise ValueError(
+                f"max_frame_bytes must be positive, got {max_frame_bytes}"
+            )
         self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
+
+    @property
+    def max_frame_bytes(self) -> int:
+        """The per-frame payload cap this decoder enforces."""
+        return self._max_frame_bytes
 
     def feed(self, data: bytes) -> list[dict[str, Any]]:
         """Absorb ``data``; return every frame completed by it.
@@ -96,10 +149,10 @@ class FrameDecoder:
         frames: list[dict[str, Any]] = []
         while len(self._buffer) >= _HEADER.size:
             (length,) = _HEADER.unpack_from(self._buffer)
-            if length > MAX_FRAME_BYTES:
+            if length > self._max_frame_bytes:
                 raise ProtocolError(
                     f"frame length {length} exceeds the "
-                    f"{MAX_FRAME_BYTES}-byte limit"
+                    f"{self._max_frame_bytes}-byte limit"
                 )
             if len(self._buffer) < _HEADER.size + length:
                 break
@@ -127,8 +180,27 @@ def _parse_payload(payload: bytes) -> dict[str, Any]:
     return frame
 
 
-async def read_frame(reader: asyncio.StreamReader) -> "dict[str, Any] | None":
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> "dict[str, Any] | None":
     """Read one frame from ``reader``; ``None`` on clean EOF.
+
+    Raises:
+        ProtocolError: On a truncated frame, oversized length, or
+            undecodable payload.
+    """
+    result = await read_frame_raw(reader, max_frame_bytes)
+    return None if result is None else result[0]
+
+
+async def read_frame_raw(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> "tuple[dict[str, Any], bytes] | None":
+    """Read one frame, returning ``(frame, payload_bytes)``.
+
+    The raw JSON payload (without the length header) lets a forwarding
+    tier relay the frame verbatim via :func:`write_raw_frame` without
+    paying to re-encode it — the router's hot path.
 
     Raises:
         ProtocolError: On a truncated frame, oversized length, or
@@ -144,9 +216,9 @@ async def read_frame(reader: asyncio.StreamReader) -> "dict[str, Any] | None":
             f"{_HEADER.size} bytes)"
         ) from None
     (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
+    if length > max_frame_bytes:
         raise ProtocolError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+            f"frame length {length} exceeds the {max_frame_bytes}-byte limit"
         )
     try:
         payload = await reader.readexactly(length)
@@ -155,7 +227,7 @@ async def read_frame(reader: asyncio.StreamReader) -> "dict[str, Any] | None":
             f"connection closed mid-frame ({len(error.partial)} of "
             f"{length} bytes)"
         ) from None
-    return _parse_payload(payload)
+    return _parse_payload(payload), payload
 
 
 async def write_frame(
@@ -163,6 +235,12 @@ async def write_frame(
 ) -> None:
     """Encode ``frame``, write it, and drain the transport."""
     writer.write(encode_frame(frame))
+    await writer.drain()
+
+
+async def write_raw_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Write an already-encoded JSON payload with a fresh length header."""
+    writer.write(_HEADER.pack(len(payload)) + payload)
     await writer.drain()
 
 
@@ -221,6 +299,58 @@ def bye(source: str) -> dict:
 def bye_ack(source: str) -> dict:
     """Acknowledge the ``bye`` for ``source``."""
     return {"type": "bye_ack", "source": source}
+
+
+# -- cluster dialect (protocol >= 2) ----------------------------------------
+
+
+def worker_hello(worker: str, version: int = PROTOCOL_VERSION) -> dict:
+    """Open a router→worker epoch channel addressed to ``worker``."""
+    return {"type": "worker_hello", "version": version, "worker": worker}
+
+
+def route(epoch: int, start_tick: int, sources: Iterable[str]) -> dict:
+    """Assign an epoch: the sources this worker serves and the first
+    punctuation tick index whose output the egress merge takes from it."""
+    return {
+        "type": "route",
+        "epoch": int(epoch),
+        "start_tick": int(start_tick),
+        "sources": sorted(sources),
+    }
+
+
+def drain() -> dict:
+    """Finalize every routed source now and report results."""
+    return {"type": "drain"}
+
+
+def result(epoch: int, tick: int, records: Iterable[Mapping[str, Any]]) -> dict:
+    """Cleaned output for one punctuation tick index of ``epoch``."""
+    return {
+        "type": "result",
+        "epoch": int(epoch),
+        "tick": int(tick),
+        "records": list(records),
+    }
+
+
+def result_end(
+    epoch: int,
+    worker: str,
+    ticks: int,
+    stats: Mapping[str, Any],
+    telemetry: "Mapping[str, Any] | None" = None,
+) -> dict:
+    """Epoch completion: sweep count, gateway stats, telemetry snapshot."""
+    return {
+        "type": "result_end",
+        "epoch": int(epoch),
+        "worker": worker,
+        "ticks": int(ticks),
+        "stats": dict(stats),
+        "telemetry": dict(telemetry) if telemetry is not None else None,
+    }
 
 
 # -- tuple payload encoding -------------------------------------------------

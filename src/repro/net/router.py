@@ -1,0 +1,729 @@
+"""The cluster front tier: route feeder streams onto a worker ring.
+
+:class:`ClusterRouter` accepts ordinary feeder connections — the exact
+versioned wire protocol a standalone gateway speaks, so every existing
+feeder works unchanged — and forwards each data frame to the worker
+owning its *shard key* on a consistent-hash ring
+(:class:`repro.net.ring.HashRing`). The shard key is the scenario's
+batch-sharding key (:attr:`repro.net.service.ScenarioBundle.shard_key`),
+so keys whose tuples must share stateful pipeline stages always land on
+one worker. Forwarding relays the frame's raw JSON payload verbatim
+(:func:`repro.net.protocol.write_raw_frame`) — the router's hot path
+never re-encodes.
+
+**Epochs and rebalance.** Worker membership is versioned by *epoch*.
+Every membership change (join or leave) runs the same handoff:
+
+1. **Credit freeze** — the forwarding gate closes; feeder credits are
+   only re-granted after a forward, so feeders stall within one credit
+   window while in-flight forwards complete.
+2. **Boundary** — the epoch boundary tick ``B`` is the first tick not
+   strictly covered by the cluster watermark ``W = min over non-final
+   sources of (newest arrival − slack)``. Every tuple timestamped
+   inside a tick below ``B`` has provably reached its old owner (a
+   frame still in flight has arrival ≥ newest seen, hence timestamp
+   ≥ W under the same slack ≥ delay contract a single gateway needs).
+3. **Drain** — each worker gets a ``drain`` frame: reorder-buffer
+   flush, punctuation swept to the end, per-tick results shipped back.
+   Only ticks in ``[epoch start, B)`` will be taken from this epoch.
+4. **Remap + replay** — the ring is rebuilt over the new membership
+   and the router replays its retained input history (every data frame
+   since the run began, per source in arrival order) to the new
+   epoch's fresh sessions, followed by byes for already-final sources.
+   Ticks from ``B`` on will be taken from the new epoch, whose workers
+   have, by construction, each key's *complete* history.
+
+No tuple is lost (the history replay is total) and none is duplicated
+(each tick index is taken from exactly one epoch) — the egress merge
+(:func:`repro.net.cluster.merge_epochs`) stays byte-identical to a
+single-node run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from bisect import bisect_left
+from typing import Any, Callable
+
+from repro.errors import NetError, ProtocolError
+from repro.net import protocol
+from repro.net.protocol import (
+    read_frame,
+    read_frame_raw,
+    write_frame,
+    write_raw_frame,
+)
+from repro.net.ring import HashRing
+from repro.net.service import ScenarioBundle
+from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
+from repro.streams.tuples import StreamTuple
+
+#: Shard keys that are a property of the *source* (device), not of the
+#: individual reading — mirrors ESPProcessor's key-extractor rule. For
+#: these the router can partition whole sources across workers; for
+#: record-level keys every worker must accept every source.
+SOURCE_LEVEL_KEYS = ("spatial_granule", "proximity_group")
+
+
+class _RetainedFrame:
+    """One data frame kept for epoch replay."""
+
+    __slots__ = ("arrival", "seq", "source", "key", "payload")
+
+    def __init__(
+        self, arrival: float, seq: int, source: str, key: str, payload: bytes
+    ):
+        self.arrival = arrival
+        self.seq = seq
+        self.source = source
+        self.key = key
+        self.payload = payload
+
+
+class _WorkerLink:
+    """The router's live connection to one worker for one epoch."""
+
+    def __init__(self, label: str, host: str, port: int):
+        self.label = label
+        self.host = host
+        self.port = port
+        self.reader: "asyncio.StreamReader | None" = None
+        self.writer: "asyncio.StreamWriter | None" = None
+        self.sources: tuple[str, ...] = ()
+        self.credits: dict[str, int] = {}
+        self.granted = asyncio.Condition()
+        self.acked: set[str] = set()
+        self.per_tick: dict[int, list[StreamTuple]] = {}
+        self.end: "asyncio.Future[dict]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self.task: "asyncio.Task | None" = None
+
+    async def acquire(self, source: str) -> None:
+        """Take one worker credit for ``source`` (block until granted)."""
+        async with self.granted:
+            await self.granted.wait_for(
+                lambda: self.credits.get(source, 0) > 0
+            )
+            self.credits[source] -= 1
+
+    async def read_loop(self) -> None:
+        """Consume worker→router frames: credits, acks, results."""
+        assert self.reader is not None
+        try:
+            while True:
+                frame = await read_frame(self.reader)
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "credit":
+                    async with self.granted:
+                        name = frame.get("source")
+                        self.credits[name] = (
+                            self.credits.get(name, 0)
+                            + int(frame.get("credits", 0))
+                        )
+                        self.granted.notify_all()
+                elif kind == "bye_ack":
+                    self.acked.add(frame.get("source"))
+                elif kind == "result":
+                    bucket = self.per_tick.setdefault(
+                        int(frame.get("tick", 0)), []
+                    )
+                    bucket.extend(
+                        protocol.record_to_tuple(record)
+                        for record in frame.get("records") or []
+                    )
+                elif kind == "result_end":
+                    if not self.end.done():
+                        self.end.set_result(frame)
+                    break
+                elif kind == "error":
+                    raise NetError(
+                        f"worker {self.label!r}: {frame.get('reason')}"
+                    )
+                else:
+                    raise ProtocolError(
+                        f"unexpected frame {kind!r} from worker "
+                        f"{self.label!r}"
+                    )
+        except Exception as error:  # surface to whoever awaits results
+            if not self.end.done():
+                self.end.set_exception(error)
+        else:
+            if not self.end.done():
+                self.end.set_exception(
+                    NetError(
+                        f"worker {self.label!r} closed before result_end"
+                    )
+                )
+
+    async def close(self) -> None:
+        if self.task is not None:
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self.writer is not None:
+            self.writer.close()
+        if not self.end.done():
+            # Nobody will resolve it now; keep await-ers from hanging.
+            self.end.set_exception(NetError("worker link closed"))
+        self.end.exception()  # retrieved: never "never awaited" noise
+
+
+class ClusterRouter:
+    """Front-tier server distributing feeder streams across workers.
+
+    Args:
+        bundle: The scenario being served; provides the expected
+            sources, the shard key, and the punctuation schedule the
+            epoch bookkeeping is expressed in.
+        slack: Reorder slack, simulation seconds — the same contract as
+            a single gateway: at or above the feeders' maximum delay.
+            Used for worker gateways' buffers *and* the rebalance
+            boundary watermark.
+        queue_bound: Credit window per source, both feeder-facing and
+            per worker connection.
+        telemetry: Cluster-wide rollup collector; absorbs every worker
+            epoch snapshot under its worker label.
+        clock: Wall-clock source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        bundle: ScenarioBundle,
+        *,
+        slack: float = 0.0,
+        queue_bound: int = 64,
+        telemetry: "TelemetryCollector | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._bundle = bundle
+        self.slack = float(slack)
+        self.queue_bound = int(queue_bound)
+        self._collector = resolve_telemetry(telemetry)
+        self._clock = clock
+        self._expected = tuple(sorted(bundle.streams))
+        if not self._expected:
+            raise NetError("router needs at least one expected source")
+        self._key_fn = bundle.processor.shard_key_fn(bundle.shard_key)
+        self._source_level = bundle.shard_key in SOURCE_LEVEL_KEYS
+        self._ticks = bundle.processor.punctuation_ticks(
+            bundle.until, bundle.tick
+        )
+        self._server: "asyncio.base_events.Server | None" = None
+        self._links: dict[str, _WorkerLink] = {}
+        self._ring: "HashRing | None" = None
+        self._epoch = -1
+        self._epoch_start = 0
+        self._epochs: list[dict[str, Any]] = []
+        self._history: dict[str, list[_RetainedFrame]] = {
+            name: [] for name in self._expected
+        }
+        self._max_arrival: dict[str, float] = {}
+        self._final: set[str] = set()
+        self._owners: dict[str, asyncio.StreamWriter] = {}
+        self._gate = asyncio.Event()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._rebalance = asyncio.Lock()
+        self._all_final = asyncio.Event()
+        self._finished = False
+        self._started = False
+        self._ever_connected = False
+        self.data_frames = 0
+        self._offered: dict[str, int] = {}
+        self._frame_waiters: list[asyncio.Event] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Bind the feeder-facing listener; returns ``(host, port)``.
+
+        Feeders may connect immediately; their data stalls on the
+        forwarding gate until :meth:`connect_workers` establishes
+        epoch 0.
+        """
+        if self._server is not None:
+            raise NetError("router already started")
+        self._server = await asyncio.start_server(
+            self._handle_feeder, host, port
+        )
+        self._started = True
+        bound_host, bound_port = self._server.sockets[0].getsockname()[:2]
+        return bound_host, bound_port
+
+    async def connect_workers(
+        self, workers: "list[tuple[str, str, int]]"
+    ) -> None:
+        """Establish epoch 0 over ``(label, host, port)`` workers."""
+        if self._epoch >= 0:
+            raise NetError(
+                "workers already connected; use add_worker/remove_worker"
+            )
+        async with self._rebalance:
+            await self._open_epoch(
+                {label: (host, port) for label, host, port in workers}, 0
+            )
+            self._gate.set()
+
+    async def add_worker(self, label: str, host: str, port: int) -> None:
+        """Join ``label`` to the ring via a full epoch handoff."""
+        if label in self._links:
+            raise NetError(f"worker {label!r} already in the ring")
+        membership = {
+            link.label: (link.host, link.port)
+            for link in self._links.values()
+        }
+        membership[label] = (host, port)
+        await self._rebalance_to(membership)
+
+    async def remove_worker(self, label: str) -> None:
+        """Retire ``label`` from the ring via a full epoch handoff."""
+        if label not in self._links:
+            raise NetError(f"worker {label!r} is not in the ring")
+        membership = {
+            link.label: (link.host, link.port)
+            for link in self._links.values()
+            if link.label != label
+        }
+        if not membership:
+            raise NetError("cannot remove the last worker")
+        await self._rebalance_to(membership)
+
+    async def run_until_complete(self) -> None:
+        """Resolve once every source is final and all results are in."""
+        await self._all_final.wait()
+        async with self._rebalance:
+            if self._finished:
+                return
+            self._gate.clear()
+            if self._inflight:
+                self._idle.clear()
+                await self._idle.wait()
+            await self._close_epoch(len(self._ticks))
+            self._finished = True
+
+    async def close(self) -> None:
+        """Stop listening and tear down worker links."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for link in list(self._links.values()):
+            await link.close()
+        self._links = {}
+
+    def result(self) -> list[StreamTuple]:
+        """The merged, deterministic cluster output (after completion)."""
+        from repro.net.cluster import merge_epochs
+
+        if not self._finished:
+            raise NetError("cluster run has not completed")
+        return merge_epochs(
+            self._epochs, len(self._ticks), self._bundle.shard_key
+        )
+
+    def epochs(self) -> list[dict[str, Any]]:
+        """Per-epoch records: span, workers, stats (for summaries)."""
+        return [
+            {
+                "epoch": record["epoch"],
+                "start_tick": record["start"],
+                "end_tick": record["end"],
+                "workers": sorted(record["results"]),
+            }
+            for record in self._epochs
+        ]
+
+    # -- rebalance ----------------------------------------------------------
+
+    async def _rebalance_to(
+        self, membership: "dict[str, tuple[str, int]]"
+    ) -> None:
+        if self._epoch < 0:
+            raise NetError("connect_workers must establish epoch 0 first")
+        async with self._rebalance:
+            if self._finished:
+                raise NetError("cluster run already completed")
+            self._gate.clear()
+            if self._inflight:
+                self._idle.clear()
+                await self._idle.wait()
+            boundary = self._boundary()
+            await self._close_epoch(boundary)
+            await self._open_epoch(membership, boundary)
+            self._gate.set()
+
+    def _boundary(self) -> int:
+        """First tick index the *next* epoch's output will be taken from."""
+        watermark = float("inf")
+        for name in self._expected:
+            if name in self._final:
+                continue
+            seen = self._max_arrival.get(name)
+            if seen is None:
+                watermark = float("-inf")
+                break
+            watermark = min(watermark, seen - self.slack)
+        if watermark == float("inf"):
+            boundary = len(self._ticks)
+        else:
+            # Same strictly-below sweep rule (and float tolerance) as
+            # FjordSession.advance: ticks with tick + 2e-9 < watermark.
+            boundary = bisect_left(
+                [tick + 2e-9 for tick in self._ticks], watermark
+            )
+        return min(max(boundary, self._epoch_start), len(self._ticks))
+
+    async def _close_epoch(self, boundary: int) -> None:
+        results: dict[str, dict[str, Any]] = {}
+        for label in sorted(self._links):
+            link = self._links[label]
+            try:
+                assert link.writer is not None
+                await write_frame(link.writer, protocol.drain())
+            except (ConnectionError, RuntimeError):
+                pass  # already completing; result_end settles it either way
+        for label in sorted(self._links):
+            link = self._links[label]
+            end = await link.end
+            results[label] = {
+                "per_tick": link.per_tick,
+                "ticks": int(end.get("ticks", 0)),
+                "stats": end.get("stats") or {},
+            }
+            snapshot = end.get("telemetry")
+            if snapshot and self._collector.enabled:
+                self._collector.absorb(snapshot, node=label)
+        self._epochs.append(
+            {
+                "epoch": self._epoch,
+                "start": self._epoch_start,
+                "end": boundary,
+                "results": results,
+            }
+        )
+        for link in list(self._links.values()):
+            await link.close()
+        self._links = {}
+        self._epoch_start = boundary
+
+    async def _open_epoch(
+        self, membership: "dict[str, tuple[str, int]]", start_tick: int
+    ) -> None:
+        if not membership:
+            raise NetError("cluster needs at least one worker")
+        self._epoch += 1
+        ring = HashRing(membership)
+        self._ring = ring
+        if self._source_level:
+            assigned: dict[str, list[str]] = {
+                label: [] for label in membership
+            }
+            for name in self._expected:
+                key = str(self._key_fn(name, None))
+                assigned[ring.owner(key)].append(name)
+        else:
+            assigned = {
+                label: list(self._expected) for label in membership
+            }
+        links: dict[str, _WorkerLink] = {}
+        try:
+            for label in sorted(membership):
+                host, port = membership[label]
+                link = _WorkerLink(label, host, port)
+                links[label] = link
+                link.reader, link.writer = await asyncio.open_connection(
+                    host, port
+                )
+                link.sources = tuple(assigned[label])
+                await write_frame(link.writer, protocol.worker_hello(label))
+                await write_frame(
+                    link.writer,
+                    protocol.route(self._epoch, start_tick, link.sources),
+                )
+                ack = await read_frame(link.reader)
+                if ack is None or ack.get("type") != "hello_ack":
+                    reason = (
+                        (ack or {}).get("reason", "connection closed")
+                        if ack is None or ack.get("type") == "error"
+                        else f"unexpected {ack.get('type')!r}"
+                    )
+                    raise NetError(
+                        f"worker {label!r} rejected the epoch: {reason}"
+                    )
+                link.credits = dict(ack.get("credits") or {})
+                link.task = asyncio.ensure_future(link.read_loop())
+            self._links = links
+            await self._replay(ring)
+        except Exception:
+            for link in links.values():
+                await link.close()
+            self._links = {}
+            raise
+
+    async def _replay(self, ring: HashRing) -> None:
+        retained = [
+            frame
+            for frames in self._history.values()
+            for frame in frames
+        ]
+        retained.sort(key=lambda f: (f.arrival, f.source, f.seq))
+        for frame in retained:
+            link = self._links[ring.owner(frame.key)]
+            await link.acquire(frame.source)
+            assert link.writer is not None
+            await write_raw_frame(link.writer, frame.payload)
+        for name in sorted(self._final):
+            await self._forward_bye(name)
+
+    # -- feeder connections --------------------------------------------------
+
+    async def _handle_feeder(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        owned: list[str] = []
+        try:
+            owned = await self._feeder_handshake(reader, writer)
+            if not owned:
+                return
+            await self._serve_feeder(reader, writer, owned)
+        except ProtocolError as error:
+            await self._bail(writer, str(error))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            for name in owned:
+                if self._owners.get(name) is writer:
+                    del self._owners[name]
+            writer.close()
+
+    async def _feeder_handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> list[str]:
+        frame = await read_frame(reader)
+        if frame is None:
+            return []
+        if frame.get("type") != "hello":
+            await self._bail(
+                writer, f"expected hello, got {frame.get('type')!r}"
+            )
+            return []
+        version = frame.get("version")
+        if version not in protocol.SUPPORTED_VERSIONS:
+            self._count("router.version_mismatch")
+            await self._bail(
+                writer,
+                f"protocol version {version!r} unsupported; this router "
+                f"speaks {sorted(protocol.SUPPORTED_VERSIONS)}",
+            )
+            return []
+        names = frame.get("sources") or []
+        unknown = [n for n in names if n not in self._expected]
+        if unknown or not names:
+            self._count("router.bad_hello")
+            await self._bail(
+                writer,
+                f"unknown sources {unknown!r}; expected a non-empty subset "
+                f"of {list(self._expected)!r}",
+            )
+            return []
+        taken = [n for n in names if n in self._owners]
+        if taken:
+            await self._bail(
+                writer, f"sources already connected: {taken!r}"
+            )
+            return []
+        for name in names:
+            self._owners[name] = writer
+        self._ever_connected = True
+        # The router always runs credit (block-style) flow control
+        # toward feeders: a credit is returned only after the frame is
+        # forwarded downstream, so worker backpressure reaches feeders.
+        credits = {name: self.queue_bound for name in names}
+        await write_frame(writer, protocol.hello_ack(credits, version))
+        return list(names)
+
+    async def _serve_feeder(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        owned: list[str],
+    ) -> None:
+        names = set(owned)
+        while True:
+            read = await read_frame_raw(reader)
+            if read is None:
+                return  # EOF; sources stay open for a reconnect
+            frame, payload = read
+            kind = frame.get("type")
+            if kind == "data":
+                source = frame.get("source")
+                if source not in names:
+                    raise ProtocolError(
+                        f"data frame for source {source!r} not declared "
+                        f"in this connection's hello"
+                    )
+                if source in self._final:
+                    raise ProtocolError(
+                        f"data frame for source {source!r} after its bye"
+                    )
+                record = frame.get("record") or {}
+                arrival = float(
+                    frame.get("arrival", record.get("ts", 0.0))
+                )
+                key = str(self._key_fn(source, record))
+                await self._gate.wait()
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    retained = _RetainedFrame(
+                        arrival,
+                        int(frame.get("seq", 0)),
+                        source,
+                        key,
+                        payload,
+                    )
+                    self._history[source].append(retained)
+                    previous = self._max_arrival.get(
+                        source, float("-inf")
+                    )
+                    self._max_arrival[source] = max(previous, arrival)
+                    assert self._ring is not None
+                    link = self._links[self._ring.owner(key)]
+                    await link.acquire(source)
+                    assert link.writer is not None
+                    await write_raw_frame(link.writer, payload)
+                finally:
+                    self._release_inflight()
+                self.data_frames += 1
+                self._offered[source] = self._offered.get(source, 0) + 1
+                if self._frame_waiters:
+                    for event in self._frame_waiters:
+                        event.set()
+                await write_frame(
+                    writer, protocol.credit_frame(source, 1)
+                )
+            elif kind == "heartbeat":
+                if self._gate.is_set():
+                    for link in self._links.values():
+                        try:
+                            assert link.writer is not None
+                            await write_raw_frame(link.writer, payload)
+                        except (ConnectionError, RuntimeError):
+                            pass
+            elif kind == "bye":
+                source = frame.get("source")
+                if source not in names:
+                    raise ProtocolError(
+                        f"bye for source {source!r} not owned by this "
+                        f"connection"
+                    )
+                await self._gate.wait()
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    if source not in self._final:
+                        self._final.add(source)
+                        await self._forward_bye(source)
+                finally:
+                    self._release_inflight()
+                await write_frame(writer, protocol.bye_ack(source))
+                if len(self._final) == len(self._expected):
+                    self._all_final.set()
+            else:
+                raise ProtocolError(f"unexpected frame type {kind!r}")
+
+    async def _forward_bye(self, source: str) -> None:
+        for label in sorted(self._links):
+            link = self._links[label]
+            if source in link.sources:
+                try:
+                    assert link.writer is not None
+                    await write_frame(link.writer, protocol.bye(source))
+                except (ConnectionError, RuntimeError):
+                    pass
+
+    def _release_inflight(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
+    async def _bail(self, writer: asyncio.StreamWriter, reason: str) -> None:
+        try:
+            await write_frame(writer, protocol.error_frame(reason))
+        except (ConnectionError, RuntimeError):
+            pass
+
+    def _count(self, key: str) -> None:
+        if self._collector.enabled:
+            self._collector.count(key)
+
+    # -- test/ops affordances ------------------------------------------------
+
+    async def wait_for_data_frames(self, n: int) -> None:
+        """Resolve once ``n`` data frames have been forwarded (tests)."""
+        while self.data_frames < n:
+            event = asyncio.Event()
+            self._frame_waiters.append(event)
+            try:
+                await event.wait()
+            finally:
+                self._frame_waiters.remove(event)
+
+    def stats(self) -> dict[str, Any]:
+        """Routing accounting, ops-plane compatible (JSON-friendly)."""
+        sources = {}
+        for name in self._expected:
+            offered = self._offered.get(name, 0)
+            sources[name] = {
+                "offered": offered,
+                "delivered": offered,
+                "dropped_overload": 0,
+                "dropped_late": 0,
+                "released": offered,
+                "blocked": 0,
+                "depth": 0,
+                "max_depth": 0,
+                "final": name in self._final,
+                "evicted": False,
+            }
+        workers = {
+            label: {
+                "address": f"{link.host}:{link.port}",
+                "sources": len(link.sources),
+                "acked": len(link.acked),
+            }
+            for label, link in sorted(self._links.items())
+        }
+        return {
+            "policy": "block",
+            "queue_bound": self.queue_bound,
+            "slack": self.slack,
+            "sources": sources,
+            "workers": workers,
+            "epoch": self._epoch,
+            "epoch_start_tick": self._epoch_start,
+            "data_frames": self.data_frames,
+            "shard_key": self._bundle.shard_key,
+        }
+
+    def readiness(self) -> dict[str, Any]:
+        """Readiness verdict for ``/readyz``."""
+        reasons: list[str] = []
+        if not self._started:
+            reasons.append("router not started")
+        if self._epoch < 0:
+            reasons.append("no worker epoch established")
+        elif not self._gate.is_set() and not self._finished:
+            reasons.append("rebalance in progress (forwarding frozen)")
+        if not self._ever_connected:
+            reasons.append("no feeder has connected yet")
+        return {"ready": not reasons, "reasons": reasons}

@@ -22,13 +22,20 @@ from repro.streams.tuples import StreamTuple
 
 @dataclass
 class ScenarioBundle:
-    """Everything needed to serve or feed one scenario."""
+    """Everything needed to serve or feed one scenario.
+
+    ``shard_key`` names the partitioning field the sharded batch engine
+    uses for this scenario — the unit a distributing tier (the cluster
+    router) must keep on one worker so stateful stages see their whole
+    key group. It matches the scenario's differential shard tests.
+    """
 
     name: str
     processor: Any
     streams: "dict[str, list[StreamTuple]]"
     until: float
     tick: "float | None"
+    shard_key: str = "tag_id"
 
 
 def _shelf(duration: "float | None", seed: "int | None") -> ScenarioBundle:
@@ -46,6 +53,34 @@ def _shelf(duration: "float | None", seed: "int | None") -> ScenarioBundle:
         scenario.recorded_streams(),
         scenario.duration,
         scenario.poll_period,
+        shard_key="tag_id",
+    )
+
+
+def _shelf_chain(
+    duration: "float | None", seed: "int | None"
+) -> ScenarioBundle:
+    # The compute-heavy shelf variant for scale-out benchmarks: the same
+    # recording and the same cleaned output (the ghost filter is
+    # idempotent), but with a deep Point chain so per-tuple pipeline
+    # cost dominates per-tuple routing cost.
+    from repro.pipelines.rfid_shelf import build_shelf_processor
+    from repro.scenarios.shelf import ShelfScenario
+
+    scenario = ShelfScenario(
+        duration=60.0 if duration is None else duration,
+        seed=3 if seed is None else seed,
+    )
+    processor = build_shelf_processor(
+        scenario, "smooth+arbitrate", point_chain=128
+    )
+    return ScenarioBundle(
+        "shelf_chain",
+        processor,
+        scenario.recorded_streams(),
+        scenario.duration,
+        scenario.poll_period,
+        shard_key="tag_id",
     )
 
 
@@ -65,6 +100,7 @@ def _redwood(duration: "float | None", seed: "int | None") -> ScenarioBundle:
         scenario.recorded_streams(),
         scenario.duration,
         None,  # defaults to the smallest device sample period
+        shard_key="spatial_granule",
     )
 
 
@@ -73,6 +109,7 @@ def _redwood(duration: "float | None", seed: "int | None") -> ScenarioBundle:
 #: the paper-scale runs.
 SCENARIOS: "dict[str, Callable[[float | None, int | None], ScenarioBundle]]" = {
     "shelf": _shelf,
+    "shelf_chain": _shelf_chain,
     "redwood": _redwood,
 }
 

@@ -1,0 +1,530 @@
+"""The cluster worker: one pipeline process behind the router.
+
+A :class:`ClusterWorker` serves epochs. Each epoch is one TCP
+connection from the router (:mod:`repro.net.router`) speaking the
+protocol-2 cluster dialect: ``worker_hello`` + ``route`` open the
+epoch, then the ordinary data-plane frames (``data`` / ``heartbeat`` /
+``bye``, credit backpressure included) flow exactly as they would into
+a standalone gateway — the worker literally wraps today's
+:class:`~repro.net.gateway.IngestGateway` over a fresh
+:class:`~repro.core.pipeline.ESPStreamSession`. When every routed
+source is final (clean byes, or the router's ``drain`` during a
+rebalance), the worker streams its cleaned output back as per-tick
+``result`` frames and a closing ``result_end``.
+
+**Per-tick attribution.** The egress merge needs each worker's output
+*per punctuation tick* (the unit :func:`repro.streams.shard.merge_outputs`
+merges on), but a session's ``advance`` may sweep many ticks in one
+call. :class:`TickLedger` wraps the session and re-issues the sweep one
+tick at a time, recording the sink delta after each — same sweeps, same
+output, now attributable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Iterable
+
+from repro.errors import NetError
+from repro.net import protocol
+from repro.net.gateway import IngestGateway, _SourceState
+from repro.net.overload import BoundedIngressQueue
+from repro.net.protocol import read_frame, write_frame
+from repro.net.service import ScenarioBundle, build_bundle
+from repro.streams.reorder import ReorderBuffer
+from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
+from repro.streams.tuples import StreamTuple
+
+#: Records per ``result`` frame; keeps every frame far below the
+#: 1 MiB payload cap whatever the record width.
+RESULT_CHUNK = 256
+
+
+class TickLedger:
+    """Session wrapper attributing emissions to punctuation ticks.
+
+    Presents the :class:`~repro.core.pipeline.ESPStreamSession` surface
+    the gateway drives (``receptor_ids`` / ``push`` / ``advance`` /
+    ``safe_time`` / ``close``) but performs every multi-tick sweep as a
+    sequence of single-tick sweeps, capturing the sink's delta after
+    each one into :attr:`per_tick`. The sweep *condition* — tick
+    strictly below the watermark, with the Fjord session's float
+    tolerance — is replicated exactly, so the swept set (and therefore
+    the output) is byte-identical to driving the session directly.
+    """
+
+    def __init__(self, session: Any) -> None:
+        self._session = session
+        self._ticks: tuple[float, ...] = tuple(session.ticks)
+        #: Output attributed to each swept tick, in tick order.
+        self.per_tick: list[list[StreamTuple]] = []
+
+    @property
+    def receptor_ids(self) -> tuple[str, ...]:
+        return self._session.receptor_ids
+
+    @property
+    def safe_time(self) -> float:
+        return self._session.safe_time
+
+    @property
+    def ticks(self) -> tuple[float, ...]:
+        return self._ticks
+
+    def push(self, receptor_id: str, item: StreamTuple, trace: Any = None):
+        return self._session.push(receptor_id, item, trace=trace)
+
+    def advance(self, watermark: float) -> list[float]:
+        swept: list[float] = []
+        while True:
+            index = len(self.per_tick)
+            # Mirror FjordSession.advance's sweep condition (including
+            # its 2e-9 tolerance) one tick at a time.
+            if index >= len(self._ticks):
+                break
+            tick = self._ticks[index]
+            if not tick + 2e-9 < watermark:
+                break
+            before = len(self._session.emitted)
+            swept.extend(self._session.advance(tick + 3e-9))
+            self.per_tick.append(list(self._session.emitted[before:]))
+        return swept
+
+    def close(self) -> Any:
+        self.advance(float("inf"))
+        return self._session.close()
+
+
+class WorkerGateway(IngestGateway):
+    """An :class:`IngestGateway` fed by the router over one connection.
+
+    Differences from the standalone gateway: it never binds a listener —
+    the :class:`ClusterWorker` accepts the connection, performs the
+    ``worker_hello``/``route`` handshake, and hands the remaining byte
+    stream to :meth:`attach`; and it accepts the router's ``drain``
+    frame, which finalizes every routed source at once (the rebalance
+    equivalent of a bye for each).
+    """
+
+    async def attach(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        sources: Iterable[str],
+    ) -> None:
+        """Register ``sources`` on this connection and serve its frames.
+
+        Sends the ``hello_ack`` (with initial credits) the router
+        expects in place of the feeder-dialect handshake, then runs the
+        ordinary serve loop until EOF. The caller runs this as a task
+        alongside :meth:`run_until_drained`.
+        """
+        now = self._clock()
+        owned: list[_SourceState] = []
+        for name in sources:
+            state = _SourceState(
+                name,
+                BoundedIngressQueue(
+                    self.queue_bound, self.policy, label=name,
+                    telemetry=self._collector,
+                ),
+                ReorderBuffer(self.slack),
+                now,
+            )
+            state.owner = writer
+            self._states[name] = state
+            owned.append(state)
+        self._ever_connected = True
+        self._started = True
+        credits = None
+        if self.policy == "block":
+            credits = {state.name: self.queue_bound for state in owned}
+        await write_frame(writer, protocol.hello_ack(credits))
+        self._drainer = asyncio.ensure_future(self._drain_loop())
+        try:
+            await self._serve_frames(reader, writer, owned)
+        finally:
+            for state in owned:
+                if state.owner is writer:
+                    state.owner = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether every routed source is final and drained."""
+        return self._complete.is_set()
+
+    async def _handle_extra(self, frame, writer, states) -> bool:
+        if frame.get("type") == "drain":
+            for state in self._states.values():
+                if not state.final:
+                    state.final_requested = True
+            self._work.set()
+            return True
+        return False
+
+
+class ClusterWorker:
+    """Serve a scenario's pipeline as one worker of a cluster.
+
+    Args:
+        scenario: Scenario name (see :data:`repro.net.service.SCENARIOS`)
+            or a prebuilt :class:`~repro.net.service.ScenarioBundle`.
+        duration: Scenario duration override (must match the router's).
+        seed: Scenario seed override (must match the router's).
+        slack: Reorder slack for the epoch gateways.
+        queue_bound: Per-source ingress queue capacity.
+        telemetry: The worker's rollup collector; each epoch runs on a
+            spawned child whose snapshot is both absorbed here (for the
+            worker's own ops plane) and shipped to the router inside
+            ``result_end`` (for the cluster-wide rollup).
+        label: Default worker label; the router's ``worker_hello``
+            overrides it per epoch.
+        mode: Execution mode for the epoch sessions, one of
+            :data:`~repro.streams.fjord.MODES`. Defaults to ``fused``:
+            punctuation sweeps then cost O(active operators), which
+            keeps the worker's credit grants prompt even on deep
+            pipelines — modes are bit-identical, so this is purely a
+            latency knob (and the cluster differential suite pins
+            fused workers against the row-mode reference).
+    """
+
+    def __init__(
+        self,
+        scenario: "str | ScenarioBundle",
+        *,
+        duration: "float | None" = None,
+        seed: "int | None" = None,
+        slack: float = 0.0,
+        queue_bound: int = 64,
+        telemetry: "TelemetryCollector | None" = None,
+        label: str = "worker",
+        mode: str = "fused",
+    ):
+        if isinstance(scenario, ScenarioBundle):
+            self._bundle = scenario
+        else:
+            self._bundle = build_bundle(scenario, duration, seed)
+        self.slack = float(slack)
+        self.queue_bound = int(queue_bound)
+        self.label = label
+        self.mode = mode
+        self._collector = resolve_telemetry(telemetry)
+        self._expected = tuple(sorted(self._bundle.streams))
+        self._server: "asyncio.base_events.Server | None" = None
+        self._current: "WorkerGateway | None" = None
+        self._epochs_served = 0
+        self._epoch_done = asyncio.Event()
+        self._handlers: set[asyncio.Task] = set()
+
+    @property
+    def epochs_served(self) -> int:
+        """Epochs brought to completion (results shipped)."""
+        return self._epochs_served
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Bind and accept router connections; returns ``(host, port)``."""
+        if self._server is not None:
+            raise NetError("worker already started")
+        self._server = await asyncio.start_server(self._accept, host, port)
+        bound_host, bound_port = self._server.sockets[0].getsockname()[:2]
+        return bound_host, bound_port
+
+    async def wait_epochs(self, n: int) -> None:
+        """Resolve once at least ``n`` epochs have completed."""
+        while self._epochs_served < n:
+            self._epoch_done.clear()
+            await self._epoch_done.wait()
+
+    async def close(self) -> None:
+        """Stop accepting and cancel any in-flight epoch handlers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # -- per-connection epoch lifecycle ---------------------------------------
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            await self._serve_epoch(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # router vanished; the next epoch gets a fresh connection
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+
+    async def _serve_epoch(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        opened = await self._open_epoch(reader, writer)
+        if opened is None:
+            return
+        epoch, label, sources = opened
+        if not sources:
+            await self._serve_idle_epoch(reader, writer, epoch, label)
+            return
+        collector = self._collector.spawn()
+        session = self._bundle.processor.open_session(
+            until=self._bundle.until,
+            tick=self._bundle.tick,
+            telemetry=collector,
+            mode=self.mode,
+        )
+        ledger = TickLedger(session)
+        gateway = WorkerGateway(
+            ledger,
+            sources,
+            slack=self.slack,
+            policy="block",
+            queue_bound=self.queue_bound,
+            telemetry=collector,
+        )
+        self._current = gateway
+        serve = asyncio.ensure_future(gateway.attach(reader, writer, sources))
+        drained = asyncio.ensure_future(gateway.run_until_drained())
+        try:
+            await asyncio.wait(
+                [serve, drained], return_when=asyncio.FIRST_COMPLETED
+            )
+            if not gateway.completed:
+                # Connection died before the epoch finished: the epoch's
+                # partial state is discarded — the router's retained
+                # history makes the next epoch whole again.
+                return
+            await gateway.close()
+            await self._ship_results(
+                writer, epoch, label, ledger, gateway, collector
+            )
+            self._epochs_served += 1
+            self._epoch_done.set()
+        finally:
+            for task in (serve, drained):
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            if self._current is gateway:
+                self._current = None
+            await gateway.close()
+
+    async def _open_epoch(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> "tuple[int, str, list[str]] | None":
+        hello = await read_frame(reader)
+        if hello is None:
+            return None
+        if hello.get("type") != "worker_hello":
+            await self._bail(
+                writer, f"expected worker_hello, got {hello.get('type')!r}"
+            )
+            return None
+        version = hello.get("version")
+        if version != protocol.PROTOCOL_VERSION:
+            # The cluster dialect itself is the v2 feature, so a worker
+            # cannot fall back the way the feeder path does.
+            if self._collector.enabled:
+                self._collector.count("worker.version_mismatch")
+            await self._bail(
+                writer,
+                f"cluster dialect requires protocol "
+                f"{protocol.PROTOCOL_VERSION}, got {version!r}",
+            )
+            return None
+        label = str(hello.get("worker") or self.label)
+        route = await read_frame(reader)
+        if route is None:
+            return None
+        if route.get("type") != "route":
+            await self._bail(
+                writer, f"expected route, got {route.get('type')!r}"
+            )
+            return None
+        sources = sorted(route.get("sources") or [])
+        unknown = [name for name in sources if name not in self._expected]
+        if unknown:
+            await self._bail(
+                writer,
+                f"unroutable sources {unknown!r}; this worker serves "
+                f"{list(self._expected)!r}",
+            )
+            return None
+        return int(route.get("epoch", 0)), label, sources
+
+    async def _serve_idle_epoch(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        epoch: int,
+        label: str,
+    ) -> None:
+        # No sources this epoch (more workers than shard keys): ack,
+        # then wait for the drain that closes the epoch.
+        await write_frame(writer, protocol.hello_ack({}))
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            if frame.get("type") == "drain":
+                await write_frame(
+                    writer,
+                    protocol.result_end(epoch, label, 0, self._empty_stats()),
+                )
+                self._epochs_served += 1
+                self._epoch_done.set()
+                return
+            if frame.get("type") not in ("heartbeat",):
+                await self._bail(
+                    writer,
+                    f"unexpected frame {frame.get('type')!r} on an idle "
+                    f"epoch",
+                )
+                return
+
+    async def _ship_results(
+        self,
+        writer: asyncio.StreamWriter,
+        epoch: int,
+        label: str,
+        ledger: TickLedger,
+        gateway: WorkerGateway,
+        collector: TelemetryCollector,
+    ) -> None:
+        for index, bucket in enumerate(ledger.per_tick):
+            for offset in range(0, len(bucket), RESULT_CHUNK):
+                records = [
+                    protocol.tuple_to_record(item)
+                    for item in bucket[offset:offset + RESULT_CHUNK]
+                ]
+                await write_frame(
+                    writer, protocol.result(epoch, index, records)
+                )
+        snapshot = None
+        if collector.enabled:
+            snapshot = collector.snapshot()
+            # The worker's own rollup accumulates its epochs (what this
+            # worker's /metrics shows); the router labels the same
+            # snapshot with the worker name for the cluster-wide view.
+            self._collector.absorb(snapshot)
+        await write_frame(
+            writer,
+            protocol.result_end(
+                epoch, label, len(ledger.per_tick), gateway.stats(), snapshot
+            ),
+        )
+
+    async def _bail(self, writer: asyncio.StreamWriter, reason: str) -> None:
+        try:
+            await write_frame(writer, protocol.error_frame(reason))
+        except (ConnectionError, RuntimeError):
+            pass
+
+    def _empty_stats(self) -> dict[str, Any]:
+        return {
+            "policy": "block",
+            "queue_bound": self.queue_bound,
+            "slack": self.slack,
+            "sources": {},
+        }
+
+    # -- ops plane -------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Current-epoch gateway accounting plus worker identity."""
+        gateway = self._current
+        stats = gateway.stats() if gateway is not None else self._empty_stats()
+        stats["worker"] = self.label
+        stats["epochs_served"] = self._epochs_served
+        return stats
+
+    def readiness(self) -> dict[str, Any]:
+        """Ready once the worker is listening for router connections."""
+        reasons: list[str] = []
+        if self._server is None:
+            reasons.append("worker not started")
+        return {"ready": not reasons, "reasons": reasons}
+
+
+async def serve_worker(
+    name: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    slack: float = 1.5,
+    queue_bound: int = 64,
+    duration: "float | None" = None,
+    seed: "int | None" = None,
+    label: str = "worker",
+    max_epochs: "int | None" = None,
+    mode: str = "fused",
+    telemetry: "TelemetryCollector | None" = None,
+    ready: "Callable[[str, int], None] | None" = None,
+    ops_port: "int | None" = None,
+    ops_ready: "Callable[[str, int], None] | None" = None,
+) -> dict[str, Any]:
+    """Run one cluster worker; returns its summary when it stops.
+
+    Args:
+        max_epochs: Exit after completing this many epochs; ``None``
+            serves until cancelled (the CLI maps Ctrl-C onto a clean
+            close).
+        ready: Called with the bound address once accepting.
+        ops_port: When set, serve the worker's own ops plane
+            (``/metrics``, ``/healthz``, ``/readyz``, ``/snapshot``).
+    """
+    worker = ClusterWorker(
+        name,
+        duration=duration,
+        seed=seed,
+        slack=slack,
+        queue_bound=queue_bound,
+        telemetry=telemetry,
+        label=label,
+        mode=mode,
+    )
+    ops_server = None
+    ops_address = None
+    if ops_port is not None:
+        from repro.net.ops import OpsServer
+
+        ops_server = OpsServer(worker, telemetry=telemetry)
+        ops_host, ops_bound = await ops_server.start(host, ops_port)
+        ops_address = f"{ops_host}:{ops_bound}"
+        if ops_ready is not None:
+            ops_ready(ops_host, ops_bound)
+    try:
+        bound_host, bound_port = await worker.start(host, port)
+        if ready is not None:
+            ready(bound_host, bound_port)
+        if max_epochs is None:
+            await asyncio.Event().wait()  # serve until cancelled
+        else:
+            await worker.wait_epochs(max_epochs)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await worker.close()
+        if ops_server is not None:
+            await ops_server.close()
+    return {
+        "scenario": worker._bundle.name,
+        "address": f"{bound_host}:{bound_port}",
+        "ops_address": ops_address,
+        "label": label,
+        "epochs_served": worker.epochs_served,
+        "worker": worker.stats(),
+    }

@@ -51,6 +51,7 @@ def build_shelf_processor(
     config: str = "smooth+arbitrate",
     granule: "TemporalGranule | None" = None,
     tie_break: str = "weakest",
+    point_chain: int = 1,
 ) -> ESPProcessor:
     """Build the ESP processor for one Figure 5 configuration.
 
@@ -63,6 +64,11 @@ def build_shelf_processor(
         tie_break: Arbitrate tie policy; the paper's calibration uses
             ``"weakest"`` (§4.3.1), the pure Query 3 semantics is
             ``"all"``.
+        point_chain: How many copies of the Point stage to chain. The
+            ghost filter is idempotent, so any depth cleans
+            identically — depths above 1 exist to scale per-tuple CPU
+            cost for compute-bound benchmarks (the cluster scale-out
+            soak), not to change semantics.
 
     Raises:
         PipelineError: On an unknown configuration name.
@@ -71,6 +77,10 @@ def build_shelf_processor(
         raise PipelineError(
             f"unknown shelf config {config!r}; expected one of "
             f"{SHELF_CONFIGS + (ADAPTIVE_CONFIG,)}"
+        )
+    if point_chain < 1:
+        raise PipelineError(
+            f"point_chain must be at least 1, got {point_chain}"
         )
     granule = granule or scenario.temporal_granule
     point = ghost_filter()
@@ -91,6 +101,9 @@ def build_shelf_processor(
         sequence = [point, adaptive_smoother(), arbitrate]
     else:  # arbitrate+smooth — the out-of-order ablation
         sequence = [point, arbitrate, smooth]
+    if point_chain > 1:
+        extra = [ghost_filter() for _ in range(point_chain - 1)]
+        sequence = [sequence[0], *extra, *sequence[1:]]
     pipeline = ESPPipeline("rfid", temporal_granule=granule, sequence=sequence)
     processor = ESPProcessor(scenario.registry)
     processor.add_pipeline(pipeline)

@@ -63,7 +63,7 @@ class _Node:
     """Internal DAG node: an operator plus its downstream edges."""
 
     __slots__ = ("name", "op", "downstream", "pending", "tuples_in",
-                 "tuples_out")
+                 "tuples_out", "passive")
 
     def __init__(self, name: str, op: Operator):
         self.name = name
@@ -78,6 +78,11 @@ class _Node:
         #: observability counters, updated during run()
         self.tuples_in = 0
         self.tuples_out = 0
+        #: a passive node inherits the base no-op ``on_time``: it can
+        #: never emit on punctuation, so sweeps skip it entirely while
+        #: its input queue is empty (any ``on_time`` override — even one
+        #: that happens to return [] — disables the skip)
+        self.passive = type(op).on_time is Operator.on_time
 
 
 class FusedStatelessOp(Operator):
@@ -725,25 +730,45 @@ class Fjord:
         modes — the columnar drain coalesces mixed pending payloads.
         """
         drain = self._drain_node_columnar if columnar else self._drain_node
+        if not enabled:
+            # Fast path: a passive node (base no-op ``on_time``) with an
+            # empty queue contributes nothing to this sweep — skip it
+            # without touching its operator. Output is byte-identical to
+            # the full walk because the skipped calls were provably
+            # no-ops; on graphs dominated by stateless stages this turns
+            # the per-tick cost from O(nodes) into O(active nodes).
+            for name in order:
+                node = self._nodes[name]
+                if node.pending:
+                    drain(node, collector, now)
+                if node.passive:
+                    continue
+                out = node.op.on_time(now)
+                if out:
+                    node.tuples_out += len(out)
+                    for target, tport in node.downstream:
+                        for item in out:
+                            self._deliver(item, target, tport)
+            for name in order:
+                node = self._nodes[name]
+                if node.pending:
+                    drain(node, collector, now)
+            return
         for name in order:
             node = self._nodes[name]
             drain(node, collector, now)
-            if enabled:
-                began = clock_ns()
-                out = node.op.on_time(now)
-                collector.record_punctuation(
-                    name, len(out), clock_ns() - began
-                )
-            else:
-                out = node.op.on_time(now)
+            began = clock_ns()
+            out = node.op.on_time(now)
+            collector.record_punctuation(
+                name, len(out), clock_ns() - began
+            )
             node.tuples_out += len(out)
             for target, tport in node.downstream:
                 for item in out:
                     self._deliver(item, target, tport)
         for name in order:
             drain(self._nodes[name], collector, now)
-        if enabled:
-            collector.count_tick()
+        collector.count_tick()
 
 
 class FjordSession:
@@ -813,6 +838,11 @@ class FjordSession:
     def pending(self) -> int:
         """Tuples pushed but not yet injected into the dataflow."""
         return len(self._heap)
+
+    @property
+    def ticks(self) -> tuple[float, ...]:
+        """The full punctuation schedule this session sweeps."""
+        return tuple(self._ticks)
 
     def push(
         self,

@@ -391,9 +391,19 @@ class TelemetryCollector:
         return self
 
     def absorb(
-        self, snapshot: Mapping[str, Any], shard: int | None = None
+        self,
+        snapshot: Mapping[str, Any],
+        shard: int | None = None,
+        node: str | None = None,
     ) -> None:
-        """Merge a spawned collector's snapshot back into this one."""
+        """Merge a spawned collector's snapshot back into this one.
+
+        ``shard`` tags the snapshot's events with a shard index (the
+        batch engine); ``node`` prefixes its counters and sources with a
+        worker label (the cluster rollup) so per-worker accounting stays
+        distinguishable after the merge while operator metrics still
+        aggregate into one cluster-wide stage rollup.
+        """
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-dict view of everything collected (see
@@ -531,20 +541,39 @@ class InMemoryCollector(TelemetryCollector):
         return InMemoryCollector()
 
     def absorb(
-        self, snapshot: Mapping[str, Any], shard: int | None = None
+        self,
+        snapshot: Mapping[str, Any],
+        shard: int | None = None,
+        node: str | None = None,
     ) -> None:
         """Merge a shard's snapshot, tagging its events with the shard.
 
         Shards are absorbed in shard order by the engine, so the merged
         event log — like everything else here — depends only on the data
         and the shard count, never on the backend.
+
+        ``node`` labels a cluster worker's snapshot: counters become
+        ``<node>.<key>`` and source entries ``<node>:<name>`` (so one
+        rollup shows every worker's gateway accounting side by side),
+        events gain a ``node`` field, and operator/span metrics merge
+        unprefixed — the cluster-wide stage rollup.
         """
-        if shard is not None:
+        if shard is not None or node is not None:
             snapshot = dict(snapshot)
-            snapshot["events"] = [
-                {**event, "shard": shard}
-                for event in snapshot.get("events", [])
-            ]
+            events = snapshot.get("events", [])
+            if shard is not None:
+                events = [{**event, "shard": shard} for event in events]
+            if node is not None:
+                events = [{**event, "node": node} for event in events]
+                snapshot["counters"] = {
+                    f"{node}.{key}": value
+                    for key, value in snapshot.get("counters", {}).items()
+                }
+                snapshot["sources"] = {
+                    f"{node}:{name}": entry
+                    for name, entry in snapshot.get("sources", {}).items()
+                }
+            snapshot["events"] = events
         merged = merge_snapshots(self.snapshot(), snapshot)
         self._load(merged)
 

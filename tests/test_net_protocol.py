@@ -1,5 +1,7 @@
 """Tests for the ingestion wire protocol framing and payloads."""
 
+import asyncio
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -72,6 +74,70 @@ class TestFraming:
             FrameDecoder().feed(wire)
 
 
+class TestFrameSizeGuard:
+    """The configurable max-frame-size hardening (hostile prefixes)."""
+
+    def test_custom_cap_enforced_on_decoder(self):
+        decoder = FrameDecoder(max_frame_bytes=32)
+        assert decoder.max_frame_bytes == 32
+        small = encode_frame(protocol.drain())
+        assert decoder.feed(small) == [protocol.drain()]
+        big = encode_frame(protocol.hello([f"reader{i}" for i in range(20)]))
+        with pytest.raises(ProtocolError, match="32-byte limit"):
+            decoder.feed(big)
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(ValueError):
+            FrameDecoder(max_frame_bytes=0)
+        with pytest.raises(ValueError):
+            FrameDecoder(max_frame_bytes=-1)
+
+    def test_hostile_length_prefix_rejected_before_buffering(self):
+        # A 4 GiB length prefix must cost 4 bytes of inspection, never
+        # an allocation: the decoder raises from the header alone.
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="4294967295"):
+            decoder.feed(b"\xff\xff\xff\xff")
+        assert len(decoder) <= 4
+
+    def test_gateway_rejects_hostile_prefix_and_closes(self):
+        # End to end: a connection writing a hostile length prefix gets
+        # an error frame and a closed connection; the gateway survives.
+        from repro.net.gateway import IngestGateway
+
+        class _Session:
+            receptor_ids = ("reader0",)
+            safe_time = float("-inf")
+
+            def push(self, *a, **k):
+                pass
+
+            def advance(self, watermark):
+                return []
+
+            def close(self):
+                return None
+
+        async def scenario():
+            gateway = IngestGateway(_Session(), slack=0.0)
+            host, port = await gateway.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame(protocol.hello(["reader0"])))
+            await writer.drain()
+            ack = await protocol.read_frame(reader)
+            assert ack["type"] == "hello_ack"
+            writer.write(b"\xff\xff\xff\xff")
+            await writer.drain()
+            reply = await protocol.read_frame(reader)
+            assert reply["type"] == "error"
+            assert "limit" in reply["reason"]
+            assert await reader.read() == b""  # server closed the stream
+            writer.close()
+            await gateway.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), 20.0))
+
+
 class TestConstructors:
     def test_hello_carries_version_and_sorted_sources(self):
         frame = protocol.hello(["b", "a"])
@@ -89,6 +155,147 @@ class TestConstructors:
         assert frame["seq"] == 9
         assert frame["arrival"] == 3.25
         assert record_to_tuple(frame["record"]) == item
+
+
+class TestClusterDialect:
+    """Round-trips and pinned bytes for the protocol-2 cluster frames."""
+
+    FRAMES = [
+        protocol.worker_hello("w0"),
+        protocol.route(3, 12, ["r1", "r0"]),
+        protocol.drain(),
+        protocol.result(
+            3, 7, [{"__ts__": 1.5, "__stream__": "rfid", "tag_id": "T1"}]
+        ),
+        protocol.result_end(3, "w0", 61, {"policy": "block"}),
+    ]
+
+    def test_protocol_version_is_2_and_v1_stays_supported(self):
+        assert PROTOCOL_VERSION == 2
+        assert protocol.SUPPORTED_VERSIONS == (1, 2)
+
+    def test_every_cluster_frame_roundtrips(self):
+        for frame in self.FRAMES:
+            assert FrameDecoder().feed(encode_frame(frame)) == [frame]
+
+    def test_worker_hello_fields(self):
+        frame = protocol.worker_hello("w3")
+        assert frame["worker"] == "w3"
+        assert frame["version"] == PROTOCOL_VERSION
+
+    def test_route_sorts_sources_and_coerces_ints(self):
+        frame = protocol.route(1.0, 4.0, ["b", "a"])
+        assert frame["sources"] == ["a", "b"]
+        assert frame["epoch"] == 1 and isinstance(frame["epoch"], int)
+        assert frame["start_tick"] == 4
+
+    def test_result_end_defaults_telemetry_to_null(self):
+        frame = protocol.result_end(0, "w0", 5, {})
+        assert frame["telemetry"] is None
+        rich = protocol.result_end(0, "w0", 5, {}, {"counters": {}})
+        assert rich["telemetry"] == {"counters": {}}
+
+    def test_pinned_wire_bytes(self):
+        # Golden encodings: any drift here breaks mixed-version
+        # clusters, so the exact bytes are pinned.
+        golden = [
+            b'\x00\x00\x006{"type": "worker_hello", "version": 2, '
+            b'"worker": "w0"}',
+            b'\x00\x00\x00H{"epoch": 3, "sources": ["r0", "r1"], '
+            b'"start_tick": 12, "type": "route"}',
+            b'\x00\x00\x00\x11{"type": "drain"}',
+            b'\x00\x00\x00m{"epoch": 3, "records": [{"__stream__": "rfid", '
+            b'"__ts__": 1.5, "tag_id": "T1"}], "tick": 7, "type": "result"}',
+            b'\x00\x00\x00p{"epoch": 3, "stats": {"policy": "block"}, '
+            b'"telemetry": null, "ticks": 61, "type": "result_end", '
+            b'"worker": "w0"}',
+        ]
+        assert [encode_frame(f) for f in self.FRAMES] == golden
+
+    def test_raw_read_returns_payload_for_verbatim_relay(self):
+        async def scenario():
+            server_reader = asyncio.StreamReader()
+            frame = protocol.route(0, 0, ["a"])
+            server_reader.feed_data(encode_frame(frame))
+            server_reader.feed_eof()
+            decoded, payload = await protocol.read_frame_raw(server_reader)
+            assert decoded == frame
+            assert encode_frame(frame) == (
+                len(payload).to_bytes(4, "big") + payload
+            )
+            assert await protocol.read_frame_raw(server_reader) is None
+
+        asyncio.run(asyncio.wait_for(scenario(), 20.0))
+
+
+class TestVersionHandshake:
+    """Compat negotiation: v1 feeders keep working, v3 is refused."""
+
+    WAIT = 20.0
+
+    class _Session:
+        receptor_ids = ("reader0",)
+        safe_time = float("-inf")
+
+        def push(self, *a, **k):
+            pass
+
+        def advance(self, watermark):
+            return []
+
+        def close(self):
+            return None
+
+    def _handshake(self, version):
+        from repro.net.gateway import IngestGateway
+
+        async def scenario():
+            gateway = IngestGateway(self._Session(), slack=0.0)
+            host, port = await gateway.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_frame(
+                writer, protocol.hello(["reader0"], version=version)
+            )
+            reply = await protocol.read_frame(reader)
+            writer.close()
+            await gateway.close()
+            return reply
+
+        return asyncio.run(asyncio.wait_for(scenario(), self.WAIT))
+
+    def test_v1_hello_acked_with_v1(self):
+        reply = self._handshake(1)
+        assert reply["type"] == "hello_ack"
+        assert reply["version"] == 1
+
+    def test_v2_hello_acked_with_v2(self):
+        reply = self._handshake(2)
+        assert reply["type"] == "hello_ack"
+        assert reply["version"] == 2
+
+    def test_future_version_refused_with_supported_list(self):
+        reply = self._handshake(3)
+        assert reply["type"] == "error"
+        assert "[1, 2]" in reply["reason"]
+
+    def test_worker_requires_exact_v2(self):
+        from repro.net.worker import ClusterWorker
+
+        async def scenario():
+            worker = ClusterWorker("shelf", duration=6.0, seed=3)
+            host, port = await worker.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_frame(
+                writer, protocol.worker_hello("w0", version=1)
+            )
+            reply = await protocol.read_frame(reader)
+            writer.close()
+            await worker.close()
+            return reply
+
+        reply = asyncio.run(asyncio.wait_for(scenario(), self.WAIT))
+        assert reply["type"] == "error"
+        assert "requires protocol 2" in reply["reason"]
 
 
 class TestTupleEncoding:
