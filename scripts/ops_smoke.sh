@@ -95,7 +95,17 @@ document = json.load(open(sys.argv[1]))
 assert set(document) >= {"telemetry", "gateway"}, sorted(document)
 workers = document["gateway"].get("workers", {})
 assert set(workers) == {"w0", "w1"}, sorted(workers)
-print(f"cluster rollup OK: {sys.argv[1]} (workers: {sorted(workers)})")
+statuses = {label: entry.get("status") for label, entry in workers.items()}
+assert all(
+    status in ("alive", "suspect", "dead", "restarting")
+    for status in statuses.values()
+), statuses
+liveness = document.get("readiness", {}).get("workers", {})
+assert set(liveness) == {"w0", "w1"}, sorted(liveness)
+print(
+    f"cluster rollup OK: {sys.argv[1]} "
+    f"(workers: {sorted(workers)}, statuses: {statuses})"
+)
 EOF
   echo "cluster ops smoke passed"
   exit 0

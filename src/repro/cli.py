@@ -449,6 +449,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             ready=ready,
             ops_port=args.ops_port,
             ops_ready=ops_ready,
+            checkpoint_interval=args.checkpoint_interval,
         )
     )
     if collector is not None and args.stats:
@@ -464,6 +465,28 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
     print(json.dumps(summary, indent=2, default=_jsonable))
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.faults import chaos_run
+
+    report = asyncio.run(
+        chaos_run(
+            args.scenario,
+            n_workers=args.workers,
+            duration=args.duration,
+            seed=args.seed,
+            fault=args.fault,
+            fraction=args.fraction,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    )
+    print(json.dumps(report, indent=2, default=_jsonable))
+    # CI-friendly: a run that survived the fault but diverged from the
+    # single-node reference is a failure, not a warning.
+    return 0 if report["identical"] else 1
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -814,6 +837,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the cluster-wide telemetry rollup to stderr after "
         "the run",
     )
+    cluster.add_argument(
+        "--checkpoint-interval",
+        type=_positive_int,
+        metavar="FRAMES",
+        help="ask each worker for a state checkpoint every FRAMES "
+        "forwarded data frames (off by default; enables bounded-state "
+        "recovery instead of full-history replay)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run one scripted fault against an in-process cluster and "
+        "differentially check the output against the single-node run",
+    )
+    chaos.add_argument("scenario", help="scenario name")
+    chaos.add_argument(
+        "--fault",
+        choices=("kill", "reset", "truncate", "slow", "none"),
+        default="kill",
+        help="fault to inject against worker w0 (default: kill)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="cluster size (default: 2)",
+    )
+    chaos.add_argument(
+        "--fraction",
+        type=float,
+        default=0.4,
+        help="position of the fault trigger within the recording's "
+        "frame count (default: 0.4)",
+    )
+    chaos.add_argument(
+        "--checkpoint-interval",
+        type=_positive_int,
+        default=24,
+        metavar="FRAMES",
+        help="worker checkpoint cadence in forwarded frames "
+        "(default: 24)",
+    )
+    chaos.add_argument(
+        "--duration", type=float, help="scenario duration override, seconds"
+    )
+    chaos.add_argument("--seed", type=int, help="scenario seed override")
 
     top = commands.add_parser(
         "top", help="live console for a gateway's ops endpoint"
@@ -854,6 +923,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "feed": _cmd_feed,
         "worker": _cmd_worker,
         "cluster": _cmd_cluster,
+        "chaos": _cmd_chaos,
         "top": _cmd_top,
     }
     return handlers[args.command](args)

@@ -105,6 +105,8 @@ class AdaptiveSmoother(Operator):
         self._pending: dict[object, int] = {}
         self._pending_carry: dict[object, dict] = {}
 
+    STATE_ATTRS = ("_states", "_pending", "_pending_carry")
+
     # -- event handling ---------------------------------------------------------
 
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
@@ -273,6 +275,8 @@ class HorvitzThompsonCounter(Operator):
         #: (group, tag) -> per-poll read counts (bounded deque)
         self._reads: dict[tuple, deque[int]] = {}
         self._pending: dict[tuple, int] = {}
+
+    STATE_ATTRS = ("_reads", "_pending")
 
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         tag = item.get(self._id_field)

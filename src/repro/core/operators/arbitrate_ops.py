@@ -70,6 +70,8 @@ class MaxCountArbitrator(Operator):
         self._strength = dict(strength or {})
         self._pending: list[StreamTuple] = []
 
+    STATE_ATTRS = ("_pending",)
+
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         self._pending.append(item)
         return []

@@ -76,6 +76,8 @@ class _RobustGroupAverage(Operator):
         self._count_field = count_field
         self._windows: dict[object, BaseWindow] = {}
 
+    STATE_ATTRS = ("_windows",)
+
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         if self._value_field not in item:
             return []
@@ -274,6 +276,8 @@ class _VoteWindow(Operator):
         self._granule_field = granule_field
         self._output_value = output_value
         self._granule: object = None
+
+    STATE_ATTRS = ("_window", "_granule")
 
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         if self._granule is None:

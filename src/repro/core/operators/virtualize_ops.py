@@ -57,6 +57,8 @@ class VotingDetector(Operator):
         self._event = event
         self._seen: dict[str, bool] = {name: False for name in votes}
 
+    STATE_ATTRS = ("_seen",)
+
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         predicate = self._votes.get(item.stream, _ABSENT)
         if predicate is _ABSENT:
@@ -169,6 +171,10 @@ class CorrelationModelCleaner(Operator):
         self._var_y = 0.0
         self._cov = 0.0
         self._resid_var = 0.0
+
+    STATE_ATTRS = (
+        "_n", "_mean_x", "_mean_y", "_var_x", "_var_y", "_cov", "_resid_var",
+    )
 
     def _update(self, x: float, y: float) -> None:
         if self._n == 0:

@@ -329,6 +329,23 @@ class ESPStreamSession:
         """Sweep every pending tick strictly below ``watermark``."""
         return self._session.advance(watermark)
 
+    def checkpoint(self) -> dict:
+        """Snapshot executor state (see :meth:`FjordSession.checkpoint`).
+
+        Everything returned is live references — serialize synchronously,
+        before the next :meth:`push` or :meth:`advance`.
+        """
+        return self._session.checkpoint()
+
+    def restore(self, state: Mapping) -> None:
+        """Install a :meth:`checkpoint` snapshot into this fresh session.
+
+        The session must have been opened from the same pipeline
+        configuration with the same tick schedule and must not have seen
+        any pushes or advances yet (see :meth:`FjordSession.restore`).
+        """
+        self._session.restore(state)
+
     def close(self) -> ESPRun:
         """Flush remaining ticks; return the completed run. Idempotent."""
         self._session.close()

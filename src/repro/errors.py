@@ -59,3 +59,13 @@ class NetError(ReproError):
 
 class ProtocolError(NetError):
     """A wire frame was malformed or violated the handshake contract."""
+
+
+class FrameTruncated(ProtocolError):
+    """The connection closed (or reset) in the middle of a frame.
+
+    A subclass of :class:`ProtocolError` so existing handlers keep
+    working, but distinct so recovery code can tell an abrupt mid-frame
+    disconnect (retryable: reconnect and replay) from a malformed frame
+    (fatal: the peer is speaking garbage).
+    """

@@ -86,6 +86,8 @@ async def serve_cluster(
     ready: "Callable[[str, int], None] | None" = None,
     ops_port: "int | None" = None,
     ops_ready: "Callable[[str, int], None] | None" = None,
+    checkpoint_interval: "int | None" = None,
+    supervisor: Any = None,
 ) -> dict[str, Any]:
     """Run one scenario through a worker ring; returns the summary.
 
@@ -99,6 +101,12 @@ async def serve_cluster(
         ops_port: When set, also serve ``/metrics``, ``/healthz``,
             ``/readyz`` and ``/snapshot`` for the router (with the
             cluster-wide telemetry rollup) on this port.
+        checkpoint_interval: Forwarded to the router — checkpoint each
+            worker's state every this many forwarded frames; ``None``
+            disables checkpointing (recovery falls back to full
+            replay).
+        supervisor: Optional :class:`repro.net.recovery.WorkerSupervisor`
+            used to respawn dead workers before failing over.
     """
     from repro.net.ops import OpsServer
     from repro.net.router import ClusterRouter
@@ -106,7 +114,12 @@ async def serve_cluster(
 
     bundle = build_bundle(name, duration, seed)
     router = ClusterRouter(
-        bundle, slack=slack, queue_bound=queue_bound, telemetry=telemetry
+        bundle,
+        slack=slack,
+        queue_bound=queue_bound,
+        telemetry=telemetry,
+        checkpoint_interval=checkpoint_interval,
+        supervisor=supervisor,
     )
     ops_server = None
     ops_address = None

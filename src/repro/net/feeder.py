@@ -21,10 +21,11 @@ test suite replays instantly with a fake clock — no real sleeps.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from typing import Any, Awaitable, Callable, Mapping, Sequence
 
-from repro.errors import NetError
+from repro.errors import FrameTruncated, NetError
 from repro.net import protocol
 from repro.net.protocol import read_frame, write_frame
 from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
@@ -55,7 +56,13 @@ class ReplayFeeder:
             before :meth:`run` raises.
         backoff_base: First reconnection delay, seconds; doubles per
             consecutive failure.
-        backoff_cap: Upper bound on the reconnection delay.
+        backoff_cap: Upper bound on the pre-jitter reconnection delay.
+        backoff_jitter: Uniform multiplicative jitter fraction — the
+            actual delay is ``delay * (1 + jitter * U[0, 1))``, so a
+            fleet of feeders knocked over by one gateway restart does
+            not reconnect in lockstep. ``0.0`` (default) keeps the
+            delay exactly reproducible without a seed.
+        backoff_seed: Seed for the jitter draws (deterministic tests).
         sleep: Injectable ``async sleep(seconds)``; defaults to
             :func:`asyncio.sleep`.
         clock: Injectable wall clock for pacing; defaults to
@@ -80,6 +87,8 @@ class ReplayFeeder:
         max_attempts: int = 6,
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
+        backoff_jitter: float = 0.0,
+        backoff_seed: int = 0,
         sleep: "Callable[[float], Awaitable[None]] | None" = None,
         clock: "Callable[[], float] | None" = None,
         telemetry: "TelemetryCollector | None" = None,
@@ -97,9 +106,17 @@ class ReplayFeeder:
         self.channel = channel
         self.rate = rate
         self.heartbeat_interval = heartbeat_interval
+        if backoff_jitter < 0:
+            raise NetError(
+                f"backoff_jitter must be >= 0, got {backoff_jitter}"
+            )
         self.max_attempts = int(max_attempts)
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
+        self.backoff_jitter = float(backoff_jitter)
+        self._backoff_random = random.Random(backoff_seed)
+        #: The most recent reconnection delay actually slept, seconds.
+        self.last_backoff = 0.0
         self._sleep = sleep if sleep is not None else asyncio.sleep
         self._clock = clock if clock is not None else time.monotonic
         self._collector = resolve_telemetry(telemetry)
@@ -181,7 +198,12 @@ class ReplayFeeder:
                 index = await self._send_from(writer, schedule, index)
                 await self._finish(writer)
                 return self.report()
-            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                FrameTruncated,
+            ):
                 self.reconnects += 1
                 self._count("feeder.reconnects")
             finally:
@@ -197,7 +219,10 @@ class ReplayFeeder:
                 self._dead = False
 
     def _backoff(self, attempts: int) -> float:
-        return min(self.backoff_cap, self.backoff_base * 2 ** (attempts - 1))
+        delay = min(self.backoff_cap, self.backoff_base * 2 ** (attempts - 1))
+        delay *= 1.0 + self.backoff_jitter * self._backoff_random.random()
+        self.last_backoff = delay
+        return delay
 
     async def _handshake(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -238,7 +263,12 @@ class ReplayFeeder:
                 elif kind == "error":
                     self._error = str(frame.get("reason"))
                     break
-        except (ConnectionError, asyncio.IncompleteReadError, NetError):
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            FrameTruncated,
+            NetError,
+        ):
             pass
         finally:
             self._dead = True
@@ -315,4 +345,5 @@ class ReplayFeeder:
             "blocked_waits": self.blocked_waits,
             "credit_frames": self.credit_frames,
             "pacing_stalls": self.pacing_stalls,
+            "reconnect_backoff_ms": round(self.last_backoff * 1000, 3),
         }

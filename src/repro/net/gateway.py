@@ -33,8 +33,9 @@ and returns the completed :class:`~repro.core.pipeline.ESPRun`.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
-from typing import Any, Awaitable, Callable, Iterable
+from typing import Any, AsyncIterator, Awaitable, Callable, Iterable
 
 from repro.errors import NetError, ProtocolError
 from repro.net import protocol
@@ -150,6 +151,7 @@ class IngestGateway:
         self._drainer: "asyncio.Task | None" = None
         self._watchdog: "asyncio.Task | None" = None
         self._work = asyncio.Event()
+        self._drain_lock = asyncio.Lock()
         self._complete = asyncio.Event()
         self._ever_connected = False
         self._closed = False
@@ -385,6 +387,24 @@ class IngestGateway:
             self._check_complete()
 
     async def _drain_once(self) -> None:
+        async with self._drain_lock:
+            await self._drain_once_locked()
+
+    @contextlib.asynccontextmanager
+    async def quiesced(self) -> AsyncIterator[None]:
+        """Drain every queued arrival into the session, then hold drains.
+
+        While the context is held, the background drain loop is blocked,
+        the ingress queues are empty and the session has processed
+        everything received so far — the quiescent point at which
+        :meth:`checkpoint` (and the session's own checkpoint) captures a
+        consistent cut of the stream.
+        """
+        async with self._drain_lock:
+            await self._drain_once_locked()
+            yield
+
+    async def _drain_once_locked(self) -> None:
         granted: dict[str, int] = {}
         for name in sorted(self._states):
             state = self._states[name]
@@ -475,6 +495,74 @@ class IngestGateway:
                     )
             except (ConnectionError, RuntimeError):
                 pass  # connection died; reconnect re-grants from room
+
+    # -- checkpointing --------------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot per-source ingress state for later :meth:`restore`.
+
+        Call only inside :meth:`quiesced`: the queues are empty then, so
+        the snapshot is the reorder buffers (with their span-correlation
+        traces re-paired positionally — trace dicts are keyed by object
+        identity, which does not survive serialization) plus the
+        per-source final/eviction flags and the ingest sequence.
+        """
+        sources: dict[str, Any] = {}
+        for name in sorted(self._states):
+            state = self._states[name]
+            reorder = state.reorder.checkpoint()
+            sources[name] = {
+                "reorder": reorder,
+                "traces": [
+                    state.traces.get(id(item))
+                    for _ts, _seq, item in reorder["heap"]
+                ],
+                "final_requested": state.final_requested,
+                "final": state.final,
+                "evicted": state.evicted,
+            }
+        return {"sources": sources, "ingest_seq": self._ingest_seq}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Install a :meth:`checkpoint` snapshot into this fresh gateway.
+
+        Call before serving any data. The restored heap entries are the
+        deserialized tuple objects themselves, so identity-keyed trace
+        pairing is rebuilt against them positionally.
+        """
+        now = self._clock()
+        for name, entry in state["sources"].items():
+            if name not in self._expected:
+                raise NetError(
+                    f"checkpoint names unexpected source {name!r}; this "
+                    f"gateway expects {list(self._expected)!r}"
+                )
+            source = self._states.get(name)
+            if source is None:
+                source = _SourceState(
+                    name,
+                    BoundedIngressQueue(
+                        self.queue_bound, self.policy, label=name,
+                        telemetry=self._collector,
+                    ),
+                    ReorderBuffer(self.slack),
+                    now,
+                )
+                self._states[name] = source
+            source.reorder.restore(entry["reorder"])
+            source.final_requested = bool(entry["final_requested"])
+            source.final = bool(entry["final"])
+            source.evicted = bool(entry["evicted"])
+            source.traces = {
+                id(item): trace
+                for (_ts, _seq, item), trace in zip(
+                    entry["reorder"]["heap"], entry["traces"]
+                )
+                if trace is not None
+            }
+        self._ingest_seq = int(state["ingest_seq"])
+        self._ever_connected = True
+        self._work.set()
 
     # -- liveness -------------------------------------------------------------
 

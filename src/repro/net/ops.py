@@ -436,13 +436,15 @@ def format_top(
                 f"{gateway.get('shard_key', '?')!r}"
             )
         lines.append(
-            f"{'worker':<12} {'address':<22} {'sources':>8} {'acked':>6}"
+            f"{'worker':<12} {'address':<22} {'sources':>8} {'acked':>6} "
+            f"{'status':<10}"
         )
         for name in sorted(worker_stats):
             entry = worker_stats[name]
             lines.append(
                 f"{name:<12} {entry['address']:<22} "
-                f"{entry['sources']:>8} {entry['acked']:>6}"
+                f"{entry['sources']:>8} {entry['acked']:>6} "
+                f"{entry.get('status', 'alive'):<10}"
             )
 
     source_stats = gateway.get("sources", {})

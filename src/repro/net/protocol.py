@@ -52,6 +52,14 @@ result      worker →   cleaned output for one punctuation ``tick``
 result_end  worker →   epoch complete: total ``ticks`` swept, the
                        worker gateway's ``stats`` and (when
                        instrumented) its ``telemetry`` snapshot
+checkpoint  router →   snapshot operator state now; the TCP FIFO makes
+                       the cut exact (``id`` correlates the ack)
+checkpoint_ack worker → the snapshot: opaque ``state`` blob plus the
+                       ``ticks`` the worker's ledger covers (``ok``
+                       false = keep the previous checkpoint)
+resume      router →   after a ``route`` with ``resume: true``: restore
+                       this ``state`` before processing data (``null``
+                       state = start fresh, expect full replay)
 =========== ========== =================================================
 
 Wire times are *simulation-axis* seconds: the feeder stamps each data
@@ -67,7 +75,7 @@ import json
 import struct
 from typing import Any, Iterable, Mapping
 
-from repro.errors import ProtocolError
+from repro.errors import FrameTruncated, ProtocolError
 from repro.streams.traceio import STREAM_COLUMN, TIMESTAMP_COLUMN
 from repro.streams.tuples import StreamTuple
 
@@ -163,6 +171,30 @@ class FrameDecoder:
             frames.append(_parse_payload(payload))
         return frames
 
+    def eof(self) -> None:
+        """Declare end-of-stream: raise if a frame was cut mid-flight.
+
+        Call this when the underlying transport closes. A non-empty
+        buffer means the peer (or the network) died inside a frame —
+        surfaced as the typed :class:`~repro.errors.FrameTruncated`
+        rather than leaking transport-level errors to callers.
+
+        Raises:
+            FrameTruncated: When buffered bytes form an incomplete frame.
+        """
+        if not self._buffer:
+            return
+        if len(self._buffer) < _HEADER.size:
+            raise FrameTruncated(
+                f"connection closed mid-header ({len(self._buffer)} of "
+                f"{_HEADER.size} bytes)"
+            )
+        (length,) = _HEADER.unpack_from(self._buffer)
+        got = len(self._buffer) - _HEADER.size
+        raise FrameTruncated(
+            f"connection closed mid-frame ({got} of {length} bytes)"
+        )
+
     def __len__(self) -> int:
         return len(self._buffer)
 
@@ -211,10 +243,12 @@ async def read_frame_raw(
     except asyncio.IncompleteReadError as error:
         if not error.partial:
             return None
-        raise ProtocolError(
+        raise FrameTruncated(
             f"connection closed mid-header ({len(error.partial)} of "
             f"{_HEADER.size} bytes)"
         ) from None
+    except ConnectionResetError as error:
+        raise FrameTruncated(f"connection reset mid-stream: {error}") from None
     (length,) = _HEADER.unpack(header)
     if length > max_frame_bytes:
         raise ProtocolError(
@@ -223,9 +257,13 @@ async def read_frame_raw(
     try:
         payload = await reader.readexactly(length)
     except asyncio.IncompleteReadError as error:
-        raise ProtocolError(
+        raise FrameTruncated(
             f"connection closed mid-frame ({len(error.partial)} of "
             f"{length} bytes)"
+        ) from None
+    except ConnectionResetError as error:
+        raise FrameTruncated(
+            f"connection reset mid-frame (0 of {length} bytes): {error}"
         ) from None
     return _parse_payload(payload), payload
 
@@ -309,15 +347,29 @@ def worker_hello(worker: str, version: int = PROTOCOL_VERSION) -> dict:
     return {"type": "worker_hello", "version": version, "worker": worker}
 
 
-def route(epoch: int, start_tick: int, sources: Iterable[str]) -> dict:
+def route(
+    epoch: int,
+    start_tick: int,
+    sources: Iterable[str],
+    resume: bool = False,
+) -> dict:
     """Assign an epoch: the sources this worker serves and the first
-    punctuation tick index whose output the egress merge takes from it."""
-    return {
+    punctuation tick index whose output the egress merge takes from it.
+
+    With ``resume=True`` the worker must expect a :func:`resume` frame
+    next and restore the carried checkpoint before processing data. The
+    key is omitted entirely in the common case so the golden wire bytes
+    of a plain ``route`` are unchanged from protocol v2.
+    """
+    frame = {
         "type": "route",
         "epoch": int(epoch),
         "start_tick": int(start_tick),
         "sources": sorted(sources),
     }
+    if resume:
+        frame["resume"] = True
+    return frame
 
 
 def drain() -> dict:
@@ -350,6 +402,70 @@ def result_end(
         "ticks": int(ticks),
         "stats": dict(stats),
         "telemetry": dict(telemetry) if telemetry is not None else None,
+    }
+
+
+# -- recovery dialect (protocol >= 2) ---------------------------------------
+
+
+def checkpoint(checkpoint_id: int) -> dict:
+    """Router→worker: snapshot your operator state *now*.
+
+    TCP FIFO makes the cut exact: the worker has received precisely the
+    data frames the router sent before this frame, so the positions the
+    router recorded at send time name the first frame *not* covered by
+    the snapshot. The worker quiesces (drains its ingress queues into
+    the session), ships ``result`` frames for any newly swept ticks,
+    then answers with :func:`checkpoint_ack`.
+    """
+    return {"type": "checkpoint", "id": int(checkpoint_id)}
+
+
+def checkpoint_ack(
+    checkpoint_id: int,
+    epoch: int,
+    ticks: int,
+    state: "str | None",
+    ok: bool = True,
+    reason: str = "",
+) -> dict:
+    """Worker→router: the snapshot taken at :func:`checkpoint`.
+
+    ``state`` is an opaque base64 blob (the router stores it without
+    inspecting it and ships it back verbatim in :func:`resume`);
+    ``ticks`` is how many punctuation ticks the worker's ledger covers.
+    ``ok=False`` (e.g. state too large for one frame) tells the router
+    to keep its previous checkpoint for this worker.
+    """
+    frame = {
+        "type": "checkpoint_ack",
+        "id": int(checkpoint_id),
+        "epoch": int(epoch),
+        "ticks": int(ticks),
+        "state": state,
+        "ok": bool(ok),
+    }
+    if reason:
+        frame["reason"] = reason
+    return frame
+
+
+def resume(
+    epoch: int, ticks: int, state: "str | None", checkpoint_id: int = -1
+) -> dict:
+    """Router→worker: restore this checkpoint before processing data.
+
+    Sent immediately after a ``route`` carrying ``resume: true``. A
+    ``None`` state means "no checkpoint exists" — the worker starts a
+    fresh session and the router replays the full retained history for
+    its keys (the provably-correct fallback).
+    """
+    return {
+        "type": "resume",
+        "epoch": int(epoch),
+        "ticks": int(ticks),
+        "state": state,
+        "id": int(checkpoint_id),
     }
 
 

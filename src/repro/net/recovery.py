@@ -1,0 +1,303 @@
+"""Fault-tolerance primitives for the cluster: checkpoints, detection,
+supervision.
+
+Three small, separately testable pieces the router composes into
+supervised failover (:mod:`repro.net.router`):
+
+- **The state blob codec** (:func:`encode_state` / :func:`decode_state`)
+  — worker operator state serialized for the ``checkpoint_ack`` /
+  ``resume`` frames. Pickle (the state is live operator internals:
+  deques, heaps, tuples) compressed with zlib and base64-armoured so it
+  rides inside the JSON wire format. Size-guarded: a blob that cannot
+  fit a frame is *refused at the source* (the worker acks ``ok=false``
+  and the router keeps the previous checkpoint) rather than discovered
+  as a frame-cap protocol error mid-recovery.
+
+  **Security note:** :func:`decode_state` unpickles. The router never
+  calls it — blobs are stored and shipped back opaquely — and the
+  worker only decodes blobs arriving on the router channel it already
+  fully trusts (the router can make a worker execute arbitrary pipeline
+  configs anyway). Do not point either at an untrusted peer.
+
+- :class:`FailureDetector` — per-worker liveness bookkeeping with an
+  injectable clock. Link death (EOF/reset on the worker connection) is
+  the authoritative, immediate signal; the deadline scan
+  (:meth:`FailureDetector.check`) exists for the *silent* failure modes
+  (a hung worker whose TCP connection stays open) and is driven
+  explicitly, mirroring ``IngestGateway.check_liveness`` — no hidden
+  wall-clock task, so tests never sleep.
+
+- :class:`WorkerSupervisor` — restarts dead workers through a
+  caller-supplied spawn callback, with capped exponential backoff and
+  seeded jitter (deterministic under test, thundering-herd-free in
+  deployment).
+
+:class:`CheckpointStore` is the router-side ledger of the latest acked
+checkpoint per worker: the opaque state blob, the per-source replay
+positions recorded when the ``checkpoint`` frame was sent (TCP FIFO
+makes that cut exact), and a copy of the per-tick results received so
+far — everything recovery needs to resume a worker by shipping bounded
+state plus only the post-checkpoint frame tail, instead of replaying
+full history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import pickle
+import random
+import time
+import zlib
+from typing import Any, Awaitable, Callable, Mapping
+
+from repro.net.protocol import MAX_FRAME_BYTES
+from repro.streams.tuples import StreamTuple
+
+#: Budget for the encoded blob: the frame cap minus generous headroom
+#: for the JSON envelope around it (frame type, epoch, ids, quoting).
+STATE_BLOB_BUDGET = MAX_FRAME_BYTES - (64 << 10)
+
+#: Worker liveness states surfaced on the ops plane.
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+RESTARTING = "restarting"
+
+
+def encode_state(state: Any) -> "tuple[str | None, int]":
+    """Serialize checkpoint state to a JSON-safe blob.
+
+    Returns ``(blob, size)``; ``blob`` is ``None`` when the encoded
+    size exceeds :data:`STATE_BLOB_BUDGET` (the caller should refuse
+    the checkpoint rather than ship an unframeable blob).
+    """
+    packed = zlib.compress(
+        pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    blob = base64.b64encode(packed).decode("ascii")
+    if len(blob) > STATE_BLOB_BUDGET:
+        return None, len(blob)
+    return blob, len(blob)
+
+
+def decode_state(blob: str) -> Any:
+    """Inverse of :func:`encode_state` (unpickles — see module note)."""
+    return pickle.loads(zlib.decompress(base64.b64decode(blob.encode("ascii"))))
+
+
+class WorkerCheckpoint:
+    """One acked checkpoint: blob + replay cut + results received so far."""
+
+    __slots__ = ("checkpoint_id", "epoch", "ticks", "state", "positions",
+                 "per_tick", "sources")
+
+    def __init__(
+        self,
+        checkpoint_id: int,
+        epoch: int,
+        ticks: int,
+        state: "str | None",
+        positions: Mapping[str, int],
+        per_tick: "Mapping[int, list[StreamTuple]]",
+        sources: "tuple[str, ...] | list[str]" = (),
+    ):
+        self.checkpoint_id = checkpoint_id
+        #: Epoch the snapshot belongs to; resume is only legal into a
+        #: session whose input prefix matches, which the router enforces.
+        self.epoch = epoch
+        #: Punctuation ticks the worker's ledger had reported (results
+        #: for ``[0, ticks)`` are inside :attr:`per_tick`).
+        self.ticks = ticks
+        self.state = state
+        #: Source → count of data frames forwarded on the link before
+        #: the checkpoint frame — the first post-checkpoint frame to
+        #: replay, per source.
+        self.positions = dict(positions)
+        self.per_tick = {tick: list(bucket) for tick, bucket in
+                         per_tick.items()}
+        #: The source assignment the snapshot was taken under; a
+        #: cross-epoch resume is only legal when the new epoch assigns
+        #: the worker the same set (its input stream is then identical).
+        self.sources = tuple(sources)
+
+
+class CheckpointStore:
+    """Latest acked checkpoint per worker label."""
+
+    def __init__(self) -> None:
+        self._latest: dict[str, WorkerCheckpoint] = {}
+
+    def record(self, label: str, entry: WorkerCheckpoint) -> None:
+        self._latest[label] = entry
+
+    def latest(self, label: str) -> "WorkerCheckpoint | None":
+        return self._latest.get(label)
+
+    def discard(self, label: str) -> None:
+        self._latest.pop(label, None)
+
+    def labels(self) -> list[str]:
+        return sorted(self._latest)
+
+
+class FailureDetector:
+    """Track per-worker liveness; injectable clock, explicit sweeps.
+
+    Args:
+        suspect_after: Seconds of silence before a worker is reported
+            ``suspect`` (informational only).
+        dead_after: Seconds of silence before :meth:`check` declares a
+            worker dead. ``None`` (default) disables deadline deaths —
+            an idle stream is indistinguishable from a hung worker
+            without traffic, so deadline detection is opt-in; link
+            death stays authoritative either way.
+        clock: Wall-clock source, ``time.monotonic`` by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        suspect_after: float = 2.0,
+        dead_after: "float | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.suspect_after = float(suspect_after)
+        self.dead_after = dead_after if dead_after is None else float(dead_after)
+        self._clock = clock
+        self._last_seen: dict[str, float] = {}
+        #: Forced states (dead/restarting) override the deadline math.
+        self._forced: dict[str, str] = {}
+
+    def register(self, label: str, now: "float | None" = None) -> None:
+        """(Re)track ``label`` as alive, starting its silence clock now."""
+        self._last_seen[label] = self._clock() if now is None else now
+        self._forced.pop(label, None)
+
+    def unregister(self, label: str) -> None:
+        self._last_seen.pop(label, None)
+        self._forced.pop(label, None)
+
+    def seen(self, label: str, now: "float | None" = None) -> None:
+        """Record traffic from ``label`` (any frame counts, credits too)."""
+        if label in self._last_seen and label not in self._forced:
+            self._last_seen[label] = self._clock() if now is None else now
+
+    def mark_dead(self, label: str) -> None:
+        if label in self._last_seen:
+            self._forced[label] = DEAD
+
+    def mark_restarting(self, label: str) -> None:
+        if label in self._last_seen:
+            self._forced[label] = RESTARTING
+
+    def status(self, label: str, now: "float | None" = None) -> str:
+        """Current liveness verdict for ``label``."""
+        forced = self._forced.get(label)
+        if forced is not None:
+            return forced
+        last = self._last_seen.get(label)
+        if last is None:
+            return DEAD
+        now = self._clock() if now is None else now
+        silent = now - last
+        if self.dead_after is not None and silent > self.dead_after:
+            return DEAD
+        if silent > self.suspect_after:
+            return SUSPECT
+        return ALIVE
+
+    def statuses(self, now: "float | None" = None) -> dict[str, str]:
+        """Label → status for every tracked worker."""
+        now = self._clock() if now is None else now
+        return {
+            label: self.status(label, now)
+            for label in sorted(self._last_seen)
+        }
+
+    def check(self, now: "float | None" = None) -> list[str]:
+        """Deadline sweep: labels newly declared dead by silence.
+
+        Only workers past ``dead_after`` that were not already forced
+        dead/restarting are returned (and forced dead as a side
+        effect), so a caller can treat the result as "workers needing
+        recovery now".
+        """
+        if self.dead_after is None:
+            return []
+        now = self._clock() if now is None else now
+        died: list[str] = []
+        for label, last in sorted(self._last_seen.items()):
+            if label in self._forced:
+                continue
+            if now - last > self.dead_after:
+                self._forced[label] = DEAD
+                died.append(label)
+        return died
+
+
+class WorkerSupervisor:
+    """Respawn dead workers with capped, jittered exponential backoff.
+
+    Args:
+        spawn: ``async (label) -> (host, port)`` — start a replacement
+            process for ``label`` and return its listening address.
+            Exceptions from the callback count as a failed attempt.
+        max_restarts: Lifetime restart budget per label; beyond it
+            :meth:`restart` returns ``None`` and the router falls back
+            to failover onto the survivors.
+        backoff_base: First restart delay, seconds; doubles per
+            successive restart of the same label.
+        backoff_cap: Upper bound on the pre-jitter delay.
+        jitter: Uniform multiplicative jitter fraction — the actual
+            delay is ``delay * (1 + jitter * U[0, 1))``.
+        seed: Seed for the jitter draws (deterministic tests and fault
+            schedules).
+        sleep: Injectable ``async sleep(seconds)``.
+    """
+
+    def __init__(
+        self,
+        spawn: "Callable[[str], Awaitable[tuple[str, int]]]",
+        *,
+        max_restarts: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+        sleep: "Callable[[float], Awaitable[None]] | None" = None,
+    ):
+        self._spawn = spawn
+        self.max_restarts = int(max_restarts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.jitter = float(jitter)
+        self._random = random.Random(seed)
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._attempts: dict[str, int] = {}
+        self.last_backoff = 0.0
+
+    def attempts(self, label: str) -> int:
+        """Restarts attempted for ``label`` so far."""
+        return self._attempts.get(label, 0)
+
+    def reset(self, label: str) -> None:
+        """Forget ``label``'s restart history (it completed an epoch)."""
+        self._attempts.pop(label, None)
+
+    async def restart(self, label: str) -> "tuple[str, int] | None":
+        """Respawn ``label`` after backoff; ``None`` when out of budget
+        or the spawn callback fails."""
+        attempts = self._attempts.get(label, 0)
+        if attempts >= self.max_restarts:
+            return None
+        self._attempts[label] = attempts + 1
+        delay = min(self.backoff_cap, self.backoff_base * 2**attempts)
+        delay *= 1.0 + self.jitter * self._random.random()
+        self.last_backoff = delay
+        await self._sleep(delay)
+        try:
+            host, port = await self._spawn(label)
+        except Exception:
+            return None
+        return host, int(port)

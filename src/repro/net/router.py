@@ -37,6 +37,24 @@ No tuple is lost (the history replay is total) and none is duplicated
 (each tick index is taken from exactly one epoch) — the egress merge
 (:func:`repro.net.cluster.merge_epochs`) stays byte-identical to a
 single-node run.
+
+**Failure & recovery.** With ``checkpoint_interval`` set, the router
+periodically asks each worker to snapshot its operator state
+(``checkpoint``/``checkpoint_ack``, stored opaquely in a
+:class:`~repro.net.recovery.CheckpointStore` together with the exact
+per-source replay positions of the cut). When a worker link dies —
+reset/EOF noticed by its read loop, a failed forward, or a deadline
+sweep (:meth:`ClusterRouter.check_workers`) — the router freezes the
+gate, quiesces in-flight forwards (blocked forwards to the dead link
+abort and still return their feeder credit), and recovers in order of
+preference: *resume* (reconnect to the same address, or a
+:class:`~repro.net.recovery.WorkerSupervisor` respawn, shipping the
+checkpoint blob plus only the post-checkpoint frame tail), else
+*failover* (close the epoch at a boundary clamped to what the dead
+worker's checkpoint actually covered and redistribute its span across
+the survivors). Checkpoint timing never changes output — snapshots are
+pure, restores resume the identical computation — only how much tail
+gets replayed; the differential fault suite pins this.
 """
 
 from __future__ import annotations
@@ -54,6 +72,12 @@ from repro.net.protocol import (
     write_frame,
     write_raw_frame,
 )
+from repro.net.recovery import (
+    CheckpointStore,
+    FailureDetector,
+    WorkerCheckpoint,
+    WorkerSupervisor,
+)
 from repro.net.ring import HashRing
 from repro.net.service import ScenarioBundle
 from repro.streams.telemetry import TelemetryCollector, resolve_telemetry
@@ -64,6 +88,16 @@ from repro.streams.tuples import StreamTuple
 #: these the router can partition whole sources across workers; for
 #: record-level keys every worker must accept every source.
 SOURCE_LEVEL_KEYS = ("spatial_granule", "proximity_group")
+
+
+class _LinkDead(Exception):
+    """A forward aborted because its worker link is dead.
+
+    Internal control flow only: the frame in question is already in the
+    retained history, so recovery's replay delivers it — the forwarding
+    path just skips it (and still returns the feeder's credit, which is
+    what keeps a mid-flight worker loss from deadlocking the feeder).
+    """
 
 
 class _RetainedFrame:
@@ -99,13 +133,39 @@ class _WorkerLink:
             asyncio.get_running_loop().create_future()
         )
         self.task: "asyncio.Task | None" = None
+        #: Set on any sign of link death; forwards abort (\ :class:`_LinkDead`)
+        #: instead of blocking on credits a dead worker will never grant.
+        self.dead = False
+        #: A recovery task has been scheduled for this link already.
+        self.recovering = False
+        #: Source → data frames forwarded on this link. Snapshotted when a
+        #: ``checkpoint`` frame is sent (TCP FIFO makes that the exact cut)
+        #: and seeded from the store on resume, it names the first frame
+        #: of the post-checkpoint tail per source.
+        self.positions: dict[str, int] = {}
+        #: Data frames since the last checkpoint request (scheduling).
+        self.since_checkpoint = 0
+        #: Checkpoint id → positions snapshot, awaiting the worker's ack.
+        self.pending_checkpoints: dict[int, dict[str, int]] = {}
+        # Router-wired callbacks (liveness, checkpoint acks, death).
+        self.on_frame: "Callable[[str], None] | None" = None
+        self.on_checkpoint_ack: (
+            "Callable[[_WorkerLink, dict], None] | None"
+        ) = None
+        self.on_failure: "Callable[[_WorkerLink], None] | None" = None
 
     async def acquire(self, source: str) -> None:
-        """Take one worker credit for ``source`` (block until granted)."""
+        """Take one worker credit for ``source`` (block until granted).
+
+        Raises:
+            _LinkDead: When the link is (or while blocked becomes) dead.
+        """
         async with self.granted:
             await self.granted.wait_for(
-                lambda: self.credits.get(source, 0) > 0
+                lambda: self.dead or self.credits.get(source, 0) > 0
             )
+            if self.dead:
+                raise _LinkDead(self.label)
             self.credits[source] -= 1
 
     async def read_loop(self) -> None:
@@ -116,6 +176,8 @@ class _WorkerLink:
                 frame = await read_frame(self.reader)
                 if frame is None:
                     break
+                if self.on_frame is not None:
+                    self.on_frame(self.label)
                 kind = frame.get("type")
                 if kind == "credit":
                     async with self.granted:
@@ -135,6 +197,9 @@ class _WorkerLink:
                         protocol.record_to_tuple(record)
                         for record in frame.get("records") or []
                     )
+                elif kind == "checkpoint_ack":
+                    if self.on_checkpoint_ack is not None:
+                        self.on_checkpoint_ack(self, frame)
                 elif kind == "result_end":
                     if not self.end.done():
                         self.end.set_result(frame)
@@ -151,6 +216,7 @@ class _WorkerLink:
         except Exception as error:  # surface to whoever awaits results
             if not self.end.done():
                 self.end.set_exception(error)
+            await self._died()
         else:
             if not self.end.done():
                 self.end.set_exception(
@@ -158,14 +224,26 @@ class _WorkerLink:
                         f"worker {self.label!r} closed before result_end"
                     )
                 )
+                await self._died()
+
+    async def _died(self) -> None:
+        """Mark dead, release blocked forwards, tell the router."""
+        self.dead = True
+        async with self.granted:
+            self.granted.notify_all()
+        if self.on_failure is not None:
+            self.on_failure(self)
 
     async def close(self) -> None:
+        self.dead = True
         if self.task is not None:
             self.task.cancel()
             try:
                 await self.task
             except (asyncio.CancelledError, Exception):
                 pass
+        async with self.granted:
+            self.granted.notify_all()
         if self.writer is not None:
             self.writer.close()
         if not self.end.done():
@@ -190,6 +268,18 @@ class ClusterRouter:
         telemetry: Cluster-wide rollup collector; absorbs every worker
             epoch snapshot under its worker label.
         clock: Wall-clock source (injectable for tests).
+        checkpoint_interval: Ask a worker for a state checkpoint every
+            this many data frames forwarded on its link; ``None``
+            (default) disables checkpointing — recovery then always
+            falls back to fresh sessions with full-history replay.
+        supervisor: Optional :class:`~repro.net.recovery.WorkerSupervisor`
+            used to respawn a dead worker before failing its span over
+            to the survivors.
+        suspect_after: Silence (worker→router frames) before a worker
+            is reported ``suspect`` on the ops plane.
+        dead_after: Silence before :meth:`check_workers` declares a
+            worker dead and triggers recovery; ``None`` disables the
+            deadline (link EOF/reset detection stays active).
     """
 
     def __init__(
@@ -200,6 +290,10 @@ class ClusterRouter:
         queue_bound: int = 64,
         telemetry: "TelemetryCollector | None" = None,
         clock: Callable[[], float] = time.monotonic,
+        checkpoint_interval: "int | None" = None,
+        supervisor: "WorkerSupervisor | None" = None,
+        suspect_after: float = 2.0,
+        dead_after: "float | None" = None,
     ):
         self._bundle = bundle
         self.slack = float(slack)
@@ -238,6 +332,32 @@ class ClusterRouter:
         self.data_frames = 0
         self._offered: dict[str, int] = {}
         self._frame_waiters: list[asyncio.Event] = []
+        # -- fault tolerance --------------------------------------------------
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise NetError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        self.checkpoint_interval = checkpoint_interval
+        self._supervisor = supervisor
+        self._store = CheckpointStore()
+        self._detector = FailureDetector(
+            suspect_after=suspect_after, dead_after=dead_after, clock=clock
+        )
+        self._checkpoint_seq = 0
+        self._fatal: "Exception | None" = None
+        self._recovery_tasks: set[asyncio.Task] = set()
+        self._recovery_waiters: list[asyncio.Event] = []
+        #: Recovery accounting (also mirrored onto ``router.recovery.*``
+        #: telemetry counters and surfaced in :meth:`stats`).
+        self.recovery = {
+            "checkpoints_acked": 0,
+            "checkpoints_rejected": 0,
+            "resumes": 0,
+            "restarts": 0,
+            "failovers": 0,
+            "replayed_frames": 0,
+            "forwards_skipped_dead": 0,
+        }
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -277,38 +397,53 @@ class ClusterRouter:
         """Join ``label`` to the ring via a full epoch handoff."""
         if label in self._links:
             raise NetError(f"worker {label!r} already in the ring")
-        membership = {
-            link.label: (link.host, link.port)
-            for link in self._links.values()
-        }
-        membership[label] = (host, port)
-        await self._rebalance_to(membership)
+        await self._rebalance_to(add={label: (host, port)})
 
     async def remove_worker(self, label: str) -> None:
         """Retire ``label`` from the ring via a full epoch handoff."""
         if label not in self._links:
             raise NetError(f"worker {label!r} is not in the ring")
-        membership = {
-            link.label: (link.host, link.port)
-            for link in self._links.values()
-            if link.label != label
-        }
-        if not membership:
+        if len(self._links) == 1:
             raise NetError("cannot remove the last worker")
-        await self._rebalance_to(membership)
+        await self._rebalance_to(remove={label})
 
     async def run_until_complete(self) -> None:
-        """Resolve once every source is final and all results are in."""
+        """Resolve once every source is final and all results are in.
+
+        A worker lost during the final drain does not fail the run: its
+        epoch is closed at the boundary its last checkpoint covers and
+        the remaining tick span is re-run through a recovered epoch
+        (respawn if a supervisor is configured, else the survivors).
+
+        Raises:
+            NetError: When recovery is impossible — every worker lost
+                and none respawnable (also surfaced here if a
+                background recovery hit that state mid-run).
+        """
         await self._all_final.wait()
-        async with self._rebalance:
-            if self._finished:
-                return
-            self._gate.clear()
-            if self._inflight:
-                self._idle.clear()
-                await self._idle.wait()
-            await self._close_epoch(len(self._ticks))
-            self._finished = True
+        while True:
+            async with self._rebalance:
+                if self._fatal is not None:
+                    raise self._fatal
+                if self._finished:
+                    return
+                self._gate.clear()
+                if self._inflight:
+                    self._idle.clear()
+                    await self._idle.wait()
+                membership = {
+                    label: (link.host, link.port)
+                    for label, link in self._links.items()
+                }
+                boundary, lost = await self._close_epoch(len(self._ticks))
+                if boundary >= len(self._ticks):
+                    self._finished = True
+                    return
+                survivors = await self._recovered_membership(
+                    membership, lost
+                )
+                await self._open_epoch(survivors, boundary)
+                self._bump("failovers")
 
     async def close(self) -> None:
         """Stop listening and tear down worker links."""
@@ -316,6 +451,12 @@ class ClusterRouter:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for task in list(self._recovery_tasks):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
         for link in list(self._links.values()):
             await link.close()
         self._links = {}
@@ -345,19 +486,45 @@ class ClusterRouter:
     # -- rebalance ----------------------------------------------------------
 
     async def _rebalance_to(
-        self, membership: "dict[str, tuple[str, int]]"
+        self,
+        *,
+        add: "dict[str, tuple[str, int]] | None" = None,
+        remove: "set[str] | None" = None,
     ) -> None:
+        """Apply a membership delta through a full epoch handoff.
+
+        The delta is resolved against ``self._links`` only *after* the
+        rebalance lock is held: a concurrent recovery (a worker dying
+        while this call waits its turn) may already have failed the
+        ring over, and a membership snapshot taken at call time would
+        resurrect the dead worker's stale address.
+        """
         if self._epoch < 0:
             raise NetError("connect_workers must establish epoch 0 first")
         async with self._rebalance:
             if self._finished:
                 raise NetError("cluster run already completed")
+            membership = {
+                link.label: (link.host, link.port)
+                for link in self._links.values()
+            }
+            membership.update(add or {})
+            for label in remove or ():
+                membership.pop(label, None)
             self._gate.clear()
             if self._inflight:
                 self._idle.clear()
                 await self._idle.wait()
-            boundary = self._boundary()
-            await self._close_epoch(boundary)
+            boundary, lost = await self._close_epoch(self._boundary())
+            # A worker that died during the handoff cannot join the new
+            # epoch at its old address; drop it from the request.
+            membership = {
+                label: address
+                for label, address in membership.items()
+                if label not in set(lost)
+            }
+            if not membership:
+                raise NetError("every worker was lost during the handoff")
             await self._open_epoch(membership, boundary)
             self._gate.set()
 
@@ -382,10 +549,27 @@ class ClusterRouter:
             )
         return min(max(boundary, self._epoch_start), len(self._ticks))
 
-    async def _close_epoch(self, boundary: int) -> None:
+    async def _close_epoch(self, boundary: int) -> "tuple[int, list[str]]":
+        """Drain and settle the current epoch at ``boundary``.
+
+        A link that is dead (or dies during the drain) contributes its
+        last *acked checkpoint* instead of a live result_end: the
+        store's per-tick snapshot is complete through the ticks it
+        reported then, so the boundary is clamped to that count (or to
+        the epoch start when the worker never checkpointed — its whole
+        span re-runs). Live per_tick on a dead link is never trusted:
+        death mid-result-shipping can leave a partially filled bucket.
+
+        Returns:
+            ``(boundary, lost)`` — the possibly clamped boundary and
+            the labels that could not produce a live drain.
+        """
         results: dict[str, dict[str, Any]] = {}
+        lost: list[str] = []
         for label in sorted(self._links):
             link = self._links[label]
+            if link.dead:
+                continue
             try:
                 assert link.writer is not None
                 await write_frame(link.writer, protocol.drain())
@@ -393,15 +577,38 @@ class ClusterRouter:
                 pass  # already completing; result_end settles it either way
         for label in sorted(self._links):
             link = self._links[label]
-            end = await link.end
-            results[label] = {
-                "per_tick": link.per_tick,
-                "ticks": int(end.get("ticks", 0)),
-                "stats": end.get("stats") or {},
-            }
-            snapshot = end.get("telemetry")
-            if snapshot and self._collector.enabled:
-                self._collector.absorb(snapshot, node=label)
+            end = None
+            if not link.dead:
+                try:
+                    end = await link.end
+                except Exception:
+                    link.dead = True
+            if end is not None:
+                results[label] = {
+                    "per_tick": link.per_tick,
+                    "ticks": int(end.get("ticks", 0)),
+                    "stats": end.get("stats") or {},
+                }
+                snapshot = end.get("telemetry")
+                if snapshot and self._collector.enabled:
+                    self._collector.absorb(snapshot, node=label)
+                continue
+            lost.append(label)
+            entry = self._store.latest(label)
+            if entry is not None and entry.epoch == self._epoch:
+                results[label] = {
+                    "per_tick": {
+                        tick: list(bucket)
+                        for tick, bucket in entry.per_tick.items()
+                    },
+                    "ticks": entry.ticks,
+                    "stats": {},
+                }
+                boundary = min(boundary, entry.ticks)
+            else:
+                results[label] = {"per_tick": {}, "ticks": 0, "stats": {}}
+                boundary = self._epoch_start
+        boundary = min(max(boundary, self._epoch_start), len(self._ticks))
         self._epochs.append(
             {
                 "epoch": self._epoch,
@@ -411,9 +618,11 @@ class ClusterRouter:
             }
         )
         for link in list(self._links.values()):
+            self._detector.unregister(link.label)
             await link.close()
         self._links = {}
         self._epoch_start = boundary
+        return boundary, lost
 
     async def _open_epoch(
         self, membership: "dict[str, tuple[str, int]]", start_tick: int
@@ -444,11 +653,41 @@ class ClusterRouter:
                     host, port
                 )
                 link.sources = tuple(assigned[label])
+                # A survivor whose assignment is unchanged from the
+                # previous epoch sees an identical input stream, so its
+                # last checkpoint resumes it here too: bounded state
+                # plus the post-checkpoint tail instead of full replay.
+                # Only meaningful under source-level sharding (under
+                # record-level sharding a membership change moves keys
+                # *within* every worker's stream).
+                entry = None
+                if self._source_level and self.checkpoint_interval:
+                    entry = self._store.latest(label)
+                    if entry is not None and not (
+                        entry.epoch == self._epoch - 1
+                        and tuple(entry.sources) == link.sources
+                    ):
+                        entry = None
                 await write_frame(link.writer, protocol.worker_hello(label))
                 await write_frame(
                     link.writer,
-                    protocol.route(self._epoch, start_tick, link.sources),
+                    protocol.route(
+                        self._epoch,
+                        start_tick,
+                        link.sources,
+                        resume=entry is not None,
+                    ),
                 )
+                if entry is not None:
+                    await write_frame(
+                        link.writer,
+                        protocol.resume(
+                            self._epoch,
+                            entry.ticks,
+                            entry.state,
+                            entry.checkpoint_id,
+                        ),
+                    )
                 ack = await read_frame(link.reader)
                 if ack is None or ack.get("type") != "hello_ack":
                     reason = (
@@ -460,6 +699,13 @@ class ClusterRouter:
                         f"worker {label!r} rejected the epoch: {reason}"
                     )
                 link.credits = dict(ack.get("credits") or {})
+                if entry is not None:
+                    link.positions = dict(entry.positions)
+                    link.per_tick = {
+                        tick: list(bucket)
+                        for tick, bucket in entry.per_tick.items()
+                    }
+                self._wire_link(link)
                 link.task = asyncio.ensure_future(link.read_loop())
             self._links = links
             await self._replay(ring)
@@ -470,6 +716,13 @@ class ClusterRouter:
             raise
 
     async def _replay(self, ring: HashRing) -> None:
+        # Resumed links carry per-source positions from their
+        # checkpoint cut: that many owned frames are already inside the
+        # snapshot and must be skipped, not redelivered.
+        skip = {
+            label: dict(link.positions)
+            for label, link in self._links.items()
+        }
         retained = [
             frame
             for frames in self._history.values()
@@ -478,11 +731,317 @@ class ClusterRouter:
         retained.sort(key=lambda f: (f.arrival, f.source, f.seq))
         for frame in retained:
             link = self._links[ring.owner(frame.key)]
+            pending = skip[link.label]
+            if pending.get(frame.source, 0) > 0:
+                pending[frame.source] -= 1
+                continue
+            try:
+                await link.acquire(frame.source)
+                link.positions[frame.source] = (
+                    link.positions.get(frame.source, 0) + 1
+                )
+                link.since_checkpoint += 1
+                assert link.writer is not None
+                await write_raw_frame(link.writer, frame.payload)
+            except _LinkDead:
+                continue  # its recovery task will replay for it
+            except (ConnectionError, RuntimeError):
+                self._on_link_failure(link)
+                continue
+            self._bump("replayed_frames")
+            await self._maybe_checkpoint(link)
+        for name in sorted(self._final):
+            await self._forward_bye(name)
+
+    # -- fault tolerance -----------------------------------------------------
+
+    def _wire_link(self, link: _WorkerLink) -> None:
+        """Attach detector/checkpoint/failure callbacks to a new link."""
+        link.on_frame = self._detector.seen
+        link.on_checkpoint_ack = self._on_checkpoint_ack
+        link.on_failure = self._on_link_failure
+        self._detector.register(link.label)
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        self.recovery[key] += n
+        for event in self._recovery_waiters:
+            event.set()
+        if self._collector.enabled:
+            self._collector.count(f"router.recovery.{key}", n)
+
+    def _on_checkpoint_ack(self, link: _WorkerLink, frame: dict) -> None:
+        checkpoint_id = int(frame.get("id", -1))
+        positions = link.pending_checkpoints.pop(checkpoint_id, None)
+        if positions is None:
+            return  # unsolicited or superseded ack
+        if not frame.get("ok", True):
+            # Worker refused (state blob over budget); keep whatever
+            # checkpoint we already hold — recovery replays more tail.
+            self._bump("checkpoints_rejected")
+            return
+        self._store.record(
+            link.label,
+            WorkerCheckpoint(
+                checkpoint_id,
+                int(frame.get("epoch", self._epoch)),
+                int(frame.get("ticks", 0)),
+                frame.get("state"),
+                positions,
+                {
+                    tick: list(bucket)
+                    for tick, bucket in link.per_tick.items()
+                },
+                sources=link.sources,
+            ),
+        )
+        self._bump("checkpoints_acked")
+
+    async def _maybe_checkpoint(self, link: _WorkerLink) -> None:
+        """Request a checkpoint when the link's interval has elapsed."""
+        if (
+            self.checkpoint_interval is None
+            or link.dead
+            or link.since_checkpoint < self.checkpoint_interval
+        ):
+            return
+        link.since_checkpoint = 0
+        self._checkpoint_seq += 1
+        checkpoint_id = self._checkpoint_seq
+        # Snapshot *before* the write, in the same no-await window as
+        # the forwards' increments: TCP FIFO then makes this the exact
+        # per-source cut the worker's snapshot will reflect.
+        link.pending_checkpoints[checkpoint_id] = dict(link.positions)
+        try:
+            assert link.writer is not None
+            await write_frame(
+                link.writer, protocol.checkpoint(checkpoint_id)
+            )
+        except (ConnectionError, RuntimeError):
+            link.pending_checkpoints.pop(checkpoint_id, None)
+            self._on_link_failure(link)
+
+    def _on_link_failure(self, link: _WorkerLink) -> None:
+        """Link-death signal (read loop, failed forward): start recovery."""
+        if self._finished or self._fatal is not None:
+            return
+        if self._links.get(link.label) is not link:
+            return  # an old epoch's link dying during teardown
+        link.dead = True
+        self._detector.mark_dead(link.label)
+        self._schedule_recovery(link)
+
+    def _schedule_recovery(self, link: _WorkerLink) -> None:
+        if link.recovering:
+            return
+        link.recovering = True
+        self._count("router.worker_lost")
+        task = asyncio.ensure_future(self._recover(link))
+        self._recovery_tasks.add(task)
+        task.add_done_callback(self._recovery_tasks.discard)
+
+    async def _recover(self, link: _WorkerLink) -> None:
+        """Supervised recovery of one dead worker link.
+
+        Preference order: resume at the same address (the worker
+        process usually outlives a connection reset), resume into a
+        supervisor respawn, failover onto the survivors. Runs under the
+        rebalance lock with the gate frozen, so feeders stall within
+        one credit window and epochs stay well-ordered.
+        """
+        async with link.granted:
+            link.granted.notify_all()  # free forwards blocked on credits
+        try:
+            async with self._rebalance:
+                if self._links.get(link.label) is not link:
+                    return  # superseded by a rebalance/failover already
+                if self._finished or self._fatal is not None:
+                    return
+                self._gate.clear()
+                if self._inflight:
+                    self._idle.clear()
+                    await self._idle.wait()
+                await link.close()
+                entry = self._store.latest(link.label)
+                if entry is not None and entry.epoch != self._epoch:
+                    entry = None  # stale snapshot from a closed epoch
+                replacement = await self._open_resume_link(
+                    link.label, link.host, link.port, link.sources, entry
+                )
+                if replacement is None and self._supervisor is not None:
+                    self._detector.mark_restarting(link.label)
+                    self._bump("restarts")
+                    address = await self._supervisor.restart(link.label)
+                    if address is not None:
+                        replacement = await self._open_resume_link(
+                            link.label,
+                            address[0],
+                            address[1],
+                            link.sources,
+                            entry,
+                        )
+                if replacement is not None:
+                    self._links[link.label] = replacement
+                    self._bump("resumes")
+                    self._gate.set()
+                    return
+                # Failover: close the epoch at a boundary the dead
+                # worker's checkpoint actually covers and re-run the
+                # rest on whatever membership survives (plus respawns).
+                membership = {
+                    label: (live.host, live.port)
+                    for label, live in self._links.items()
+                }
+                boundary, lost = await self._close_epoch(self._boundary())
+                survivors = await self._recovered_membership(
+                    membership, lost
+                )
+                await self._open_epoch(survivors, boundary)
+                self._bump("failovers")
+                self._gate.set()
+        except Exception as error:
+            # Recovery itself failed (e.g. every worker lost, none
+            # respawnable). Surface on run_until_complete; the gate
+            # stays closed so no frames are forwarded into the wreck.
+            self._fatal = error
+            self._all_final.set()
+
+    async def _open_resume_link(
+        self,
+        label: str,
+        host: str,
+        port: int,
+        sources: "tuple[str, ...]",
+        entry: "WorkerCheckpoint | None",
+    ) -> "_WorkerLink | None":
+        """Reconnect ``label`` into the current epoch, resuming from
+        ``entry`` (or from scratch when ``None``); ``None`` on failure."""
+        link = _WorkerLink(label, host, port)
+        try:
+            link.reader, link.writer = await asyncio.open_connection(
+                host, port
+            )
+            link.sources = sources
+            await write_frame(link.writer, protocol.worker_hello(label))
+            await write_frame(
+                link.writer,
+                protocol.route(
+                    self._epoch, self._epoch_start, sources, resume=True
+                ),
+            )
+            if entry is not None:
+                await write_frame(
+                    link.writer,
+                    protocol.resume(
+                        self._epoch,
+                        entry.ticks,
+                        entry.state,
+                        entry.checkpoint_id,
+                    ),
+                )
+            else:
+                await write_frame(
+                    link.writer, protocol.resume(self._epoch, 0, None)
+                )
+            ack = await read_frame(link.reader)
+            if ack is None or ack.get("type") != "hello_ack":
+                raise NetError(f"worker {label!r} rejected the resume")
+            link.credits = dict(ack.get("credits") or {})
+            if entry is not None:
+                link.positions = dict(entry.positions)
+                link.per_tick = {
+                    tick: list(bucket)
+                    for tick, bucket in entry.per_tick.items()
+                }
+            self._wire_link(link)
+            link.task = asyncio.ensure_future(link.read_loop())
+            await self._replay_tail(link)
+            return link
+        except (
+            OSError,
+            NetError,
+            ProtocolError,
+            asyncio.IncompleteReadError,
+            _LinkDead,
+        ):
+            await link.close()
+            return None
+
+    async def _replay_tail(self, link: _WorkerLink) -> None:
+        """Replay this link's owned history past its checkpoint cut."""
+        skip = dict(link.positions)
+        retained = [
+            frame
+            for frames in self._history.values()
+            for frame in frames
+        ]
+        retained.sort(key=lambda f: (f.arrival, f.source, f.seq))
+        assert self._ring is not None
+        for frame in retained:
+            if self._ring.owner(frame.key) != link.label:
+                continue
+            if skip.get(frame.source, 0) > 0:
+                skip[frame.source] -= 1
+                continue
             await link.acquire(frame.source)
             assert link.writer is not None
             await write_raw_frame(link.writer, frame.payload)
+            self._bump("replayed_frames")
         for name in sorted(self._final):
-            await self._forward_bye(name)
+            if name in link.sources:
+                await write_frame(link.writer, protocol.bye(name))
+
+    async def _recovered_membership(
+        self,
+        membership: "dict[str, tuple[str, int]]",
+        lost: "list[str] | set[str]",
+    ) -> "dict[str, tuple[str, int]]":
+        """Survivors plus supervisor respawns for the lost labels."""
+        lost = set(lost)
+        survivors = {
+            label: address
+            for label, address in membership.items()
+            if label not in lost
+        }
+        if self._supervisor is not None:
+            for label in sorted(lost):
+                self._detector.mark_restarting(label)
+                self._bump("restarts")
+                address = await self._supervisor.restart(label)
+                if address is not None:
+                    survivors[label] = address
+        if not survivors:
+            raise NetError(
+                "every worker is lost and none could be respawned"
+            )
+        return survivors
+
+    def check_workers(self, now: "float | None" = None) -> list[str]:
+        """Deadline sweep: declare silent workers dead, start recovery.
+
+        Drive this from an ops/heartbeat cadence (it never runs on a
+        hidden timer); returns the labels newly declared dead. Requires
+        ``dead_after`` to be set — otherwise a no-op, since an idle
+        stream is indistinguishable from a hung worker.
+        """
+        died = self._detector.check(now)
+        for label in died:
+            link = self._links.get(label)
+            if link is not None and not link.recovering:
+                link.dead = True
+                self._schedule_recovery(link)
+        return died
+
+    async def wait_for_recovery(self, key: str, n: int = 1) -> None:
+        """Resolve once ``self.recovery[key] >= n`` (test affordance)."""
+        if key not in self.recovery:
+            raise NetError(f"unknown recovery counter {key!r}")
+        while self.recovery[key] < n:
+            event = asyncio.Event()
+            self._recovery_waiters.append(event)
+            try:
+                await event.wait()
+            finally:
+                self._recovery_waiters.remove(event)
 
     # -- feeder connections --------------------------------------------------
 
@@ -583,6 +1142,7 @@ class ClusterRouter:
                 await self._gate.wait()
                 self._inflight += 1
                 self._idle.clear()
+                link = None
                 try:
                     retained = _RetainedFrame(
                         arrival,
@@ -598,11 +1158,30 @@ class ClusterRouter:
                     self._max_arrival[source] = max(previous, arrival)
                     assert self._ring is not None
                     link = self._links[self._ring.owner(key)]
-                    await link.acquire(source)
-                    assert link.writer is not None
-                    await write_raw_frame(link.writer, payload)
+                    try:
+                        await link.acquire(source)
+                        # Count the forward *before* the write and with
+                        # no await between: a concurrent checkpoint's
+                        # positions snapshot is then always consistent
+                        # with wire order (writer.write is synchronous
+                        # at the head of write_raw_frame).
+                        link.positions[source] = (
+                            link.positions.get(source, 0) + 1
+                        )
+                        link.since_checkpoint += 1
+                        assert link.writer is not None
+                        await write_raw_frame(link.writer, payload)
+                    except _LinkDead:
+                        # Already retained; recovery's replay delivers
+                        # it. Skip, return the feeder's credit below.
+                        self._bump("forwards_skipped_dead")
+                    except (ConnectionError, RuntimeError):
+                        self._on_link_failure(link)
+                        self._bump("forwards_skipped_dead")
                 finally:
                     self._release_inflight()
+                if link is not None and not link.dead:
+                    await self._maybe_checkpoint(link)
                 self.data_frames += 1
                 self._offered[source] = self._offered.get(source, 0) + 1
                 if self._frame_waiters:
@@ -644,7 +1223,7 @@ class ClusterRouter:
     async def _forward_bye(self, source: str) -> None:
         for label in sorted(self._links):
             link = self._links[label]
-            if source in link.sources:
+            if source in link.sources and not link.dead:
                 try:
                     assert link.writer is not None
                     await write_frame(link.writer, protocol.bye(source))
@@ -700,6 +1279,7 @@ class ClusterRouter:
                 "address": f"{link.host}:{link.port}",
                 "sources": len(link.sources),
                 "acked": len(link.acked),
+                "status": self._detector.status(label),
             }
             for label, link in sorted(self._links.items())
         }
@@ -713,6 +1293,12 @@ class ClusterRouter:
             "epoch_start_tick": self._epoch_start,
             "data_frames": self.data_frames,
             "shard_key": self._bundle.shard_key,
+            "checkpoint_interval": self.checkpoint_interval,
+            "checkpointed_workers": self._store.labels(),
+            "retained_frames": sum(
+                len(frames) for frames in self._history.values()
+            ),
+            "recovery": dict(self.recovery),
         }
 
     def readiness(self) -> dict[str, Any]:
@@ -726,4 +1312,8 @@ class ClusterRouter:
             reasons.append("rebalance in progress (forwarding frozen)")
         if not self._ever_connected:
             reasons.append("no feeder has connected yet")
-        return {"ready": not reasons, "reasons": reasons}
+        return {
+            "ready": not reasons,
+            "reasons": reasons,
+            "workers": self._detector.statuses(),
+        }

@@ -58,6 +58,11 @@ class TickLedger:
         self._ticks: tuple[float, ...] = tuple(session.ticks)
         #: Output attributed to each swept tick, in tick order.
         self.per_tick: list[list[StreamTuple]] = []
+        #: Ticks whose results have already been shipped to the router
+        #: (see :func:`ship_ticks`) — result shipping is incremental so
+        #: a checkpoint's ack covers exactly the results the router
+        #: holds, and the final drain ships only the delta.
+        self.reported = 0
 
     @property
     def receptor_ids(self) -> tuple[str, ...]:
@@ -94,6 +99,67 @@ class TickLedger:
         self.advance(float("inf"))
         return self._session.close()
 
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the ledger (and its session) for later :meth:`restore`.
+
+        Tick buckets already shipped to the router are *not* captured —
+        the router snapshots its received copy at ack time — so the
+        blob stays bounded by operator state plus unreported output,
+        not run length. Capture inside the gateway's quiesced window,
+        after shipping, and serialize synchronously.
+        """
+        return {
+            "session": self._session.checkpoint(),
+            "ticks": len(self.per_tick),
+            "reported": self.reported,
+            "pending": [list(bucket) for bucket in
+                        self.per_tick[self.reported:]],
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Install a :meth:`checkpoint` snapshot into this fresh ledger.
+
+        Reported ticks come back as empty placeholder buckets (their
+        contents live in the router's checkpoint store); indexing and
+        the session's emitted-delta bookkeeping continue exactly where
+        the snapshot left off.
+        """
+        if self.per_tick or self.reported:
+            raise NetError("restore needs a fresh TickLedger")
+        self._session.restore(state["session"])
+        self.reported = int(state["reported"])
+        self.per_tick = [[] for _ in range(self.reported)]
+        self.per_tick.extend(list(bucket) for bucket in state["pending"])
+        if len(self.per_tick) != int(state["ticks"]):
+            raise NetError(
+                f"checkpoint ledger inconsistent: {len(self.per_tick)} "
+                f"ticks rebuilt, {state['ticks']} captured"
+            )
+
+
+async def ship_ticks(
+    writer: asyncio.StreamWriter, epoch: int, ledger: TickLedger
+) -> int:
+    """Ship the ledger's not-yet-reported tick buckets as ``result``
+    frames; returns how many ticks were shipped.
+
+    Chunked at :data:`RESULT_CHUNK` records per frame. Advances
+    ``ledger.reported`` so shipping is incremental: mid-epoch
+    checkpoints ship their delta, and the final drain ships only what
+    no checkpoint already delivered.
+    """
+    start = ledger.reported
+    for index in range(start, len(ledger.per_tick)):
+        bucket = ledger.per_tick[index]
+        for offset in range(0, len(bucket), RESULT_CHUNK):
+            records = [
+                protocol.tuple_to_record(item)
+                for item in bucket[offset:offset + RESULT_CHUNK]
+            ]
+            await write_frame(writer, protocol.result(epoch, index, records))
+    ledger.reported = len(ledger.per_tick)
+    return ledger.reported - start
+
 
 class WorkerGateway(IngestGateway):
     """An :class:`IngestGateway` fed by the router over one connection.
@@ -101,10 +167,25 @@ class WorkerGateway(IngestGateway):
     Differences from the standalone gateway: it never binds a listener —
     the :class:`ClusterWorker` accepts the connection, performs the
     ``worker_hello``/``route`` handshake, and hands the remaining byte
-    stream to :meth:`attach`; and it accepts the router's ``drain``
+    stream to :meth:`attach`; it accepts the router's ``drain``
     frame, which finalizes every routed source at once (the rebalance
-    equivalent of a bye for each).
+    equivalent of a bye for each); and it answers the router's
+    ``checkpoint`` frame with a quiesced state snapshot
+    (:mod:`repro.net.recovery`).
+
+    Args:
+        epoch: The epoch this gateway serves (stamped on ``result`` and
+            ``checkpoint_ack`` frames).
+        label: This worker's label for the epoch.
     """
+
+    def __init__(
+        self, session: Any, sources: "Iterable[str] | None" = None,
+        *, epoch: int = 0, label: str = "worker", **kwargs: Any,
+    ):
+        super().__init__(session, sources, **kwargs)
+        self.epoch = int(epoch)
+        self.label = label
 
     async def attach(
         self,
@@ -117,28 +198,35 @@ class WorkerGateway(IngestGateway):
         Sends the ``hello_ack`` (with initial credits) the router
         expects in place of the feeder-dialect handshake, then runs the
         ordinary serve loop until EOF. The caller runs this as a task
-        alongside :meth:`run_until_drained`.
+        alongside :meth:`run_until_drained`. Source states that a
+        pre-attach :meth:`restore` installed are kept, not rebuilt.
         """
         now = self._clock()
         owned: list[_SourceState] = []
         for name in sources:
-            state = _SourceState(
-                name,
-                BoundedIngressQueue(
-                    self.queue_bound, self.policy, label=name,
-                    telemetry=self._collector,
-                ),
-                ReorderBuffer(self.slack),
-                now,
-            )
+            state = self._states.get(name)
+            if state is None:
+                state = _SourceState(
+                    name,
+                    BoundedIngressQueue(
+                        self.queue_bound, self.policy, label=name,
+                        telemetry=self._collector,
+                    ),
+                    ReorderBuffer(self.slack),
+                    now,
+                )
+                self._states[name] = state
             state.owner = writer
-            self._states[name] = state
+            state.last_seen = now
             owned.append(state)
         self._ever_connected = True
         self._started = True
         credits = None
         if self.policy == "block":
-            credits = {state.name: self.queue_bound for state in owned}
+            credits = {
+                state.name: self.queue_bound - len(state.queue)
+                for state in owned
+            }
         await write_frame(writer, protocol.hello_ack(credits))
         self._drainer = asyncio.ensure_future(self._drain_loop())
         try:
@@ -154,13 +242,48 @@ class WorkerGateway(IngestGateway):
         return self._complete.is_set()
 
     async def _handle_extra(self, frame, writer, states) -> bool:
-        if frame.get("type") == "drain":
+        kind = frame.get("type")
+        if kind == "drain":
             for state in self._states.values():
                 if not state.final:
                     state.final_requested = True
             self._work.set()
             return True
+        if kind == "checkpoint":
+            await self._handle_checkpoint(int(frame.get("id", -1)), writer)
+            return True
         return False
+
+    async def _handle_checkpoint(
+        self, checkpoint_id: int, writer: asyncio.StreamWriter
+    ) -> None:
+        from repro.net.recovery import encode_state
+
+        ledger = self._session
+        async with self.quiesced():
+            # Ship newly swept ticks first: the router's received
+            # per-tick buckets then cover exactly [0, reported) — the
+            # same cut the snapshot's `reported` counter names — so its
+            # ack-time copy plus post-resume deltas is complete and
+            # duplicate-free.
+            await ship_ticks(writer, self.epoch, ledger)
+            state = {
+                "ledger": ledger.checkpoint(),
+                "gateway": self.checkpoint(),
+            }
+        blob, size = encode_state(state)
+        if blob is None:
+            self._count("worker.checkpoint_oversized")
+            await write_frame(writer, protocol.checkpoint_ack(
+                checkpoint_id, self.epoch, ledger.reported, None, ok=False,
+                reason=f"state blob is {size} bytes, beyond the frame "
+                       f"budget; previous checkpoint stays authoritative",
+            ))
+            return
+        self._count("worker.checkpoints_taken")
+        await write_frame(writer, protocol.checkpoint_ack(
+            checkpoint_id, self.epoch, ledger.reported, blob
+        ))
 
 
 class ClusterWorker:
@@ -262,6 +385,10 @@ class ClusterWorker:
             await self._serve_epoch(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # router vanished; the next epoch gets a fresh connection
+        except asyncio.CancelledError:
+            # close() killed us mid-epoch (e.g. a scripted chaos kill);
+            # end the handler quietly — the partial epoch is discarded.
+            pass
         finally:
             if task is not None:
                 self._handlers.discard(task)
@@ -273,7 +400,7 @@ class ClusterWorker:
         opened = await self._open_epoch(reader, writer)
         if opened is None:
             return
-        epoch, label, sources = opened
+        epoch, label, sources, resume = opened
         if not sources:
             await self._serve_idle_epoch(reader, writer, epoch, label)
             return
@@ -288,11 +415,24 @@ class ClusterWorker:
         gateway = WorkerGateway(
             ledger,
             sources,
+            epoch=epoch,
+            label=label,
             slack=self.slack,
             policy="block",
             queue_bound=self.queue_bound,
             telemetry=collector,
         )
+        if resume is not None and resume.get("state") is not None:
+            # Restore into the freshly built identical pipeline before
+            # any data: configuration never crosses the wire, only the
+            # operators' data state does.
+            from repro.net.recovery import decode_state
+
+            state = decode_state(resume["state"])
+            ledger.restore(state["ledger"])
+            gateway.restore(state["gateway"])
+            if self._collector.enabled:
+                self._collector.count("worker.resumed_from_checkpoint")
         self._current = gateway
         serve = asyncio.ensure_future(gateway.attach(reader, writer, sources))
         drained = asyncio.ensure_future(gateway.run_until_drained())
@@ -324,7 +464,7 @@ class ClusterWorker:
 
     async def _open_epoch(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> "tuple[int, str, list[str]] | None":
+    ) -> "tuple[int, str, list[str], dict | None] | None":
         hello = await read_frame(reader)
         if hello is None:
             return None
@@ -363,7 +503,25 @@ class ClusterWorker:
                 f"{list(self._expected)!r}",
             )
             return None
-        return int(route.get("epoch", 0)), label, sources
+        epoch = int(route.get("epoch", 0))
+        resume = None
+        if route.get("resume"):
+            resume = await read_frame(reader)
+            if resume is None:
+                return None
+            if resume.get("type") != "resume":
+                await self._bail(
+                    writer, f"expected resume, got {resume.get('type')!r}"
+                )
+                return None
+            if int(resume.get("epoch", -1)) != epoch:
+                await self._bail(
+                    writer,
+                    f"resume epoch {resume.get('epoch')!r} does not match "
+                    f"route epoch {epoch}",
+                )
+                return None
+        return epoch, label, sources, resume
 
     async def _serve_idle_epoch(
         self,
@@ -404,15 +562,9 @@ class ClusterWorker:
         gateway: WorkerGateway,
         collector: TelemetryCollector,
     ) -> None:
-        for index, bucket in enumerate(ledger.per_tick):
-            for offset in range(0, len(bucket), RESULT_CHUNK):
-                records = [
-                    protocol.tuple_to_record(item)
-                    for item in bucket[offset:offset + RESULT_CHUNK]
-                ]
-                await write_frame(
-                    writer, protocol.result(epoch, index, records)
-                )
+        # Only ticks no mid-epoch checkpoint already delivered: the
+        # router holds [0, reported) from checkpoint-time shipping.
+        await ship_ticks(writer, epoch, ledger)
         snapshot = None
         if collector.enabled:
             snapshot = collector.snapshot()

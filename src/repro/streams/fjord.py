@@ -101,6 +101,11 @@ class FusedStatelessOp(Operator):
     ever fused, so ``on_time`` is trivially empty.
     """
 
+    #: The fused stages themselves are stateless by construction; the
+    #: per-stage flow counters are the only data state to checkpoint
+    #: (so restored stats match an uninterrupted run exactly).
+    STATE_ATTRS = ("stage_counts",)
+
     def __init__(self, stages: Sequence[tuple[str, Operator]]):
         self.stages = list(stages)
         #: node name → [tuples_in, tuples_out], matching what the
@@ -995,6 +1000,72 @@ class FjordSession:
                 sweep_ns=sweep_ns,
                 e2e_ns=done - trace.t_ingest,
             )
+
+    def checkpoint(self) -> dict:
+        """Snapshot the session's execution state for later :meth:`restore`.
+
+        Captures the punctuation cursor, the not-yet-injected tuple heap,
+        per-source ordering stamps, span-correlation traces, and — per
+        DAG node — the operator's data state (via
+        :meth:`~repro.streams.operators.Operator.checkpoint`), its flow
+        counters and any pending input. Everything returned is live
+        references: serialize synchronously, before the next push or
+        advance. Configuration (the graph, ticks, lambdas) is *not*
+        captured — restore targets a freshly built identical pipeline.
+        """
+        nodes: dict[str, dict] = {}
+        for name in self._order:
+            node = self._fjord._nodes[name]
+            nodes[name] = {
+                "state": node.op.checkpoint(),
+                "tuples_in": node.tuples_in,
+                "tuples_out": node.tuples_out,
+                "pending": list(node.pending),
+            }
+        return {
+            "cursor": self._cursor,
+            "heap": list(self._heap),
+            "push_seq": self._push_seq,
+            "last": dict(self._last),
+            "newest": dict(self._newest),
+            "traces": dict(self._traces),
+            "nodes": nodes,
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Install a :meth:`checkpoint` snapshot into this fresh session.
+
+        Must be called before any push or advance, on a session built
+        from the same pipeline with the same tick schedule; execution
+        then continues exactly where the snapshot was taken.
+
+        Raises:
+            OperatorError: When the snapshot references a node this
+                session's dataflow does not have (a configuration
+                mismatch — the pipelines are not identical).
+        """
+        if self._closed:
+            raise OperatorError("restore on a closed FjordSession")
+        if self._cursor or self._heap or self._push_seq:
+            raise OperatorError("restore needs a fresh session")
+        for name, entry in state["nodes"].items():
+            node = self._fjord._nodes.get(name)
+            if node is None:
+                raise OperatorError(
+                    f"checkpoint names unknown node {name!r}; the restored "
+                    f"pipeline does not match the one checkpointed"
+                )
+            node.op.restore(entry["state"])
+            node.tuples_in = entry["tuples_in"]
+            node.tuples_out = entry["tuples_out"]
+            node.pending[:] = entry["pending"]
+        self._cursor = int(state["cursor"])
+        # A copy of a valid heap list is itself a valid heap: no heapify.
+        self._heap = list(state["heap"])
+        self._push_seq = int(state["push_seq"])
+        self._last = dict(state["last"])
+        self._newest = dict(state["newest"])
+        self._traces = dict(state["traces"])
 
     def close(self) -> None:
         """Sweep all remaining ticks and end the session.

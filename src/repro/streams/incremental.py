@@ -95,6 +95,8 @@ class IncrementalWindowedGroupByOp(Operator):
         self._output_stream = output_stream
         self._states: dict[tuple, _IncrementalState] = {}
 
+    STATE_ATTRS = ("_states",)
+
     # -- maintenance ------------------------------------------------------------
 
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:

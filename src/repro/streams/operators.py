@@ -35,9 +35,51 @@ Extractor = Callable[[StreamTuple], Any]
 class Operator:
     """Base class for stream operators (see module docstring)."""
 
+    #: Attribute names holding this operator's mutable *data* state —
+    #: window contents, pending buffers, running moments — as opposed to
+    #: configuration (predicates, thresholds, field names). The default
+    #: :meth:`checkpoint`/:meth:`restore` protocol covers exactly these
+    #: attributes; config is deliberately excluded so restore targets a
+    #: freshly built identical pipeline (lambdas never cross the wire).
+    STATE_ATTRS: tuple[str, ...] = ()
+
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         """Handle one input tuple on ``port``; return output tuples."""
         raise NotImplementedError
+
+    def checkpoint(self) -> "dict[str, Any] | None":
+        """Snapshot this operator's data state, or ``None`` if stateless.
+
+        Returns live references, not copies: the caller serializes the
+        snapshot synchronously (before the operator runs again), which
+        is what makes checkpointing cheap on the hot path. Operators
+        whose state is not attribute-shaped override this together with
+        :meth:`restore`.
+        """
+        if not self.STATE_ATTRS:
+            return None
+        return {name: getattr(self, name) for name in self.STATE_ATTRS}
+
+    def restore(self, state: "Mapping[str, Any] | None") -> None:
+        """Install a :meth:`checkpoint` snapshot into this operator.
+
+        The operator must be freshly constructed with the *same
+        configuration* as the one that produced the snapshot. Lists and
+        dicts are refilled in place so aliases held by the surrounding
+        session (e.g. a sink's results list exposed as ``emitted``)
+        stay valid.
+        """
+        if state is None:
+            return
+        for name, value in state.items():
+            current = getattr(self, name, None)
+            if isinstance(current, list) and isinstance(value, list):
+                current[:] = value
+            elif isinstance(current, dict) and isinstance(value, dict):
+                current.clear()
+                current.update(value)
+            else:
+                setattr(self, name, value)
 
     def on_batch(
         self, items: Sequence[StreamTuple], port: int = 0
@@ -316,6 +358,8 @@ class WindowedGroupByOp(Operator):
         self._output_stream = output_stream
         self._windows: dict[tuple, BaseWindow] = {}
 
+    STATE_ATTRS = ("_windows",)
+
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         key = tuple(k.extractor(item) for k in self._keys)
         window = self._windows.get(key)
@@ -435,6 +479,8 @@ class WindowJoinOp(Operator):
         self._combine = combine
         self._output_stream = output_stream
 
+    STATE_ATTRS = ("_left", "_right")
+
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         if port == 0:
             self._left.insert(item)
@@ -466,6 +512,8 @@ class SinkOp(Operator):
     Attributes:
         results: The collected tuples, in arrival order.
     """
+
+    STATE_ATTRS = ("results",)
 
     def __init__(self, callback: Callable[[StreamTuple], None] | None = None):
         self.results: list[StreamTuple] = []
@@ -512,6 +560,18 @@ class ChainOp(Operator):
         if not stages:
             raise OperatorError("ChainOp needs at least one stage")
         self._stages = list(stages)
+
+    def checkpoint(self) -> "dict[str, Any] | None":
+        states = [stage.checkpoint() for stage in self._stages]
+        if all(state is None for state in states):
+            return None
+        return {"stages": states}
+
+    def restore(self, state: "Mapping[str, Any] | None") -> None:
+        if state is None:
+            return
+        for stage, sub in zip(self._stages, state["stages"]):
+            stage.restore(sub)
 
     def on_tuple(self, item: StreamTuple, port: int = 0) -> list[StreamTuple]:
         pending = [item]

@@ -131,6 +131,34 @@ class ReorderBuffer:
         self._sequence += 1
         return self._release(self._horizon)
 
+    def checkpoint(self) -> dict:
+        """Snapshot the buffer's state for later :meth:`restore`.
+
+        The returned ``heap`` entries reference the buffered tuples
+        themselves (no copies): serialize synchronously, before the next
+        :meth:`push`.
+        """
+        return {
+            "dropped": self.dropped,
+            "released": self.released,
+            "heap": list(self._heap),
+            "sequence": self._sequence,
+            "frontier": self._frontier,
+            "horizon": self._horizon,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Install a :meth:`checkpoint` snapshot into this fresh buffer."""
+        if self._heap or self.released or self.dropped:
+            raise OperatorError("restore needs a fresh ReorderBuffer")
+        self.dropped = int(state["dropped"])
+        self.released = int(state["released"])
+        # A copy of a valid heap list is itself a valid heap: no heapify.
+        self._heap = list(state["heap"])
+        self._sequence = int(state["sequence"])
+        self._frontier = float(state["frontier"])
+        self._horizon = float(state["horizon"])
+
     def flush(self) -> list[StreamTuple]:
         """Release everything still buffered (end of stream).
 
