@@ -168,6 +168,85 @@ def test_span_tracing_overhead_within_budget():
     )
 
 
+#: Relative budget for cluster tracing (trace stamping, frame
+#: re-encode, hop records on result frames, router-side span commit)
+#: vs the identical untraced cluster run.
+CLUSTER_TRACE_BUDGET = 0.05
+
+#: Scenario duration for the cluster gate — hundreds of frames over
+#: real loopback sockets, yet a single run stays around a second.
+CLUSTER_DURATION = 4.0
+
+
+def _run_cluster(traced: bool) -> int:
+    """One in-process 2-worker cluster run over loopback sockets."""
+    import asyncio
+
+    from repro.net.feeder import ReplayFeeder
+    from repro.net.router import ClusterRouter
+    from repro.net.service import build_bundle
+    from repro.net.worker import ClusterWorker
+
+    async def scenario():
+        bundle = build_bundle("shelf", CLUSTER_DURATION, 3)
+        workers = []
+        specs = []
+        router = ClusterRouter(
+            build_bundle("shelf", CLUSTER_DURATION, 3),
+            slack=0.0,
+            telemetry=InMemoryCollector() if traced else None,
+        )
+        try:
+            for index in range(2):
+                worker = ClusterWorker(
+                    build_bundle("shelf", CLUSTER_DURATION, 3), slack=0.0
+                )
+                host, port = await worker.start()
+                workers.append(worker)
+                specs.append((f"w{index}", host, port))
+            host, port = await router.start()
+            await router.connect_workers(specs)
+            feeder = ReplayFeeder(host, port, bundle.streams)
+            await feeder.run()
+            await router.run_until_complete()
+            output = router.result()
+        finally:
+            await router.close()
+            for worker in workers:
+                await worker.close()
+        return len(output)
+
+    return asyncio.run(scenario())
+
+
+def test_traced_cluster_overhead_within_budget():
+    """Cluster tracing costs ≤ 5 % of the untraced cluster's wall time.
+
+    The traced side pays for everything the tentpole added to the data
+    path: per-frame trace stamping and JSON re-encode at the router,
+    hop records riding the result frames, and the span commit at epoch
+    close. Same median-of-trials-with-retries discipline as the other
+    gates — wall clock over loopback sockets is noisier than the pure
+    compute benchmarks, and the retry loop is what separates scheduler
+    bursts from a real hot-path regression.
+    """
+    _run_cluster(False)  # warm caches
+    _run_cluster(True)
+
+    attempts = 3
+    for attempt in range(1, attempts + 1):
+        untraced = _median_seconds(lambda: _run_cluster(False), trials=3)
+        traced = _median_seconds(lambda: _run_cluster(True), trials=3)
+        overhead = traced / untraced - 1.0
+        if overhead <= CLUSTER_TRACE_BUDGET:
+            return
+    raise AssertionError(
+        f"cluster tracing overhead {overhead:.1%} exceeds "
+        f"{CLUSTER_TRACE_BUDGET:.0%} budget after {attempts} attempts "
+        f"(untraced {untraced:.3f}s, traced {traced:.3f}s)"
+    )
+
+
 def test_uninstrumented_throughput(benchmark):
     sources = _trace()
     ticks = _ticks(sources)

@@ -55,7 +55,7 @@ if [ "$PHASE" = "cluster" ]; then
   curl -fsS "http://127.0.0.1:${W0_OPS}/metrics" | head -n 10
 
   PYTHONPATH=src python -m repro cluster shelf \
-    --port "$ROUTER_PORT" --ops-port "$ROUTER_OPS" \
+    --port "$ROUTER_PORT" --ops-port "$ROUTER_OPS" --ops-linger 2.0 \
     --worker "w0=127.0.0.1:${W0_PORT}" --worker "w1=127.0.0.1:${W1_PORT}" \
     --slack 0.0 --duration 4.0 >/dev/null &
   ROUTER=$!
@@ -67,6 +67,11 @@ if [ "$PHASE" = "cluster" ]; then
   curl -fsS "$CBASE/healthz"
   echo "--- router /metrics (head)"
   curl -fsS "$CBASE/metrics" | head -n 10
+  # Recovery counters render from the first scrape, zeros included.
+  curl -fsS "$CBASE/metrics" | grep -q '^repro_recovery_failovers_total 0$' || {
+    echo "router /metrics missing repro_recovery_* families" >&2
+    exit 1
+  }
   curl -fsS "$CBASE/snapshot" >"$OUT"
 
   PYTHONPATH=src python -m repro feed shelf \
@@ -74,18 +79,43 @@ if [ "$PHASE" = "cluster" ]; then
   FEEDER=$!
 
   # Poll the cluster rollup until the completed router closes its ops
-  # listener; the last successful poll is the artifact.
+  # listener; the last successful poll is the artifact. Cluster spans
+  # commit at epoch close, so --ops-linger above guarantees the final
+  # /metrics poll lands after they are on the exposition.
+  METRICS="$OUT.metrics"
   while curl -fsS "$CBASE/snapshot" >"$OUT.tmp" 2>/dev/null; do
-    mv "$OUT.tmp" "$OUT"
+    # Keep the last snapshot taken while the worker ring was still up;
+    # polls landing in the linger window see the torn-down router.
+    if grep -q '"w0"' "$OUT.tmp"; then
+      mv "$OUT.tmp" "$OUT"
+    fi
+    curl -fsS "$CBASE/metrics" >"$METRICS.tmp" 2>/dev/null \
+      && mv "$METRICS.tmp" "$METRICS"
     sleep 0.1
   done
-  rm -f "$OUT.tmp"
+  rm -f "$OUT.tmp" "$METRICS.tmp"
 
   wait "$FEEDER"
   wait "$ROUTER"
   wait "$W0"
   wait "$W1"
   trap - EXIT
+
+  echo "--- router final /metrics: cluster span + recovery families"
+  for pattern in \
+    'span="cluster.e2e",worker="w0"' \
+    'span="cluster.e2e",worker="w1"' \
+    'span="wire.transit",worker="w0"' \
+    'span="worker.session",worker="w1"' \
+    '^repro_recovery_replayed_frames_total 0$' \
+    '^repro_recovery_checkpoints_acked_total '; do
+    grep -q "$pattern" "$METRICS" || {
+      echo "final router /metrics missing $pattern" >&2
+      exit 1
+    }
+  done
+  grep -c 'repro_span_latency_ns_bucket{span="cluster' "$METRICS" \
+    | sed 's/^/cluster span bucket samples: /'
 
   python - "$OUT" <<'EOF'
 import json

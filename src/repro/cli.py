@@ -424,7 +424,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.net.cluster import serve_cluster
 
     collector = None
-    if args.stats or args.ops_port is not None:
+    if args.stats or args.ops_port is not None or args.span_out is not None:
         from repro.streams.telemetry import InMemoryCollector
 
         collector = InMemoryCollector()
@@ -449,20 +449,30 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             ready=ready,
             ops_port=args.ops_port,
             ops_ready=ops_ready,
+            ops_linger=args.ops_linger,
             checkpoint_interval=args.checkpoint_interval,
         )
     )
-    if collector is not None and args.stats:
-        from repro.core.pipeline import stage_rollups
-        from repro.streams.telemetry import format_table
+    if collector is not None:
+        snapshot = collector.snapshot()
+        if args.stats:
+            from repro.core.pipeline import stage_rollups
+            from repro.streams.telemetry import format_table
 
-        print(
-            format_table(
-                collector.snapshot(),
-                rollups=stage_rollups(collector.snapshot()),
-            ),
-            file=sys.stderr,
-        )
+            print(
+                format_table(
+                    snapshot, rollups=stage_rollups(snapshot)
+                ),
+                file=sys.stderr,
+            )
+        if args.span_out is not None:
+            from repro.streams.traceio import write_trace_events
+
+            count = write_trace_events(snapshot["span_log"], args.span_out)
+            print(
+                f"wrote {count} span records to {args.span_out}",
+                file=sys.stderr,
+            )
     print(json.dumps(summary, indent=2, default=_jsonable))
     return 0
 
@@ -832,10 +842,27 @@ def build_parser() -> argparse.ArgumentParser:
         "rollup) on this port (0 = ephemeral; off by default)",
     )
     cluster.add_argument(
+        "--ops-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the ops endpoint up this many seconds after the "
+        "run completes, so a scraper can take one final /metrics "
+        "scrape that includes the committed cluster spans "
+        "(default: 0)",
+    )
+    cluster.add_argument(
         "--stats",
         action="store_true",
         help="print the cluster-wide telemetry rollup to stderr after "
         "the run",
+    )
+    cluster.add_argument(
+        "--span-out",
+        metavar="PATH",
+        help="write the merged cluster span records (per-hop phase "
+        "durations, one record per delivered tuple) to PATH as JSONL; "
+        "implies tracing",
     )
     cluster.add_argument(
         "--checkpoint-interval",

@@ -329,6 +329,16 @@ class ESPStreamSession:
         """Sweep every pending tick strictly below ``watermark``."""
         return self._session.advance(watermark)
 
+    @property
+    def span_sink(self):
+        """The Fjord session's cluster span sink (see
+        :attr:`FjordSession.span_sink`); settable runtime wiring."""
+        return self._session.span_sink
+
+    @span_sink.setter
+    def span_sink(self, sink) -> None:
+        self._session.span_sink = sink
+
     def checkpoint(self) -> dict:
         """Snapshot executor state (see :meth:`FjordSession.checkpoint`).
 

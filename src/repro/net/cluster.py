@@ -19,6 +19,7 @@ This module is the glue above :mod:`repro.net.router` and
 
 from __future__ import annotations
 
+import asyncio
 import os
 import subprocess
 import sys
@@ -86,6 +87,7 @@ async def serve_cluster(
     ready: "Callable[[str, int], None] | None" = None,
     ops_port: "int | None" = None,
     ops_ready: "Callable[[str, int], None] | None" = None,
+    ops_linger: float = 0.0,
     checkpoint_interval: "int | None" = None,
     supervisor: Any = None,
 ) -> dict[str, Any]:
@@ -101,6 +103,11 @@ async def serve_cluster(
         ops_port: When set, also serve ``/metrics``, ``/healthz``,
             ``/readyz`` and ``/snapshot`` for the router (with the
             cluster-wide telemetry rollup) on this port.
+        ops_linger: Keep the ops endpoint up this many seconds after
+            the run completes. Cluster spans commit at epoch close, a
+            moment before a zero-linger endpoint disappears — the
+            grace period lets a scraper take one final ``/metrics``
+            scrape that includes them.
         checkpoint_interval: Forwarded to the router — checkpoint each
             worker's state every this many forwarded frames; ``None``
             disables checkpointing (recovery falls back to full
@@ -139,6 +146,8 @@ async def serve_cluster(
     finally:
         await router.close()
         if ops_server is not None:
+            if ops_linger > 0:
+                await asyncio.sleep(ops_linger)
             await ops_server.close()
     return {
         "scenario": name,

@@ -253,6 +253,51 @@ class ChaosProxy:
                 return
 
 
+def _latency_stats(values: "list[int]") -> dict[str, Any]:
+    """``count``/``p50``/``p95``/``max`` over integer-ns durations."""
+    if not values:
+        return {"count": 0, "p50_ns": None, "p95_ns": None, "max_ns": None}
+    ordered = sorted(values)
+
+    def pick(quantile: float) -> int:
+        return ordered[min(len(ordered) - 1, int(quantile * len(ordered)))]
+
+    return {
+        "count": len(ordered),
+        "p50_ns": pick(0.50),
+        "p95_ns": pick(0.95),
+        "max_ns": ordered[-1],
+    }
+
+
+def chaos_latency(
+    span_log: "list[dict]", trigger: "int | None"
+) -> dict[str, Any]:
+    """Partition cluster ``e2e`` spans around the fault trigger.
+
+    ``during`` is the replayed population — tuples the fault forced
+    back through recovery's bounded-tail replay, so their end-to-end
+    span absorbs detection, backoff and resume. ``before``/``after``
+    split the first-delivery population at the trigger frame by ingest
+    id (the router assigns ids in feed order, so the comparison lands
+    on the exact frame the fault was scripted against). With no
+    trigger (control run) everything lands in ``before``.
+    """
+    phases: dict[str, list[int]] = {"before": [], "during": [], "after": []}
+    for record in span_log:
+        if record.get("kind") != "cluster_span":
+            continue
+        if record.get("replayed"):
+            phases["during"].append(record["e2e_ns"])
+        elif trigger is None or record.get("ingest_id", 0) <= trigger:
+            phases["before"].append(record["e2e_ns"])
+        else:
+            phases["after"].append(record["e2e_ns"])
+    return {
+        phase: _latency_stats(values) for phase, values in phases.items()
+    }
+
+
 async def chaos_run(
     name: str,
     *,
@@ -283,14 +328,17 @@ async def chaos_run(
     - ``none``     — control run, no fault.
 
     Returns a JSON-friendly report: the differential verdict
-    (``identical``), the router's recovery counters, and the injected
-    fault log.
+    (``identical``), the router's recovery counters, the injected
+    fault log, and a ``latency`` block with end-to-end percentiles
+    before/during/after the fault computed from the cluster spans
+    (the run is always traced — see :func:`chaos_latency`).
     """
     from repro.net.feeder import ReplayFeeder
     from repro.net.recovery import WorkerSupervisor
     from repro.net.router import ClusterRouter
     from repro.net.service import build_bundle
     from repro.net.worker import ClusterWorker
+    from repro.streams.telemetry import InMemoryCollector
 
     if fault not in ("kill", "reset", "truncate", "slow", "none"):
         raise NetError(f"unknown chaos fault {fault!r}")
@@ -336,11 +384,13 @@ async def chaos_run(
         backoff_cap=0.01,
         seed=0,
     )
+    collector = InMemoryCollector()
     router = ClusterRouter(
         build_bundle(name, duration, seed),
         slack=slack,
         checkpoint_interval=checkpoint_interval,
         supervisor=supervisor,
+        telemetry=collector,
     )
     specs: list[tuple[str, str, int]] = []
     try:
@@ -385,6 +435,10 @@ async def chaos_run(
         "reference_tuples": len(reference),
         "checkpoint_interval": checkpoint_interval,
         "recovery": dict(router.recovery),
+        "latency": chaos_latency(
+            collector.snapshot()["span_log"],
+            trigger if fault != "none" else None,
+        ),
         "injected": [
             record for proxy in proxies for record in proxy.injected
         ],

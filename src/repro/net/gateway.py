@@ -318,11 +318,17 @@ class IngestGateway:
                 item = protocol.record_to_tuple(frame.get("record") or {})
                 arrival = float(frame.get("arrival", item.timestamp))
                 trace = None
-                if self._collector.enabled:
+                ctx = frame.get("trace")
+                if self._collector.enabled or ctx is not None:
                     self._ingest_seq += 1
                     trace = IngestTrace(
                         self._ingest_seq, state.name, item.timestamp
                     )
+                    if ctx is not None:
+                        # Cluster hop context stamped by a tracing
+                        # router; t_ingest doubles as the worker-clock
+                        # receive stamp for the wire.transit span.
+                        trace.ctx = ctx
                 entry = (int(frame.get("seq", 0)), arrival, item, trace)
                 await self._offer(state, entry)
             elif kind == "heartbeat":

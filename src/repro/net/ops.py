@@ -10,7 +10,10 @@ a dependency-free asyncio HTTP listener (off by default, enabled with
   (bucket ``le`` edges are exactly
   :data:`~repro.streams.telemetry.LATENCY_BUCKETS_NS`), source gauges,
   raw counters (including the ``gateway.*`` ingress accounting) and the
-  ingest span histograms.
+  ingest span histograms. Behind a cluster router the span families
+  carry a ``worker`` label (rolled up through ``absorb(node=...)``
+  name prefixes) and the router's recovery counters render as
+  ``repro_recovery_*_total`` families.
 - ``GET /healthz`` — liveness: the process is up and serving.
 - ``GET /readyz`` — readiness via
   :meth:`~repro.net.gateway.IngestGateway.readiness`: 200 once the
@@ -61,6 +64,38 @@ def _counter_key_to_labels(key: str) -> str:
     return f'key="{_escape_label(key)}"'
 
 
+#: Router recovery counters surfaced as ``repro_recovery_*_total``
+#: families, with their HELP text. Every key renders on every scrape
+#: (zeros included) so absence-of-recovery is observable, not ambiguous.
+RECOVERY_COUNTERS = (
+    ("checkpoints_acked", "Worker checkpoint acks recorded by the router."),
+    ("checkpoints_rejected",
+     "Checkpoints refused by workers (state blob over budget)."),
+    ("resumes", "Workers resumed from their last acked checkpoint."),
+    ("restarts", "Worker processes respawned by the supervisor."),
+    ("failovers", "Epoch restarts rebalanced onto the surviving workers."),
+    ("replayed_frames", "Data frames replayed to recovered workers."),
+    ("forwards_skipped_dead",
+     "Forwards skipped because the target link was already dead."),
+)
+
+
+def _span_labels(name: str) -> str:
+    """Label pairs for one span family name.
+
+    Cluster rollups prefix worker-origin span names as
+    ``<worker>:<span>`` (see ``InMemoryCollector.absorb``); the prefix
+    becomes a ``worker`` label so dashboards can aggregate a span
+    across workers or drill into one.
+    """
+    worker, sep, span = name.partition(":")
+    if sep:
+        return (
+            f'span="{_escape_label(span)}",worker="{_escape_label(worker)}"'
+        )
+    return f'span="{_escape_label(name)}"'
+
+
 def _render_histogram(
     lines: list[str],
     metric: str,
@@ -87,13 +122,23 @@ def _render_histogram(
     lines.append(f"{metric}_count{{{labels}}} {cumulative}")
 
 
-def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+def render_prometheus(
+    snapshot: Mapping[str, Any],
+    recovery: "Mapping[str, int] | None" = None,
+) -> str:
     """Render a collector snapshot as Prometheus text exposition.
 
     Operator latency histograms use ``busy_ns`` as the ``_sum`` — exact,
     because every ``record_batch``/``record_punctuation`` call adds the
     identical elapsed value to both the histogram and the busy counter.
     Ends with a trailing newline as the exposition format requires.
+
+    Args:
+        snapshot: A collector snapshot.
+        recovery: The router's recovery counter mapping (from
+            ``ClusterRouter.stats()["recovery"]``); when given, every
+            :data:`RECOVERY_COUNTERS` key renders as its own
+            ``repro_recovery_<key>_total`` family.
     """
     lines: list[str] = []
 
@@ -184,10 +229,17 @@ def render_prometheus(snapshot: Mapping[str, Any]) -> str:
             _render_histogram(
                 lines,
                 metric,
-                f'span="{_escape_label(name)}"',
+                _span_labels(name),
                 entry["latency_ns"],
                 entry["total_ns"],
             )
+
+    if recovery is not None:
+        for key, help_text in RECOVERY_COUNTERS:
+            metric = f"repro_recovery_{key}_total"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {int(recovery.get(key, 0))}")
 
     return "\n".join(lines) + "\n" if lines else "\n"
 
@@ -305,7 +357,8 @@ class OpsServer:
                 json.dumps(verdict, sort_keys=True) + "\n",
             )
         if path == "/metrics":
-            body = render_prometheus(self._snapshot())
+            recovery = self._gateway.stats().get("recovery")
+            body = render_prometheus(self._snapshot(), recovery=recovery)
             return 200, "text/plain; version=0.0.4; charset=utf-8", body
         if path == "/snapshot":
             document = snapshot_document(
@@ -437,15 +490,34 @@ def format_top(
             )
         lines.append(
             f"{'worker':<12} {'address':<22} {'sources':>8} {'acked':>6} "
-            f"{'status':<10}"
+            f"{'e2e_p50_us':>10} {'e2e_p95_us':>10} {'status':<10}"
         )
         for name in sorted(worker_stats):
             entry = worker_stats[name]
+            # Cluster tracing records the tuple-level end-to-end span
+            # under the worker-prefixed family name.
+            e2e = spans.get(f"{name}:cluster.e2e")
+            if e2e and e2e.get("count"):
+                p50, p95 = _percentiles_us(e2e["latency_ns"])
+                p50_cell, p95_cell = _fmt_us(p50), _fmt_us(p95)
+            else:
+                p50_cell = p95_cell = "-"
             lines.append(
                 f"{name:<12} {entry['address']:<22} "
                 f"{entry['sources']:>8} {entry['acked']:>6} "
+                f"{p50_cell:>10} {p95_cell:>10} "
                 f"{entry.get('status', 'alive'):<10}"
             )
+
+    recovery = gateway.get("recovery") or {}
+    if recovery:
+        lines.append("")
+        lines.append(
+            "recovery: "
+            + "  ".join(
+                f"{key}={recovery[key]}" for key in sorted(recovery)
+            )
+        )
 
     source_stats = gateway.get("sources", {})
     if source_stats:

@@ -18,7 +18,11 @@ hello_ack   → client   accepts: negotiated ``version`` and, under the
                        ``credits`` (``null`` means uncredited)
 data        client →   one reading: ``source``, per-source ``seq``,
                        simulated ``arrival`` time, and the ``record``
-                       (:func:`tuple_to_record` encoding)
+                       (:func:`tuple_to_record` encoding); a tracing
+                       router adds a ``trace`` context (ingest ``id``,
+                       integer-ns ``recv``/``acq``/``fwd`` hop stamps,
+                       ``replayed`` flag) before forwarding — feeders
+                       never send one
 heartbeat   client →   liveness signal for ``sources`` between readings
 credit      → client   grants ``credits`` more in-flight frames for
                        ``source`` (backpressure release)
@@ -48,7 +52,9 @@ drain       router →   finalize now: treat every routed source as byed,
 result      worker →   cleaned output for one punctuation ``tick``
                        index of ``epoch``: a list of ``records``
                        (:func:`tuple_to_record`); ticks with no output
-                       are simply never sent
+                       are simply never sent — unless tracing is live,
+                       in which case a tick's completed hop-``spans``
+                       ride the same frame (possibly with no records)
 result_end  worker →   epoch complete: total ``ticks`` swept, the
                        worker gateway's ``stats`` and (when
                        instrumented) its ``telemetry`` snapshot
@@ -377,14 +383,34 @@ def drain() -> dict:
     return {"type": "drain"}
 
 
-def result(epoch: int, tick: int, records: Iterable[Mapping[str, Any]]) -> dict:
-    """Cleaned output for one punctuation tick index of ``epoch``."""
-    return {
+def result(
+    epoch: int,
+    tick: int,
+    records: Iterable[Mapping[str, Any]],
+    spans: "Iterable[list] | None" = None,
+) -> dict:
+    """Cleaned output for one punctuation tick index of ``epoch``.
+
+    ``spans`` carries the tick's completed hop-span records when the
+    cluster trace context is live (see the ``trace`` field on data
+    frames): positional arrays ``[ingest_id, source, sim_ts, recv,
+    acq, fwd, wrecv, queued, released, done, replayed]`` — the trace
+    context's router stamps, then the worker-clock stamps, all integer
+    nanoseconds, with ``replayed`` as 0/1 (positional rather than
+    keyed to keep the per-tuple wire cost inside the traced cluster's
+    overhead budget). The key is omitted entirely when there are none,
+    so the golden wire bytes of an untraced ``result`` are unchanged
+    from protocol v2.
+    """
+    frame = {
         "type": "result",
         "epoch": int(epoch),
         "tick": int(tick),
         "records": list(records),
     }
+    if spans:
+        frame["spans"] = list(spans)
+    return frame
 
 
 def result_end(

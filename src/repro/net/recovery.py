@@ -90,7 +90,7 @@ class WorkerCheckpoint:
     """One acked checkpoint: blob + replay cut + results received so far."""
 
     __slots__ = ("checkpoint_id", "epoch", "ticks", "state", "positions",
-                 "per_tick", "sources")
+                 "per_tick", "sources", "spans")
 
     def __init__(
         self,
@@ -101,6 +101,7 @@ class WorkerCheckpoint:
         positions: Mapping[str, int],
         per_tick: "Mapping[int, list[StreamTuple]]",
         sources: "tuple[str, ...] | list[str]" = (),
+        spans: "Mapping[int, list[list]] | None" = None,
     ):
         self.checkpoint_id = checkpoint_id
         #: Epoch the snapshot belongs to; resume is only legal into a
@@ -120,6 +121,12 @@ class WorkerCheckpoint:
         #: cross-epoch resume is only legal when the new epoch assigns
         #: the worker the same set (its input stream is then identical).
         self.sources = tuple(sources)
+        #: Tick → hop-span records received alongside :attr:`per_tick`
+        #: when cluster tracing is live — snapshotted and restored with
+        #: the results so failover commits each tuple's span exactly
+        #: once, from whichever epoch owns its tick.
+        self.spans = {tick: list(bucket) for tick, bucket in
+                      (spans or {}).items()}
 
 
 class CheckpointStore:

@@ -103,16 +103,54 @@ class _LinkDead(Exception):
 class _RetainedFrame:
     """One data frame kept for epoch replay."""
 
-    __slots__ = ("arrival", "seq", "source", "key", "payload")
+    __slots__ = (
+        "arrival", "seq", "source", "key", "payload", "ingest_id", "recv",
+    )
 
     def __init__(
-        self, arrival: float, seq: int, source: str, key: str, payload: bytes
+        self,
+        arrival: float,
+        seq: int,
+        source: str,
+        key: str,
+        payload: bytes,
+        ingest_id: int = 0,
+        recv: int = 0,
     ):
         self.arrival = arrival
         self.seq = seq
         self.source = source
         self.key = key
         self.payload = payload
+        #: Cluster trace identity assigned at first receipt (0 when the
+        #: router runs untraced). A replay re-stamps fresh forward
+        #: timestamps but keeps the original id and receive instant, so
+        #: a re-run tuple's ``router.queue`` span absorbs the failover
+        #: delay — attributable via its ``replayed`` flag, not a
+        #: mystery spike.
+        self.ingest_id = ingest_id
+        self.recv = recv
+
+
+def _traced_payload(
+    payload: bytes, ingest_id: int, recv: int, acq: int,
+    replayed: bool = False,
+) -> bytes:
+    """Splice the cluster trace context into a data frame's payload.
+
+    The feeder's JSON object bytes are kept verbatim and the ``trace``
+    member is appended just before the closing brace — no parse or
+    re-encode on the forwarding hot path (feeders never send a
+    ``trace`` key, so the splice cannot collide; the traced-cluster
+    overhead gate in ``benchmarks/test_bench_telemetry.py`` is why this
+    is a splice and not a ``json.dumps``). ``fwd`` is stamped here,
+    immediately before the write — any serialization cost lands in the
+    (cross-clock-domain) ``wire.transit`` span, not ``router.forward``.
+    """
+    flag = b',"replayed":true' if replayed else b""
+    return b'%s,"trace":{"id":%d,"recv":%d,"acq":%d,"fwd":%d%s}}' % (
+        payload[:-1], ingest_id, recv, acq, time.perf_counter_ns(), flag,
+    )
 
 
 class _WorkerLink:
@@ -129,6 +167,15 @@ class _WorkerLink:
         self.granted = asyncio.Condition()
         self.acked: set[str] = set()
         self.per_tick: dict[int, list[StreamTuple]] = {}
+        #: Tick → positional hop-span records shipped back on
+        #: ``result`` frames (layout on :func:`repro.net.protocol.result`),
+        #: each with its router-arrival instant (``merge``) appended as
+        #: a twelfth element. Mirrored into checkpoints alongside
+        #: :attr:`per_tick` and committed to the collector only at
+        #: epoch close, for the ticks the epoch actually owns —
+        #: exactly-once span accounting under the same ownership rule
+        #: as the egress merge.
+        self.span_buckets: dict[int, list[list]] = {}
         self.end: "asyncio.Future[dict]" = (
             asyncio.get_running_loop().create_future()
         )
@@ -190,13 +237,19 @@ class _WorkerLink:
                 elif kind == "bye_ack":
                     self.acked.add(frame.get("source"))
                 elif kind == "result":
-                    bucket = self.per_tick.setdefault(
-                        int(frame.get("tick", 0)), []
-                    )
+                    tick = int(frame.get("tick", 0))
+                    bucket = self.per_tick.setdefault(tick, [])
                     bucket.extend(
                         protocol.record_to_tuple(record)
                         for record in frame.get("records") or []
                     )
+                    spans = frame.get("spans")
+                    if spans:
+                        merge = time.perf_counter_ns()
+                        hops = self.span_buckets.setdefault(tick, [])
+                        for record in spans:
+                            record.append(merge)
+                            hops.append(record)
                 elif kind == "checkpoint_ack":
                     if self.on_checkpoint_ack is not None:
                         self.on_checkpoint_ack(self, frame)
@@ -266,7 +319,12 @@ class ClusterRouter:
         queue_bound: Credit window per source, both feeder-facing and
             per worker connection.
         telemetry: Cluster-wide rollup collector; absorbs every worker
-            epoch snapshot under its worker label.
+            epoch snapshot under its worker label. Also switches on
+            cluster tracing: the router stamps a trace context on every
+            forwarded data frame, workers ship completed hop records
+            back on ``result`` frames, and epoch close commits the
+            per-worker span set (``router.queue`` … ``cluster.e2e``)
+            plus one ``cluster_span`` log entry per delivered tuple.
         clock: Wall-clock source (injectable for tests).
         checkpoint_interval: Ask a worker for a state checkpoint every
             this many data frames forwarded on its link; ``None``
@@ -332,6 +390,12 @@ class ClusterRouter:
         self.data_frames = 0
         self._offered: dict[str, int] = {}
         self._frame_waiters: list[asyncio.Event] = []
+        # -- cluster tracing --------------------------------------------------
+        #: With an enabled collector the router stamps a trace context
+        #: on every forwarded data frame (one re-encode per frame);
+        #: untraced, the hot path relays the raw payload untouched.
+        self._tracing = self._collector.enabled
+        self._trace_seq = 0
         # -- fault tolerance --------------------------------------------------
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise NetError(
@@ -565,6 +629,7 @@ class ClusterRouter:
             the labels that could not produce a live drain.
         """
         results: dict[str, dict[str, Any]] = {}
+        span_sources: dict[str, dict[int, list[dict]]] = {}
         lost: list[str] = []
         for label in sorted(self._links):
             link = self._links[label]
@@ -589,6 +654,7 @@ class ClusterRouter:
                     "ticks": int(end.get("ticks", 0)),
                     "stats": end.get("stats") or {},
                 }
+                span_sources[label] = link.span_buckets
                 snapshot = end.get("telemetry")
                 if snapshot and self._collector.enabled:
                     self._collector.absorb(snapshot, node=label)
@@ -604,11 +670,25 @@ class ClusterRouter:
                     "ticks": entry.ticks,
                     "stats": {},
                 }
+                span_sources[label] = entry.spans
                 boundary = min(boundary, entry.ticks)
             else:
                 results[label] = {"per_tick": {}, "ticks": 0, "stats": {}}
                 boundary = self._epoch_start
         boundary = min(max(boundary, self._epoch_start), len(self._ticks))
+        # Commit span records under the same ownership rule as the
+        # egress merge: only ticks inside [epoch start, boundary)
+        # belong to this epoch, so every delivered tuple's cluster span
+        # set is committed exactly once — re-runs of already-owned
+        # ticks (full-history replay after a failover) are dropped
+        # here, and a dead link's live buckets are never trusted past
+        # its checkpoint (its ``span_sources`` entry *is* the
+        # checkpoint's snapshot, mirroring ``per_tick``).
+        if self._tracing:
+            for label in sorted(span_sources):
+                self._commit_spans(
+                    label, span_sources[label], self._epoch_start, boundary
+                )
         self._epochs.append(
             {
                 "epoch": self._epoch,
@@ -623,6 +703,71 @@ class ClusterRouter:
         self._links = {}
         self._epoch_start = boundary
         return boundary, lost
+
+    #: The cluster hop phases in path order: ``(span name, span-log
+    #: field, minuend index, subtrahend index)`` into the positional
+    #: hop record (layout on :func:`repro.net.protocol.result`; index
+    #: 11 is the router-stamped ``merge`` arrival). Consecutive phases
+    #: share their boundary stamps, so the integer-ns durations sum
+    #: *exactly* to ``cluster.e2e`` — same-clock-domain phases are true
+    #: durations; the two marked cross-domain (router clock → worker
+    #: clock and back) additionally absorb any clock-origin skew.
+    CLUSTER_PHASES = (
+        ("router.queue", "router_queue_ns", 4, 3),
+        ("router.forward", "router_forward_ns", 5, 4),
+        ("wire.transit", "wire_transit_ns", 6, 5),    # cross clock domain
+        ("worker.queue", "worker_queue_ns", 7, 6),
+        ("worker.reorder", "worker_reorder_ns", 8, 7),
+        ("worker.session", "worker_session_ns", 9, 8),
+        ("merge.egress", "merge_egress_ns", 11, 9),   # cross clock domain
+    )
+
+    def _commit_spans(
+        self,
+        label: str,
+        buckets: "dict[int, list[list]]",
+        start: int,
+        end: int,
+    ) -> None:
+        """Close the cluster span set for ``label``'s owned ticks: one
+        span-log entry per tuple plus its eight per-hop histograms.
+
+        Span names are recorded ``<label>:<name>`` — the same prefixing
+        :meth:`~repro.streams.telemetry.InMemoryCollector.absorb` gives
+        worker snapshots under ``node=`` — which the ops plane renders
+        as a ``worker`` label on ``repro_span_latency_ns``. The loop is
+        deliberately flat — names resolved once per worker, stamps by
+        position — because it runs once per delivered tuple and counts
+        against the traced cluster's overhead budget.
+        """
+        collector = self._collector
+        record_span = collector.record_span
+        phases = [
+            (f"{label}:{name}", field, hi, lo)
+            for name, field, hi, lo in self.CLUSTER_PHASES
+        ]
+        e2e_name = f"{label}:cluster.e2e"
+        for tick in sorted(buckets):
+            if not start <= tick < end:
+                continue
+            for hop in buckets[tick]:
+                entry: dict[str, Any] = {
+                    "kind": "cluster_span",
+                    "ingest_id": hop[0],
+                    "source": hop[1],
+                    "sim_ts": hop[2],
+                    "tick": tick,
+                    "worker": label,
+                    "replayed": bool(hop[10]),
+                }
+                for name, field, hi, lo in phases:
+                    duration = hop[hi] - hop[lo]
+                    record_span(name, duration)
+                    entry[field] = duration
+                e2e = hop[11] - hop[3]
+                record_span(e2e_name, e2e)
+                entry["e2e_ns"] = e2e
+                collector.span(**entry)
 
     async def _open_epoch(
         self, membership: "dict[str, tuple[str, int]]", start_tick: int
@@ -705,6 +850,10 @@ class ClusterRouter:
                         tick: list(bucket)
                         for tick, bucket in entry.per_tick.items()
                     }
+                    link.span_buckets = {
+                        tick: list(bucket)
+                        for tick, bucket in entry.spans.items()
+                    }
                 self._wire_link(link)
                 link.task = asyncio.ensure_future(link.read_loop())
             self._links = links
@@ -742,7 +891,9 @@ class ClusterRouter:
                 )
                 link.since_checkpoint += 1
                 assert link.writer is not None
-                await write_raw_frame(link.writer, frame.payload)
+                await write_raw_frame(
+                    link.writer, self._replay_payload(frame)
+                )
             except _LinkDead:
                 continue  # its recovery task will replay for it
             except (ConnectionError, RuntimeError):
@@ -752,6 +903,26 @@ class ClusterRouter:
             await self._maybe_checkpoint(link)
         for name in sorted(self._final):
             await self._forward_bye(name)
+
+    def _replay_payload(self, frame: _RetainedFrame) -> bytes:
+        """The wire payload for replaying one retained frame.
+
+        Untraced, the original bytes are relayed verbatim. Traced, the
+        frame is re-stamped with fresh acquire/forward instants under
+        its *original* ingest id and receive stamp, flagged
+        ``replayed`` — re-run tuples then close a second span record
+        whose commit the epoch-ownership rule dedupes, and failover
+        latency lands attributably in their ``router.queue`` phase.
+        """
+        if not self._tracing:
+            return frame.payload
+        return _traced_payload(
+            frame.payload,
+            frame.ingest_id,
+            frame.recv,
+            time.perf_counter_ns(),
+            replayed=True,
+        )
 
     # -- fault tolerance -----------------------------------------------------
 
@@ -792,6 +963,10 @@ class ClusterRouter:
                     for tick, bucket in link.per_tick.items()
                 },
                 sources=link.sources,
+                spans={
+                    tick: list(bucket)
+                    for tick, bucket in link.span_buckets.items()
+                },
             ),
         )
         self._bump("checkpoints_acked")
@@ -952,6 +1127,10 @@ class ClusterRouter:
                     tick: list(bucket)
                     for tick, bucket in entry.per_tick.items()
                 }
+                link.span_buckets = {
+                    tick: list(bucket)
+                    for tick, bucket in entry.spans.items()
+                }
             self._wire_link(link)
             link.task = asyncio.ensure_future(link.read_loop())
             await self._replay_tail(link)
@@ -984,7 +1163,7 @@ class ClusterRouter:
                 continue
             await link.acquire(frame.source)
             assert link.writer is not None
-            await write_raw_frame(link.writer, frame.payload)
+            await write_raw_frame(link.writer, self._replay_payload(frame))
             self._bump("replayed_frames")
         for name in sorted(self._final):
             if name in link.sources:
@@ -1139,6 +1318,13 @@ class ClusterRouter:
                     frame.get("arrival", record.get("ts", 0.0))
                 )
                 key = str(self._key_fn(source, record))
+                ingest_id = recv = 0
+                if self._tracing:
+                    # The receive stamp precedes the gate wait so a
+                    # frozen rebalance gate shows up in router.queue.
+                    recv = time.perf_counter_ns()
+                    self._trace_seq += 1
+                    ingest_id = self._trace_seq
                 await self._gate.wait()
                 self._inflight += 1
                 self._idle.clear()
@@ -1150,6 +1336,8 @@ class ClusterRouter:
                         source,
                         key,
                         payload,
+                        ingest_id=ingest_id,
+                        recv=recv,
                     )
                     self._history[source].append(retained)
                     previous = self._max_arrival.get(
@@ -1170,7 +1358,15 @@ class ClusterRouter:
                         )
                         link.since_checkpoint += 1
                         assert link.writer is not None
-                        await write_raw_frame(link.writer, payload)
+                        out = payload
+                        if self._tracing:
+                            out = _traced_payload(
+                                payload,
+                                ingest_id,
+                                recv,
+                                time.perf_counter_ns(),
+                            )
+                        await write_raw_frame(link.writer, out)
                     except _LinkDead:
                         # Already retained; recovery's replay delivers
                         # it. Skip, return the feeder's credit below.

@@ -58,11 +58,19 @@ class TickLedger:
         self._ticks: tuple[float, ...] = tuple(session.ticks)
         #: Output attributed to each swept tick, in tick order.
         self.per_tick: list[list[StreamTuple]] = []
+        #: Completed hop-span records attributed to each swept tick —
+        #: strictly parallel to :attr:`per_tick`. Populated only when
+        #: the router stamped a trace context on forwarded data frames;
+        #: each record is the positional array documented on
+        #: :func:`repro.net.protocol.result`.
+        self.spans_per_tick: list[list[list]] = []
         #: Ticks whose results have already been shipped to the router
         #: (see :func:`ship_ticks`) — result shipping is incremental so
         #: a checkpoint's ack covers exactly the results the router
         #: holds, and the final drain ships only the delta.
         self.reported = 0
+        self._closing: list[list] = []
+        session.span_sink = self._capture_span
 
     @property
     def receptor_ids(self) -> tuple[str, ...]:
@@ -93,7 +101,36 @@ class TickLedger:
             before = len(self._session.emitted)
             swept.extend(self._session.advance(tick + 3e-9))
             self.per_tick.append(list(self._session.emitted[before:]))
+            self.spans_per_tick.append(self._closing)
+            self._closing = []
         return swept
+
+    def _capture_span(self, trace: Any, done: int) -> None:
+        """Session callback: one cluster-traced tuple finished its sweep.
+
+        Flattens the router's trace context plus the worker-clock
+        stamps into the positional hop record that ships back on this
+        tick's ``result`` frame (layout documented on
+        :func:`repro.net.protocol.result`). Raw integer-ns stamps
+        travel, not durations — the router computes phases at arrival,
+        when it can add its own merge stamp — and the positional form
+        keeps the per-tuple wire and capture cost inside the traced
+        cluster's overhead budget.
+        """
+        ctx = trace.ctx
+        self._closing.append([
+            ctx["id"],
+            trace.source,
+            trace.sim_ts,
+            ctx["recv"],
+            ctx["acq"],
+            ctx["fwd"],
+            trace.t_ingest,
+            trace.t_queued,
+            trace.t_released,
+            done,
+            1 if ctx.get("replayed") else 0,
+        ])
 
     def close(self) -> Any:
         self.advance(float("inf"))
@@ -114,6 +151,8 @@ class TickLedger:
             "reported": self.reported,
             "pending": [list(bucket) for bucket in
                         self.per_tick[self.reported:]],
+            "pending_spans": [list(bucket) for bucket in
+                              self.spans_per_tick[self.reported:]],
         }
 
     def restore(self, state: dict[str, Any]) -> None:
@@ -130,6 +169,11 @@ class TickLedger:
         self.reported = int(state["reported"])
         self.per_tick = [[] for _ in range(self.reported)]
         self.per_tick.extend(list(bucket) for bucket in state["pending"])
+        pending_spans = state.get("pending_spans")
+        if pending_spans is None:
+            pending_spans = [[] for _ in state["pending"]]
+        self.spans_per_tick = [[] for _ in range(self.reported)]
+        self.spans_per_tick.extend(list(bucket) for bucket in pending_spans)
         if len(self.per_tick) != int(state["ticks"]):
             raise NetError(
                 f"checkpoint ledger inconsistent: {len(self.per_tick)} "
@@ -151,12 +195,21 @@ async def ship_ticks(
     start = ledger.reported
     for index in range(start, len(ledger.per_tick)):
         bucket = ledger.per_tick[index]
-        for offset in range(0, len(bucket), RESULT_CHUNK):
+        spans = ledger.spans_per_tick[index]
+        offset = 0
+        # Records and spans chunk in lockstep; a tick whose tuples were
+        # all filtered away still ships its spans (records empty), and
+        # an untraced tick with no output still ships nothing at all.
+        while offset < len(bucket) or offset < len(spans):
             records = [
                 protocol.tuple_to_record(item)
                 for item in bucket[offset:offset + RESULT_CHUNK]
             ]
-            await write_frame(writer, protocol.result(epoch, index, records))
+            chunk = spans[offset:offset + RESULT_CHUNK]
+            await write_frame(
+                writer, protocol.result(epoch, index, records, chunk)
+            )
+            offset += RESULT_CHUNK
     ledger.reported = len(ledger.per_tick)
     return ledger.reported - start
 

@@ -35,7 +35,7 @@ produces bit-identical output — mode is a pure performance knob.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import OperatorError
 from repro.streams.columnar import ColumnBatch, coalesce
@@ -823,6 +823,12 @@ class FjordSession:
         self._newest: dict[str, float] = {}  # per-source newest injected
         #: push_seq → IngestTrace for pushes carrying span correlation.
         self._traces: dict[int, IngestTrace] = {}
+        #: Optional ``sink(trace, done_ns)`` called for every finished
+        #: trace that carries a cluster context (``trace.ctx``). A
+        #: cluster worker's tick ledger hangs its hop-record capture
+        #: here; the attribute is runtime wiring, deliberately outside
+        #: :meth:`checkpoint` state.
+        self.span_sink: "Callable[[IngestTrace, int], None] | None" = None
         self._closed = False
         if self._enabled:
             fjord._emit_run_start(self._order, collector)
@@ -978,8 +984,11 @@ class FjordSession:
         accounting invariant the span tests pin.
         """
         collector = self._collector
+        sink = self.span_sink
         done = clock_ns()
         for trace in injected:
+            if sink is not None and trace.ctx is not None:
+                sink(trace, done)
             queue_ns = trace.t_queued - trace.t_ingest
             reorder_ns = trace.t_released - trace.t_queued
             session_ns = trace.t_injected - trace.t_released

@@ -186,6 +186,7 @@ class IngestTrace:
     __slots__ = (
         "ingest_id", "source", "sim_ts",
         "t_ingest", "t_queued", "t_released", "t_injected",
+        "ctx",
     )
 
     def __init__(self, ingest_id: int, source: str, sim_ts: float):
@@ -196,6 +197,11 @@ class IngestTrace:
         self.t_queued = self.t_ingest
         self.t_released = self.t_ingest
         self.t_injected = self.t_ingest
+        #: Cluster trace context: the ``trace`` mapping a tracing router
+        #: stamped onto the forwarded data frame (``None`` off-cluster).
+        #: When set, the owning session hands the finished trace to its
+        #: ``span_sink`` so the hop record can ship back upstream.
+        self.ctx: "dict[str, Any] | None" = None
 
 
 # -- snapshot schema -----------------------------------------------------------
@@ -399,10 +405,10 @@ class TelemetryCollector:
         """Merge a spawned collector's snapshot back into this one.
 
         ``shard`` tags the snapshot's events with a shard index (the
-        batch engine); ``node`` prefixes its counters and sources with a
-        worker label (the cluster rollup) so per-worker accounting stays
-        distinguishable after the merge while operator metrics still
-        aggregate into one cluster-wide stage rollup.
+        batch engine); ``node`` prefixes its counters, sources and span
+        names with a worker label (the cluster rollup) so per-worker
+        accounting stays distinguishable after the merge while operator
+        metrics still aggregate into one cluster-wide stage rollup.
         """
 
     def snapshot(self) -> dict[str, Any]:
@@ -553,10 +559,12 @@ class InMemoryCollector(TelemetryCollector):
         and the shard count, never on the backend.
 
         ``node`` labels a cluster worker's snapshot: counters become
-        ``<node>.<key>`` and source entries ``<node>:<name>`` (so one
-        rollup shows every worker's gateway accounting side by side),
-        events gain a ``node`` field, and operator/span metrics merge
-        unprefixed — the cluster-wide stage rollup.
+        ``<node>.<key>``, source entries and span names ``<node>:<name>``
+        (so one rollup shows every worker's gateway accounting and span
+        histograms side by side — the ops plane renders the prefix as a
+        ``worker`` label), events and span-log entries gain a ``node``
+        field, and operator metrics merge unprefixed — the cluster-wide
+        stage rollup.
         """
         if shard is not None or node is not None:
             snapshot = dict(snapshot)
@@ -573,6 +581,14 @@ class InMemoryCollector(TelemetryCollector):
                     f"{node}:{name}": entry
                     for name, entry in snapshot.get("sources", {}).items()
                 }
+                snapshot["spans"] = {
+                    f"{node}:{name}": entry
+                    for name, entry in snapshot.get("spans", {}).items()
+                }
+                snapshot["span_log"] = [
+                    {**record, "node": node}
+                    for record in snapshot.get("span_log", [])
+                ]
             snapshot["events"] = events
         merged = merge_snapshots(self.snapshot(), snapshot)
         self._load(merged)

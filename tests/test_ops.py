@@ -159,6 +159,70 @@ class TestRenderPrometheus:
         text = render_prometheus(snapshot)
         assert '\\"' in text and "\\\\" in text
 
+    def test_cluster_span_families_get_worker_labels(self):
+        """Golden: a ``worker:span`` family name (the absorb(node=...)
+        prefix convention) renders as separate span/worker labels with
+        the exact LATENCY_BUCKETS_NS ``le`` edges."""
+        collector = InMemoryCollector()
+        collector.record_span("w0:cluster.e2e", 5_000)
+        collector.record_span("w1:cluster.e2e", 7_000)
+        collector.record_span("w0:router.queue", 1_000)
+        collector.record_span("ingest.e2e", 2_000)  # unprefixed: no label
+        samples = parse_exposition(render_prometheus(collector.snapshot()))
+        series = {}
+        edges = {}
+        for name, labels, value in samples:
+            if name == "repro_span_latency_ns_count":
+                key = (labels.get("span"), labels.get("worker"))
+                series[key] = value
+            if name == "repro_span_latency_ns_bucket":
+                key = (labels.get("span"), labels.get("worker"))
+                edges.setdefault(key, []).append(labels["le"])
+        assert series == {
+            ("cluster.e2e", "w0"): 1.0,
+            ("cluster.e2e", "w1"): 1.0,
+            ("router.queue", "w0"): 1.0,
+            ("ingest.e2e", None): 1.0,
+        }
+        expected = [str(edge) for edge in LATENCY_BUCKETS_NS] + ["+Inf"]
+        for key, seen in edges.items():
+            assert seen == expected, key
+
+    def test_recovery_counters_render_all_families(self):
+        """Golden: every RECOVERY_COUNTERS key renders as its own
+        ``repro_recovery_<key>_total`` family with HELP/TYPE lines,
+        zeros included — absent keys must not vanish from the scrape."""
+        from repro.net.ops import RECOVERY_COUNTERS
+
+        text = render_prometheus(
+            empty_snapshot(), recovery={"resumes": 3, "failovers": 1}
+        )
+        samples = parse_exposition(text)
+        values = {name: value for name, _labels, value in samples}
+        expected_names = {
+            f"repro_recovery_{key}_total" for key, _help in RECOVERY_COUNTERS
+        }
+        assert set(values) == expected_names
+        assert {
+            "checkpoints_acked",
+            "checkpoints_rejected",
+            "resumes",
+            "restarts",
+            "failovers",
+            "replayed_frames",
+            "forwards_skipped_dead",
+        } == {key for key, _help in RECOVERY_COUNTERS}
+        assert values["repro_recovery_resumes_total"] == 3.0
+        assert values["repro_recovery_failovers_total"] == 1.0
+        assert values["repro_recovery_restarts_total"] == 0.0
+        for metric in expected_names:
+            assert f"# HELP {metric} " in text
+            assert f"# TYPE {metric} counter" in text
+
+    def test_recovery_omitted_without_mapping(self):
+        text = render_prometheus(empty_snapshot())
+        assert "repro_recovery_" not in text
+
 
 async def http_request(host, port, path, method="GET"):
     reader, writer = await asyncio.open_connection(host, port)
@@ -462,3 +526,37 @@ class TestFormatTop:
         frame = format_top(document)
         assert "not ready" in frame
         assert "gateway not started" in frame
+
+    def test_cluster_latency_columns_and_recovery_row(self):
+        """The worker table grows e2e percentile columns fed by the
+        ``<worker>:cluster.e2e`` span family, and the router's
+        recovery counters render as their own row."""
+        collector = InMemoryCollector()
+        collector.record_span("w0:cluster.e2e", 5_000)
+        document = self.document()
+        document["telemetry"]["spans"] = collector.snapshot()["spans"]
+        document["gateway"].update(
+            epoch=0,
+            data_frames=7,
+            shard_key="tag_id",
+            workers={
+                "w0": {"address": "127.0.0.1:9", "sources": 1, "acked": 0},
+                "w1": {"address": "127.0.0.1:8", "sources": 1, "acked": 0},
+            },
+            recovery={"resumes": 2, "failovers": 0},
+        )
+        frame = format_top(document)
+        header = next(
+            line for line in frame.splitlines()
+            if line.startswith("worker")
+        )
+        assert "e2e_p50_us" in header and "e2e_p95_us" in header
+        w0 = next(
+            line for line in frame.splitlines() if line.startswith("w0 ")
+        )
+        w1 = next(
+            line for line in frame.splitlines() if line.startswith("w1 ")
+        )
+        assert " 5 " in w0  # 5_000ns bucket edge -> 5us percentile
+        assert " - " in w1  # no spans recorded for w1 yet
+        assert "recovery: failovers=0  resumes=2" in frame
